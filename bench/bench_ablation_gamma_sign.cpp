@@ -1,0 +1,54 @@
+// Ablation: the sign of the AET term (paper §IV).
+//
+// The paper reports that a NEGATIVE sign on the AET term "caused the
+// heuristic to produce very short AET solutions, but with correspondingly
+// lower T100 values", and deliberately chose the positive sign. This bench
+// reproduces that trade-off: same scenarios, same tuned-style weights, both
+// signs, comparing AET and T100.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/slrh.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ahg;
+  const auto ctx = bench::make_context("Ablation: AET-term sign (reward vs penalize)");
+  const workload::ScenarioSuite suite(ctx.suite_params);
+
+  TextTable table({"sign", "mean T100", "mean AET [s]", "mean AET/tau", "complete"});
+  for (const auto sign : {core::AetSign::Reward, core::AetSign::Penalize}) {
+    Accumulator t100;
+    Accumulator aet;
+    Accumulator ratio;
+    std::size_t complete = 0;
+    std::size_t total = 0;
+    for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
+      for (std::size_t dag = 0; dag < suite.num_dag(); ++dag) {
+        const auto scenario = suite.make(sim::GridCase::A, etc, dag);
+        core::SlrhParams params;
+        params.weights = core::Weights::make(0.6, 0.3);  // gamma = 0.1 active
+        params.aet_sign = sign;
+        const auto result = core::run_slrh(scenario, params);
+        ++total;
+        if (result.complete) ++complete;
+        t100.add(static_cast<double>(result.t100));
+        aet.add(seconds_from_cycles(result.aet));
+        ratio.add(static_cast<double>(result.aet) / static_cast<double>(scenario.tau));
+      }
+    }
+    table.begin_row();
+    table.cell(std::string(sign == core::AetSign::Reward ? "+gamma (paper)"
+                                                         : "-gamma (ablation)"));
+    table.cell(t100.mean(), 1);
+    table.cell(aet.mean(), 1);
+    table.cell(ratio.mean(), 3);
+    table.cell(std::to_string(complete) + "/" + std::to_string(total));
+  }
+  table.render(std::cout);
+  std::cout << "\npaper claim: the negative sign yields much shorter AET and "
+               "lower T100 — an undesirable trade-off for this objective\n";
+  return 0;
+}

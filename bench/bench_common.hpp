@@ -1,0 +1,38 @@
+#pragma once
+// Shared plumbing for the table/figure reproduction benches: scale
+// resolution (REPRO_SCALE env), suite construction, and header printing.
+
+#include <iostream>
+#include <string>
+
+#include "support/env.hpp"
+#include "workload/scenario.hpp"
+
+namespace ahg::bench {
+
+struct BenchContext {
+  ReproScale scale;
+  ScaleParams params;
+  workload::SuiteParams suite_params;
+};
+
+inline BenchContext make_context(const std::string& bench_name) {
+  BenchContext ctx;
+  ctx.scale = repro_scale_from_env();
+  ctx.params = scale_params(ctx.scale);
+
+  ctx.suite_params.num_tasks = ctx.params.num_subtasks;
+  ctx.suite_params.num_etc = ctx.params.num_etc;
+  ctx.suite_params.num_dag = ctx.params.num_dag;
+  ctx.suite_params.master_seed = ctx.params.master_seed;
+
+  std::cout << "=== " << bench_name << " ===\n"
+            << "scale: " << to_string(ctx.scale) << " (REPRO_SCALE"
+            << "=smoke|default|paper to change)\n"
+            << "|T|=" << ctx.suite_params.num_tasks << ", "
+            << ctx.suite_params.num_etc << " ETC x " << ctx.suite_params.num_dag
+            << " DAG, seed " << ctx.suite_params.master_seed << "\n\n";
+  return ctx;
+}
+
+}  // namespace ahg::bench

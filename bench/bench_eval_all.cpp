@@ -1,0 +1,52 @@
+// Combined evaluation: one tuned pass over the (case x heuristic x scenario)
+// grid, printing Figures 3-7 together. Use this instead of the individual
+// figure benches when running at REPRO_SCALE=paper — the tuning pass
+// dominates the cost and is shared across all five figures here.
+
+#include <iostream>
+
+#include "bench/bench_eval_common.hpp"
+
+int main() {
+  using namespace ahg;
+  const auto ctx = bench::make_context("Figures 3-7 combined (single tuned pass)");
+  const auto matrix = bench::run_matrix(ctx, /*verbose=*/true);
+
+  std::cout << "\n--- Figure 3: optimal weights (mean [min, max]) ---\n";
+  for (const char param : {'a', 'b'}) {
+    std::vector<std::string> headers = {"Case"};
+    for (const auto kind : matrix.heuristics) headers.push_back(core::to_string(kind));
+    TextTable table(std::move(headers));
+    for (const auto grid_case : matrix.cases) {
+      table.begin_row();
+      table.cell(sim::to_string(grid_case));
+      for (const auto kind : matrix.heuristics) {
+        const auto& cell = matrix.cell(grid_case, kind);
+        if (cell.feasible_count == 0) {
+          table.cell(std::string("-"));
+          continue;
+        }
+        const auto& acc = param == 'a' ? cell.alpha : cell.beta;
+        table.cell(format_fixed(acc.mean(), 2) + " [" + format_fixed(acc.min(), 2) +
+                   ", " + format_fixed(acc.max(), 2) + "]");
+      }
+    }
+    std::cout << (param == 'a' ? "alpha:\n" : "beta:\n");
+    table.render(std::cout);
+  }
+
+  std::cout << "\n--- Figure 4: T100 ---\n";
+  bench::print_case_by_heuristic(std::cout, matrix, "T100",
+                                 [](const auto& c) { return c.t100.mean(); }, 1);
+  std::cout << "\n--- Figure 5: T100 / upper bound ---\n";
+  bench::print_case_by_heuristic(std::cout, matrix, "T100/bound",
+                                 [](const auto& c) { return c.vs_bound.mean(); }, 3);
+  std::cout << "\n--- Figure 6: heuristic execution time [ms] ---\n";
+  bench::print_case_by_heuristic(
+      std::cout, matrix, "exec ms",
+      [](const auto& c) { return c.wall_seconds.mean() * 1e3; }, 3);
+  std::cout << "\n--- Figure 7: T100 per execution second ---\n";
+  bench::print_case_by_heuristic(std::cout, matrix, "T100/s",
+                                 [](const auto& c) { return c.value_metric.mean(); }, 0);
+  return 0;
+}

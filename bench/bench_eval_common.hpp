@@ -1,0 +1,66 @@
+#pragma once
+// Shared evaluation-matrix plumbing for the Figure 3-7 benches: each figure
+// is a different projection of the same tuned (case x heuristic x scenario)
+// grid, so the benches share construction code (and the combined bench
+// prints all figures from one pass).
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/runner.hpp"
+#include "support/table.hpp"
+
+namespace ahg::bench {
+
+inline core::EvaluationParams eval_params(const BenchContext& ctx, bool verbose) {
+  core::EvaluationParams params;
+  params.tuner.coarse_step = ctx.params.tune_coarse_step;
+  params.tuner.fine_step = ctx.params.tune_fine_step;
+  params.tuner.parallel = true;
+  if (verbose) {
+    params.progress = [](const std::string& line) { std::cout << "  " << line << "\n"; };
+  }
+  return params;
+}
+
+inline std::vector<sim::GridCase> all_cases() {
+  return {sim::GridCase::A, sim::GridCase::B, sim::GridCase::C};
+}
+
+inline core::EvaluationMatrix run_matrix(const BenchContext& ctx,
+                                         bool verbose = false) {
+  const workload::ScenarioSuite suite(ctx.suite_params);
+  const auto heuristics = core::reported_heuristics();
+  std::cout << "tuning " << heuristics.size() << " heuristics x 3 cases x "
+            << ctx.suite_params.num_etc * ctx.suite_params.num_dag
+            << " scenarios (coarse step " << ctx.params.tune_coarse_step
+            << ", fine step " << ctx.params.tune_fine_step << ") ...\n";
+  return core::evaluate_matrix(suite, all_cases(), heuristics,
+                               eval_params(ctx, verbose));
+}
+
+/// One row per case, one column per heuristic, values via `extract`.
+template <typename Extract>
+void print_case_by_heuristic(std::ostream& os, const core::EvaluationMatrix& matrix,
+                             const std::string& value_name, Extract extract,
+                             int precision = 2) {
+  std::vector<std::string> headers = {"Case"};
+  for (const auto kind : matrix.heuristics) headers.push_back(core::to_string(kind));
+  TextTable table(std::move(headers));
+  for (const auto grid_case : matrix.cases) {
+    table.begin_row();
+    table.cell(sim::to_string(grid_case));
+    for (const auto kind : matrix.heuristics) {
+      const auto& cell = matrix.cell(grid_case, kind);
+      if (cell.feasible_count == 0) {
+        table.cell(std::string("(no feasible)"));
+      } else {
+        table.cell(extract(cell), precision);
+      }
+    }
+  }
+  os << value_name << " (mean over feasible scenarios):\n";
+  table.render(os);
+}
+
+}  // namespace ahg::bench

@@ -1,0 +1,86 @@
+// Extension bench: the full baseline ladder. Places the paper's heuristics
+// in context between classic comparators — Min-Min [IbK77] (the family
+// Max-Max descends from), OLB, and a seeded random mapper as the floor.
+// Fixed representative weights for the weighted heuristics (no tuner), so
+// every mapper sees identical conditions.
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/baselines.hpp"
+#include "core/heuristics.hpp"
+#include "core/upper_bound.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ahg;
+  const auto ctx = bench::make_context("Extension: baseline ladder");
+  const workload::ScenarioSuite suite(ctx.suite_params);
+  const core::Weights weights = core::Weights::make(0.6, 0.3);
+
+  struct Row {
+    std::string name;
+    std::function<core::MappingResult(const workload::Scenario&)> run;
+  };
+  const std::vector<Row> mappers = {
+      {"SLRH-1",
+       [&](const auto& s) {
+         return core::run_heuristic(core::HeuristicKind::Slrh1, s, weights);
+       }},
+      {"SLRH-3",
+       [&](const auto& s) {
+         return core::run_heuristic(core::HeuristicKind::Slrh3, s, weights);
+       }},
+      {"Max-Max",
+       [&](const auto& s) {
+         return core::run_heuristic(core::HeuristicKind::MaxMax, s, weights);
+       }},
+      {"Min-Min", [](const auto& s) { return core::run_minmin(s); }},
+      {"OLB", [](const auto& s) { return core::run_olb(s); }},
+      {"Random", [](const auto& s) { return core::run_random(s); }},
+  };
+
+  for (const auto grid_case : {sim::GridCase::A, sim::GridCase::B, sim::GridCase::C}) {
+    TextTable table({"mapper", "mean T100", "T100/bound", "complete", "within tau",
+                     "mean ms"});
+    for (const auto& mapper : mappers) {
+      Accumulator t100;
+      Accumulator ratio;
+      Accumulator wall;
+      std::size_t complete = 0;
+      std::size_t within = 0;
+      std::size_t total = 0;
+      for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
+        for (std::size_t dag = 0; dag < suite.num_dag(); ++dag) {
+          const auto scenario = suite.make(grid_case, etc, dag);
+          const auto ub = core::compute_upper_bound(scenario);
+          const auto result = mapper.run(scenario);
+          ++total;
+          if (result.complete) ++complete;
+          if (result.within_tau) ++within;
+          t100.add(static_cast<double>(result.t100));
+          if (ub.bound > 0) {
+            ratio.add(static_cast<double>(result.t100) / static_cast<double>(ub.bound));
+          }
+          wall.add(result.wall_seconds * 1e3);
+        }
+      }
+      table.begin_row();
+      table.cell(mapper.name);
+      table.cell(t100.mean(), 1);
+      table.cell(ratio.mean(), 3);
+      table.cell(std::to_string(complete) + "/" + std::to_string(total));
+      table.cell(std::to_string(within) + "/" + std::to_string(total));
+      table.cell(wall.mean(), 2);
+    }
+    std::cout << to_string(grid_case) << " (fixed weights " << weights.str() << "):\n";
+    table.render(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "expected: SLRH-1 and Min-Min lead, OLB trails the informed "
+               "mappers, Random is the floor\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Extension bench: the "truly dynamic" environment the paper's introduction
+// motivates but the initial study simplifies away — subtask arrivals spread
+// over the scheduling window (release times) and spurious communication-link
+// outages. The dynamic SLRH-1 only sees subtasks after they arrive; the
+// static Max-Max is granted clairvoyance (it sees everything up front) and
+// only respects the release as an earliest-start bound.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/heuristics.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workload/dynamics.hpp"
+
+int main() {
+  using namespace ahg;
+  const auto ctx =
+      bench::make_context("Extension: arrival spread and link outages");
+  const workload::ScenarioSuite suite(ctx.suite_params);
+  const core::Weights weights = core::Weights::make(0.6, 0.3);
+
+  std::cout << "--- subtask arrival spread (fraction of tau) ---\n";
+  TextTable arrivals({"spread", "SLRH-1 T100", "SLRH-1 complete", "Max-Max T100",
+                      "Max-Max complete"});
+  for (const double spread : {0.0, 0.25, 0.5, 0.75}) {
+    arrivals.begin_row();
+    arrivals.cell(spread, 2);
+    for (const auto kind : {core::HeuristicKind::Slrh1, core::HeuristicKind::MaxMax}) {
+      Accumulator t100;
+      std::size_t complete = 0;
+      std::size_t total = 0;
+      for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
+        for (std::size_t dag = 0; dag < suite.num_dag(); ++dag) {
+          auto scenario = suite.make(sim::GridCase::A, etc, dag);
+          workload::ReleaseParams params;
+          params.spread_fraction = spread;
+          scenario.releases = workload::generate_release_times(
+              params, scenario.dag, scenario.tau, 1000 + etc * 10 + dag);
+          const auto result = core::run_heuristic(kind, scenario, weights);
+          ++total;
+          if (result.complete && result.within_tau) ++complete;
+          t100.add(static_cast<double>(result.t100));
+        }
+      }
+      arrivals.cell(t100.mean(), 1);
+      arrivals.cell(std::to_string(complete) + "/" + std::to_string(total));
+    }
+  }
+  arrivals.render(std::cout);
+
+  std::cout << "\n--- link outages per machine (mean 60 s each) ---\n";
+  TextTable outages({"outages/machine", "SLRH-1 T100", "SLRH-1 complete",
+                     "Max-Max T100", "Max-Max complete"});
+  for (const double count : {0.0, 2.0, 4.0, 8.0}) {
+    outages.begin_row();
+    outages.cell(count, 0);
+    for (const auto kind : {core::HeuristicKind::Slrh1, core::HeuristicKind::MaxMax}) {
+      Accumulator t100;
+      std::size_t complete = 0;
+      std::size_t total = 0;
+      for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
+        for (std::size_t dag = 0; dag < suite.num_dag(); ++dag) {
+          auto scenario = suite.make(sim::GridCase::A, etc, dag);
+          workload::OutageParams params;
+          params.outages_per_machine = count;
+          scenario.link_outages = workload::generate_link_outages(
+              params, scenario.num_machines(), scenario.tau, 2000 + etc * 10 + dag);
+          const auto result = core::run_heuristic(kind, scenario, weights);
+          ++total;
+          if (result.complete && result.within_tau) ++complete;
+          t100.add(static_cast<double>(result.t100));
+        }
+      }
+      outages.cell(t100.mean(), 1);
+      outages.cell(std::to_string(complete) + "/" + std::to_string(total));
+    }
+  }
+  outages.render(std::cout);
+
+  std::cout << "\nexpected: T100 degrades gracefully with arrival spread "
+               "(late arrivals compress the usable window) and is nearly "
+               "immune to link outages (communication is a minor factor; "
+               "placement plans around blackout windows)\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Extension bench: adaptive Lagrangian multipliers vs the "simplified"
+// constant-weight approach (paper §IV names this simplification and §VIII
+// calls for on-the-fly multiplier adjustment).
+//
+// For each grid case: the subgradient multiplier iteration (core/lagrangian)
+// against the offline (alpha, beta) grid search the paper used, comparing
+// best feasible T100 and the number of inner heuristic runs each needed.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/lagrangian.hpp"
+#include "core/tuner.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ahg;
+  const auto ctx =
+      bench::make_context("Extension: adaptive multipliers vs constant weights");
+  const workload::ScenarioSuite suite(ctx.suite_params);
+
+  TextTable table({"Case", "grid T100", "grid runs", "adaptive T100",
+                   "adaptive runs", "adaptive/grid T100"});
+  for (const auto grid_case : {sim::GridCase::A, sim::GridCase::B, sim::GridCase::C}) {
+    Accumulator grid_t100;
+    Accumulator grid_runs;
+    Accumulator ada_t100;
+    Accumulator ada_runs;
+    for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
+      for (std::size_t dag = 0; dag < suite.num_dag(); ++dag) {
+        const auto scenario = suite.make(grid_case, etc, dag);
+
+        core::TunerParams tp;
+        tp.coarse_step = ctx.params.tune_coarse_step;
+        tp.fine_step = 0.0;
+        tp.parallel = true;
+        const auto grid = core::tune_weights(
+            [&](const core::Weights& w) {
+              return core::run_heuristic(core::HeuristicKind::Slrh1, scenario, w);
+            },
+            tp);
+
+        core::LagrangianParams lp;
+        lp.max_iterations = 20;
+        const auto adaptive = core::run_lagrangian_iteration(scenario, lp);
+
+        if (grid.found) {
+          grid_t100.add(static_cast<double>(grid.best.t100));
+          grid_runs.add(static_cast<double>(grid.evaluated.size()));
+        }
+        if (adaptive.found) {
+          ada_t100.add(static_cast<double>(adaptive.best.t100));
+          ada_runs.add(static_cast<double>(adaptive.runs));
+        }
+      }
+    }
+    table.begin_row();
+    table.cell(to_string(grid_case));
+    table.cell(grid_t100.mean(), 1);
+    table.cell(grid_runs.mean(), 0);
+    table.cell(ada_t100.mean(), 1);
+    table.cell(ada_runs.mean(), 0);
+    table.cell(grid_t100.mean() > 0 ? ada_t100.mean() / grid_t100.mean() : 0.0, 3);
+  }
+  table.render(std::cout);
+  std::cout << "\nexpected: the multiplier iteration reaches a comparable "
+               "(often better) T100 with several-fold fewer inner runs — the "
+               "cost of the 'simplified' constant-multiplier design\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 2 reproduction: impact of the dT timestep parameter on SLRH-1.
+//
+// The paper runs SLRH-1 on ETC 0 with two DAGs in Case A and sweeps dT,
+// reporting (a) T100 and (b) heuristic execution time. Expected shape:
+// T100 roughly flat for small-to-mid dT, declining for large dT (idle gaps);
+// execution time rising steeply as dT -> 1 (many no-op sweeps).
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/slrh.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ahg;
+  const auto ctx = bench::make_context("Figure 2: impact of dT on SLRH-1");
+  const workload::ScenarioSuite suite(ctx.suite_params);
+
+  const std::vector<Cycles> dts = {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000};
+  const std::size_t num_dags = std::min<std::size_t>(2, suite.num_dag());
+
+  TextTable table({"dT (cycles)", "T100 (DAG 0)", "exec ms (DAG 0)",
+                   "T100 (DAG 1)", "exec ms (DAG 1)"});
+  for (const Cycles dt : dts) {
+    table.begin_row();
+    table.cell(static_cast<long long>(dt));
+    for (std::size_t dag = 0; dag < 2; ++dag) {
+      if (dag >= num_dags) {
+        table.cell(std::string("-"));
+        table.cell(std::string("-"));
+        continue;
+      }
+      const auto scenario = suite.make(sim::GridCase::A, 0, dag);
+      core::SlrhParams params;
+      params.variant = core::SlrhVariant::V1;
+      params.weights = core::Weights::make(0.7, 0.25);
+      params.dt = dt;
+      params.horizon = std::max<Cycles>(100, dt);
+      const auto result = core::run_slrh(scenario, params);
+      table.cell(static_cast<long long>(result.t100));
+      table.cell(result.wall_seconds * 1e3, 2);
+    }
+  }
+  table.render(std::cout);
+  std::cout << "\npaper shape: T100 insensitive to dT over mid-range values; "
+               "execution time strongly dependent for small dT\n"
+            << "(paper selected dT = 10 cycles, H = 100 cycles)\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 5 reproduction: heuristic T100 relative to the equivalent-
+// computing-cycles upper bound, per heuristic per grid case.
+//
+// Paper shape: SLRH-1 above 60 % of the bound in Case A and slightly ahead
+// of Max-Max; both drop markedly on machine loss with the impact roughly
+// independent of which machine type is lost; SLRH-3 poor in Case A but
+// comparatively insensitive to loss.
+
+#include <iostream>
+
+#include "bench/bench_eval_common.hpp"
+
+int main() {
+  using namespace ahg;
+  const auto ctx =
+      bench::make_context("Figure 5: T100 relative to the upper bound");
+  const auto matrix = bench::run_matrix(ctx);
+  std::cout << '\n';
+  bench::print_case_by_heuristic(
+      std::cout, matrix, "T100 / upper bound",
+      [](const core::CaseHeuristicSummary& cell) { return cell.vs_bound.mean(); }, 3);
+  std::cout << "\npaper shape: SLRH-1 > 0.60 in Case A, slightly ahead of "
+               "Max-Max; both drop on machine loss independent of machine "
+               "type; SLRH-3 low but loss-insensitive\n";
+  return 0;
+}

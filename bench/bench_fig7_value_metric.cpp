@@ -1,0 +1,25 @@
+// Figure 7 reproduction: the paper's simple dynamic-value metric — T100 per
+// unit of heuristic execution time — per heuristic per grid case.
+//
+// Paper shape: SLRH-1 far above SLRH-3 everywhere; SLRH-1 ~ Max-Max in
+// Cases A and C, pulling clearly ahead when a slow machine is lost (Case B)
+// thanks to its faster execution.
+
+#include <iostream>
+
+#include "bench/bench_eval_common.hpp"
+
+int main() {
+  using namespace ahg;
+  const auto ctx =
+      bench::make_context("Figure 7: T100 per second of heuristic execution time");
+  const auto matrix = bench::run_matrix(ctx);
+  std::cout << '\n';
+  bench::print_case_by_heuristic(
+      std::cout, matrix, "T100 / heuristic execution seconds",
+      [](const core::CaseHeuristicSummary& cell) { return cell.value_metric.mean(); },
+      0);
+  std::cout << "\npaper shape: SLRH-1 >> SLRH-3 everywhere; SLRH-1 ~ Max-Max "
+               "in Case A, ahead on machine loss (execution-speed advantage)\n";
+  return 0;
+}

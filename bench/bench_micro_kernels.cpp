@@ -1,0 +1,110 @@
+// google-benchmark microbenchmarks of the scheduling kernels that dominate
+// heuristic execution time: timeline insertion / earliest-fit search,
+// candidate-pool construction, objective scoring, and placement planning.
+// These are the operations a hardware (DSP/FPGA) implementation of SLRH
+// would pipeline — the paper's §II motivation for the algorithm family.
+
+#include <benchmark/benchmark.h>
+
+#include "core/feasibility.hpp"
+#include "core/placement.hpp"
+#include "core/scoring.hpp"
+#include "sim/timeline.hpp"
+#include "support/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace ahg;
+
+void BM_TimelineInsertSequential(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Timeline tl;
+    for (std::size_t i = 0; i < n; ++i) {
+      tl.insert(static_cast<Cycles>(i) * 20, 10);
+    }
+    benchmark::DoNotOptimize(tl.ready_time());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TimelineInsertSequential)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_TimelineEarliestFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Timeline tl;
+  Rng rng(7);
+  Cycles cursor = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cursor += rng.uniform_int(1, 30);
+    const Cycles dur = rng.uniform_int(1, 20);
+    tl.insert(cursor, dur);
+    cursor += dur;
+  }
+  Cycles probe = 0;
+  for (auto _ : state) {
+    probe = (probe + 97) % cursor;
+    benchmark::DoNotOptimize(tl.earliest_fit(probe, 25));
+  }
+}
+BENCHMARK(BM_TimelineEarliestFit)->Arg(64)->Arg(256)->Arg(1024);
+
+workload::Scenario bench_scenario(std::size_t num_tasks) {
+  workload::SuiteParams params;
+  params.num_tasks = num_tasks;
+  params.num_etc = 1;
+  params.num_dag = 1;
+  params.master_seed = 99;
+  return workload::ScenarioSuite(params).make(sim::GridCase::A, 0, 0);
+}
+
+void BM_PoolAdmissionScan(benchmark::State& state) {
+  const auto scenario = bench_scenario(static_cast<std::size_t>(state.range(0)));
+  sim::Schedule schedule(scenario.grid, scenario.num_tasks());
+  for (auto _ : state) {
+    std::size_t admissible = 0;
+    for (std::size_t i = 0; i < scenario.num_tasks(); ++i) {
+      if (core::slrh_pool_admissible(scenario, schedule, static_cast<TaskId>(i), 0)) {
+        ++admissible;
+      }
+    }
+    benchmark::DoNotOptimize(admissible);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PoolAdmissionScan)->Arg(256)->Arg(1024);
+
+void BM_ScoreCandidate(benchmark::State& state) {
+  const auto scenario = bench_scenario(256);
+  sim::Schedule schedule(scenario.grid, scenario.num_tasks());
+  const auto totals = core::objective_totals(scenario);
+  const auto weights = core::Weights::make(0.6, 0.3);
+  // Score root tasks (parents trivially satisfied).
+  const auto roots = scenario.dag.roots();
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const TaskId task = roots[k++ % roots.size()];
+    benchmark::DoNotOptimize(core::score_candidate(scenario, schedule, weights, totals,
+                                                   task, 0, VersionKind::Primary, 0));
+  }
+}
+BENCHMARK(BM_ScoreCandidate);
+
+void BM_PlanPlacement(benchmark::State& state) {
+  const auto scenario = bench_scenario(256);
+  sim::Schedule schedule(scenario.grid, scenario.num_tasks());
+  const auto roots = scenario.dag.roots();
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const TaskId task = roots[k++ % roots.size()];
+    benchmark::DoNotOptimize(
+        core::plan_placement(scenario, schedule, task, 1, VersionKind::Primary, 0));
+  }
+}
+BENCHMARK(BM_PlanPlacement);
+
+}  // namespace
+
+BENCHMARK_MAIN();

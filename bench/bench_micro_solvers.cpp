@@ -1,0 +1,49 @@
+// google-benchmark end-to-end solver benchmarks: full SLRH-1/2/3 and Max-Max
+// runs as a function of |T|, complementing Figure 6's per-case comparison
+// with scaling curves (how heuristic cost grows with the application size).
+
+#include <benchmark/benchmark.h>
+
+#include "core/heuristics.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace ahg;
+
+workload::Scenario bench_scenario(std::size_t num_tasks) {
+  workload::SuiteParams params;
+  params.num_tasks = num_tasks;
+  params.num_etc = 1;
+  params.num_dag = 1;
+  params.master_seed = 99;
+  return workload::ScenarioSuite(params).make(sim::GridCase::A, 0, 0);
+}
+
+void run_solver(benchmark::State& state, core::HeuristicKind kind) {
+  const auto scenario = bench_scenario(static_cast<std::size_t>(state.range(0)));
+  const auto weights = core::Weights::make(0.6, 0.3);
+  std::size_t t100 = 0;
+  for (auto _ : state) {
+    const auto result = core::run_heuristic(kind, scenario, weights);
+    t100 = result.t100;
+    benchmark::DoNotOptimize(result.assigned);
+  }
+  state.counters["t100"] = static_cast<double>(t100);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Slrh1(benchmark::State& state) { run_solver(state, core::HeuristicKind::Slrh1); }
+void BM_Slrh2(benchmark::State& state) { run_solver(state, core::HeuristicKind::Slrh2); }
+void BM_Slrh3(benchmark::State& state) { run_solver(state, core::HeuristicKind::Slrh3); }
+void BM_MaxMax(benchmark::State& state) { run_solver(state, core::HeuristicKind::MaxMax); }
+
+BENCHMARK(BM_Slrh1)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Slrh2)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Slrh3)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MaxMax)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

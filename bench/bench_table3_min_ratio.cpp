@@ -1,0 +1,54 @@
+// Table 3 reproduction: average minimum relative speed MR(j), mean (sd) over
+// the suite's ETC matrices, per grid case.
+//
+// Paper values (|T|=1024, 10 ETC matrices):
+//   Case A: fast1 0.28 (0.03), slow1 1.65 (0.18), slow2 1.74 (0.30)
+//   Case B: fast1 0.26 (0.03), slow1 1.55 (0.32)
+//   Case C: slow1 1.63 (0.42), slow2 1.59 (0.33)
+// The reference machine is always machine 0 (a fast machine), so MR(0) = 1
+// by definition and is omitted from the table, as in the paper.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/upper_bound.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ahg;
+  const auto ctx = bench::make_context("Table 3: average minimum relative speed MR(j)");
+  const workload::ScenarioSuite suite(ctx.suite_params);
+
+  const std::vector<sim::GridCase> cases = {sim::GridCase::A, sim::GridCase::B,
+                                            sim::GridCase::C};
+
+  TextTable table({"Case", "machine 1", "machine 2", "machine 3"});
+  for (const auto grid_case : cases) {
+    // One scenario per ETC suffices: MR depends only on the ETC matrix.
+    std::vector<Accumulator> per_machine;
+    for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
+      const auto scenario = suite.make(grid_case, etc, 0);
+      const auto ratios = core::min_ratios(scenario.etc);
+      if (per_machine.empty()) per_machine.resize(ratios.size());
+      for (std::size_t j = 0; j < ratios.size(); ++j) per_machine[j].add(ratios[j]);
+    }
+    table.begin_row();
+    table.cell(to_string(grid_case));
+    for (std::size_t col = 1; col < 4; ++col) {
+      if (col < per_machine.size()) {
+        table.cell(format_mean_sd(per_machine[col].mean(), per_machine[col].stddev()));
+      } else {
+        table.cell(std::string("-"));
+      }
+    }
+  }
+  table.render(std::cout);
+
+  std::cout << "\nmachine classes per case — A: fast,fast,slow,slow; "
+               "B: fast,fast,slow; C: fast,slow,slow (machine 0 = reference)\n"
+            << "paper band: second fast machine ~0.26-0.28, slow machines "
+               "~1.55-1.74\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a small ad hoc grid scenario, run the SLRH-1 resource
+// manager, verify the mapping with the independent validator, and print a
+// summary plus an ASCII Gantt chart.
+//
+// Usage: quickstart [num_subtasks] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/heuristics.hpp"
+#include "core/upper_bound.hpp"
+#include "core/validate.hpp"
+#include "sim/trace.hpp"
+#include "workload/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ahg;
+
+  workload::SuiteParams suite_params;
+  suite_params.num_tasks = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 64;
+  suite_params.num_etc = 1;
+  suite_params.num_dag = 1;
+  suite_params.master_seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+                                      : 20040426ULL;
+
+  const workload::ScenarioSuite suite(suite_params);
+  const workload::Scenario scenario = suite.make(sim::GridCase::A, 0, 0);
+
+  std::cout << "=== Ad hoc grid quickstart ===\n"
+            << "subtasks: " << scenario.num_tasks()
+            << ", machines: " << scenario.num_machines() << " ("
+            << scenario.grid.count(sim::MachineClass::Fast) << " fast, "
+            << scenario.grid.count(sim::MachineClass::Slow) << " slow)\n"
+            << "tau: " << scenario.tau << " cycles ("
+            << seconds_from_cycles(scenario.tau) << " s), TSE: "
+            << scenario.grid.total_system_energy() << " energy units\n\n";
+
+  // Weights from the tuned optimal region for Case A (see EXPERIMENTS.md).
+  const core::Weights weights = core::Weights::make(0.7, 0.3);
+  const core::MappingResult result =
+      core::run_heuristic(core::HeuristicKind::Slrh1, scenario, weights);
+
+  std::cout << "SLRH-1 with weights " << weights.str() << ":\n"
+            << "  complete:   " << (result.complete ? "yes" : "NO") << " ("
+            << result.assigned << "/" << scenario.num_tasks() << " mapped)\n"
+            << "  T100:       " << result.t100 << " primary versions\n"
+            << "  AET:        " << result.aet << " cycles ("
+            << seconds_from_cycles(result.aet) << " s; tau "
+            << (result.within_tau ? "met" : "VIOLATED") << ")\n"
+            << "  TEC:        " << result.tec << " energy units\n"
+            << "  heuristic:  " << result.wall_seconds * 1e3 << " ms, "
+            << result.iterations << " clock sweeps\n\n";
+
+  const auto bound = core::compute_upper_bound(scenario);
+  std::cout << "upper bound on T100 (equivalent computing cycles): " << bound.bound
+            << (bound.cycle_limited ? " [cycle-limited]" : "")
+            << (bound.energy_limited ? " [energy-limited]" : "") << "\n\n";
+
+  const auto report = core::validate_schedule(scenario, *result.schedule);
+  std::cout << "independent validation: " << report.str() << "\n";
+
+  sim::GanttOptions gantt;
+  gantt.width = 96;
+  sim::render_gantt(std::cout, *result.schedule, gantt);
+
+  return report.ok() ? EXIT_SUCCESS : EXIT_FAILURE;
+}

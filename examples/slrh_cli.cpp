@@ -1,0 +1,170 @@
+// slrh_cli: run any heuristic on a generated or imported scenario from the
+// command line — the downstream-user entry point.
+//
+//   slrh_cli --heuristic slrh1 --case A --tasks 256 --alpha 0.7 --beta 0.3
+//   slrh_cli --scenario-in saved.scn --heuristic maxmax --validate
+//   slrh_cli --tasks 128 --scenario-out saved.scn --heuristic none
+//   slrh_cli --heuristic lagrangian --tasks 128 --case C
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/heuristics.hpp"
+#include "core/lagrangian.hpp"
+#include "core/upper_bound.hpp"
+#include "core/validate.hpp"
+#include "support/args.hpp"
+#include "workload/scenario.hpp"
+#include "workload/dynamics.hpp"
+#include "workload/scenario_io.hpp"
+
+namespace {
+
+using namespace ahg;
+
+int fail(const std::string& message) {
+  std::cerr << "slrh_cli: " << message << "\n";
+  return EXIT_FAILURE;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("slrh_cli",
+                 "run ad hoc grid resource-management heuristics on a scenario");
+  args.add_string("heuristic", "slrh1",
+                  "slrh1|slrh2|slrh3|maxmax|minmin|olb|random|lagrangian|none");
+  args.add_string("case", "A", "grid case: A (2f+2s), B (2f+1s), C (1f+2s)");
+  args.add_int("tasks", 256, "number of subtasks |T|");
+  args.add_int("etc", 0, "ETC matrix index within the suite");
+  args.add_int("dag", 0, "DAG index within the suite");
+  args.add_int("seed", 20040426, "suite master seed");
+  args.add_double("alpha", 0.7, "objective weight on T100");
+  args.add_double("beta", 0.3, "objective weight on TEC (gamma = 1-alpha-beta)");
+  args.add_int("dt", 10, "SLRH timestep in cycles");
+  args.add_int("horizon", 100, "SLRH receding horizon in cycles");
+  args.add_double("arrival-spread", 0.0,
+                  "spread subtask arrivals over this fraction of tau");
+  args.add_double("outages", 0.0, "mean link outages per machine (60 s each)");
+  args.add_string("scenario-in", "", "load a scenario file instead of generating");
+  args.add_string("scenario-out", "", "save the scenario to this file");
+  args.add_flag("validate", "run the independent schedule validator");
+  args.add_flag("bound", "also compute the T100 upper bound");
+  if (!args.parse(argc, argv)) return args.error() ? EXIT_FAILURE : EXIT_SUCCESS;
+
+  // --- scenario -----------------------------------------------------------
+  std::optional<workload::Scenario> scenario;
+  if (const auto path = args.get_string("scenario-in"); !path.empty()) {
+    try {
+      scenario = workload::load_scenario(path);
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+  } else {
+    workload::SuiteParams suite_params;
+    suite_params.num_tasks = static_cast<std::size_t>(args.get_int("tasks"));
+    suite_params.num_etc = static_cast<std::size_t>(args.get_int("etc")) + 1;
+    suite_params.num_dag = static_cast<std::size_t>(args.get_int("dag")) + 1;
+    suite_params.master_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const std::string case_name = args.get_string("case");
+    sim::GridCase grid_case;
+    if (case_name == "A" || case_name == "a") grid_case = sim::GridCase::A;
+    else if (case_name == "B" || case_name == "b") grid_case = sim::GridCase::B;
+    else if (case_name == "C" || case_name == "c") grid_case = sim::GridCase::C;
+    else return fail("unknown case '" + case_name + "' (want A, B or C)");
+    const workload::ScenarioSuite suite(suite_params);
+    scenario = suite.make(grid_case, static_cast<std::size_t>(args.get_int("etc")),
+                          static_cast<std::size_t>(args.get_int("dag")));
+    if (const double spread = args.get_double("arrival-spread"); spread > 0.0) {
+      workload::ReleaseParams params;
+      params.spread_fraction = spread;
+      scenario->releases = workload::generate_release_times(
+          params, scenario->dag, scenario->tau, suite_params.master_seed ^ 0xA11);
+    }
+    if (const double outages = args.get_double("outages"); outages > 0.0) {
+      workload::OutageParams params;
+      params.outages_per_machine = outages;
+      scenario->link_outages = workload::generate_link_outages(
+          params, scenario->num_machines(), scenario->tau,
+          suite_params.master_seed ^ 0x0F7);
+    }
+  }
+
+  if (const auto path = args.get_string("scenario-out"); !path.empty()) {
+    try {
+      workload::save_scenario(path, *scenario);
+      std::cout << "scenario saved to " << path << "\n";
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+  }
+
+  std::cout << "scenario: |T|=" << scenario->num_tasks() << ", machines "
+            << scenario->num_machines() << " ("
+            << scenario->grid.count(sim::MachineClass::Fast) << " fast, "
+            << scenario->grid.count(sim::MachineClass::Slow) << " slow), tau "
+            << seconds_from_cycles(scenario->tau) << " s\n";
+
+  if (args.get_flag("bound")) {
+    const auto ub = core::compute_upper_bound(*scenario);
+    std::cout << "upper bound on T100: " << ub.bound
+              << (ub.cycle_limited ? " (cycle-limited)" : "")
+              << (ub.energy_limited ? " (energy-limited)" : "") << "\n";
+  }
+
+  // --- heuristic ------------------------------------------------------------
+  const std::string name = args.get_string("heuristic");
+  if (name == "none") return EXIT_SUCCESS;
+
+  const core::Weights weights =
+      core::Weights::make(args.get_double("alpha"), args.get_double("beta"));
+  core::SlrhClock clock;
+  clock.dt = args.get_int("dt");
+  clock.horizon = args.get_int("horizon");
+
+  core::MappingResult result;
+  if (name == "slrh1") {
+    result = core::run_heuristic(core::HeuristicKind::Slrh1, *scenario, weights, clock);
+  } else if (name == "slrh2") {
+    result = core::run_heuristic(core::HeuristicKind::Slrh2, *scenario, weights, clock);
+  } else if (name == "slrh3") {
+    result = core::run_heuristic(core::HeuristicKind::Slrh3, *scenario, weights, clock);
+  } else if (name == "maxmax") {
+    result = core::run_heuristic(core::HeuristicKind::MaxMax, *scenario, weights, clock);
+  } else if (name == "minmin") {
+    result = core::run_minmin(*scenario);
+  } else if (name == "olb") {
+    result = core::run_olb(*scenario);
+  } else if (name == "random") {
+    core::RandomMapperParams rparams;
+    rparams.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    result = core::run_random(*scenario, rparams);
+  } else if (name == "lagrangian") {
+    core::LagrangianParams lparams;
+    lparams.clock = clock;
+    const auto outcome = core::run_lagrangian_iteration(*scenario, lparams);
+    std::cout << "lagrangian iteration: " << outcome.runs << " inner runs, "
+              << (outcome.converged ? "converged" : "iteration cap") << "\n";
+    if (!outcome.found) return fail("no feasible mapping found by the iteration");
+    std::cout << "best multiplier weights: " << outcome.best_weights.str() << "\n";
+    result = outcome.best;
+  } else {
+    return fail("unknown heuristic '" + name + "'");
+  }
+
+  std::cout << name << ": mapped " << result.assigned << "/" << scenario->num_tasks()
+            << ", T100=" << result.t100 << ", AET " << seconds_from_cycles(result.aet)
+            << " s (tau " << (result.within_tau ? "met" : "VIOLATED") << "), TEC "
+            << result.tec << ", heuristic " << result.wall_seconds * 1e3 << " ms\n";
+
+  if (args.get_flag("validate")) {
+    core::ValidateOptions options;
+    options.require_complete = false;
+    options.require_within_tau = false;
+    const auto report = core::validate_schedule(*scenario, *result.schedule, options);
+    std::cout << "validation: " << report.str() << "\n";
+    if (!report.ok()) return EXIT_FAILURE;
+  }
+  return result.complete ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,71 @@
+// Weight tuning: sweep the Lagrangian objective weights (alpha, beta) for
+// SLRH-1 on one scenario, the way the paper's §VII sensitivity study does,
+// and report which combinations produce a complete feasible mapping and
+// which maximise T100.
+//
+// Usage: weight_tuning [num_subtasks] [case:A|B|C] [coarse_step]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/heuristics.hpp"
+#include "core/tuner.hpp"
+#include "support/table.hpp"
+#include "workload/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ahg;
+
+  workload::SuiteParams suite_params;
+  suite_params.num_tasks = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 128;
+  suite_params.num_etc = 1;
+  suite_params.num_dag = 1;
+
+  sim::GridCase grid_case = sim::GridCase::A;
+  if (argc > 2) {
+    const char c = argv[2][0];
+    grid_case = c == 'B' ? sim::GridCase::B : c == 'C' ? sim::GridCase::C : sim::GridCase::A;
+  }
+  const double coarse = argc > 3 ? std::atof(argv[3]) : 0.1;
+
+  const workload::ScenarioSuite suite(suite_params);
+  const workload::Scenario scenario = suite.make(grid_case, 0, 0);
+
+  std::cout << "tuning SLRH-1 on " << to_string(grid_case) << ", |T|="
+            << scenario.num_tasks() << ", coarse step " << coarse << "\n\n";
+
+  const core::WeightedSolver solver = [&](const core::Weights& w) {
+    return core::run_heuristic(core::HeuristicKind::Slrh1, scenario, w);
+  };
+  core::TunerParams tuner_params;
+  tuner_params.coarse_step = coarse;
+  tuner_params.fine_step = 0.02;
+  const core::TuneOutcome outcome = core::tune_weights(solver, tuner_params);
+
+  TextTable table({"alpha", "beta", "gamma", "T100", "feasible"});
+  for (const auto& p : outcome.evaluated) {
+    table.begin_row();
+    table.cell(p.alpha, 2);
+    table.cell(p.beta, 2);
+    table.cell(1.0 - p.alpha - p.beta, 2);
+    table.cell(static_cast<long long>(p.t100));
+    table.cell(std::string(p.feasible ? "yes" : "-"));
+  }
+  table.render(std::cout);
+
+  std::cout << "\nevaluated " << outcome.evaluated.size() << " weight combinations\n";
+  if (!outcome.found) {
+    std::cout << "no feasible combination found\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "best: alpha=" << outcome.alpha << " beta=" << outcome.beta
+            << " -> T100=" << outcome.best.t100 << " of " << scenario.num_tasks()
+            << " (AET " << seconds_from_cycles(outcome.best.aet) << " s of tau "
+            << seconds_from_cycles(scenario.tau) << " s)\n";
+  const auto ar = outcome.alpha_range();
+  const auto br = outcome.beta_range();
+  std::cout << "optimal-region ranges: alpha [" << ar.min << ", " << ar.max
+            << "] mean " << ar.mean << "; beta [" << br.min << ", " << br.max
+            << "] mean " << br.mean << "\n";
+  return EXIT_SUCCESS;
+}

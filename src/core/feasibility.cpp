@@ -1,0 +1,53 @@
+#include "core/feasibility.hpp"
+
+#include "sim/comm.hpp"
+
+namespace ahg::core {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+double worst_case_outgoing_energy(const workload::Scenario& scenario, TaskId task,
+                                  MachineId machine, VersionKind version) {
+  const auto& spec = scenario.grid.machine(machine);
+  double total = 0.0;
+  for (const TaskId child : scenario.dag.children(task)) {
+    const double bits = scenario.edge_bits(task, child, version);
+    if (bits <= 0.0) continue;
+    const Cycles wc = sim::worst_case_transfer_cycles(bits, spec, scenario.grid);
+    total += sim::transfer_energy(spec, wc);
+  }
+  return total;
+}
+
+double exec_energy(const workload::Scenario& scenario, TaskId task, MachineId machine,
+                   VersionKind version) {
+  const Cycles duration = scenario.exec_cycles(task, machine, version);
+  return scenario.grid.machine(machine).compute_energy(duration);
+}
+
+bool version_fits_energy(const workload::Scenario& scenario,
+                         const sim::Schedule& schedule, TaskId task,
+                         MachineId machine, VersionKind version) {
+  const double need = exec_energy(scenario, task, machine, version) +
+                      worst_case_outgoing_energy(scenario, task, machine, version);
+  return need <= schedule.energy().available(machine) + kEps;
+}
+
+bool parents_assigned(const workload::Scenario& scenario, const sim::Schedule& schedule,
+                      TaskId task) {
+  for (const TaskId parent : scenario.dag.parents(task)) {
+    if (!schedule.is_assigned(parent)) return false;
+  }
+  return true;
+}
+
+bool slrh_pool_admissible(const workload::Scenario& scenario,
+                          const sim::Schedule& schedule, TaskId task,
+                          MachineId machine) {
+  return !schedule.is_assigned(task) && parents_assigned(scenario, schedule, task) &&
+         version_fits_energy(scenario, schedule, task, machine, VersionKind::Secondary);
+}
+
+}  // namespace ahg::core

@@ -1,0 +1,45 @@
+#pragma once
+// Energy feasibility rules (paper §IV).
+//
+// SLRH candidate-pool admission requires: (a) every parent of the subtask is
+// already mapped, and (b) enough energy remains on the target machine for the
+// subtask to execute at the SECONDARY version AND communicate all resulting
+// data items in the worst case — i.e. assuming every child lands across the
+// lowest-bandwidth link in the grid. Max-Max applies the same rule but
+// assesses each version independently (so both versions of the same subtask
+// can sit in the pool simultaneously).
+
+#include "sim/schedule.hpp"
+#include "support/units.hpp"
+#include "support/version.hpp"
+#include "workload/scenario.hpp"
+
+namespace ahg::core {
+
+/// Worst-case energy the target machine would need to send all of the
+/// subtask's output data items, assuming every child is mapped across the
+/// grid's lowest-bandwidth link.
+double worst_case_outgoing_energy(const workload::Scenario& scenario, TaskId task,
+                                  MachineId machine, VersionKind version);
+
+/// Energy drawn from `machine`'s battery to execute (task, version) there.
+double exec_energy(const workload::Scenario& scenario, TaskId task, MachineId machine,
+                   VersionKind version);
+
+/// True iff the machine's AVAILABLE energy (capacity - spent - reserved)
+/// covers executing (task, version) plus the worst-case outgoing
+/// communication for that version.
+bool version_fits_energy(const workload::Scenario& scenario,
+                         const sim::Schedule& schedule, TaskId task,
+                         MachineId machine, VersionKind version);
+
+/// True iff every parent of `task` is already assigned in `schedule`.
+bool parents_assigned(const workload::Scenario& scenario, const sim::Schedule& schedule,
+                      TaskId task);
+
+/// SLRH pool admission: parents assigned AND the secondary version fits.
+bool slrh_pool_admissible(const workload::Scenario& scenario,
+                          const sim::Schedule& schedule, TaskId task,
+                          MachineId machine);
+
+}  // namespace ahg::core

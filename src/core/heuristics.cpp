@@ -1,0 +1,51 @@
+#include "core/heuristics.hpp"
+
+namespace ahg::core {
+
+std::string to_string(HeuristicKind kind) {
+  switch (kind) {
+    case HeuristicKind::Slrh1: return "SLRH-1";
+    case HeuristicKind::Slrh2: return "SLRH-2";
+    case HeuristicKind::Slrh3: return "SLRH-3";
+    case HeuristicKind::MaxMax: return "Max-Max";
+  }
+  return "?";
+}
+
+std::vector<HeuristicKind> reported_heuristics() {
+  return {HeuristicKind::Slrh1, HeuristicKind::Slrh3, HeuristicKind::MaxMax};
+}
+
+std::vector<HeuristicKind> all_heuristics() {
+  return {HeuristicKind::Slrh1, HeuristicKind::Slrh2, HeuristicKind::Slrh3,
+          HeuristicKind::MaxMax};
+}
+
+MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenario,
+                            const Weights& weights, const SlrhClock& clock,
+                            AetSign aet_sign) {
+  switch (kind) {
+    case HeuristicKind::Slrh1:
+    case HeuristicKind::Slrh2:
+    case HeuristicKind::Slrh3: {
+      SlrhParams params;
+      params.variant = kind == HeuristicKind::Slrh1   ? SlrhVariant::V1
+                       : kind == HeuristicKind::Slrh2 ? SlrhVariant::V2
+                                                      : SlrhVariant::V3;
+      params.weights = weights;
+      params.dt = clock.dt;
+      params.horizon = clock.horizon;
+      params.aet_sign = aet_sign;
+      return run_slrh(scenario, params);
+    }
+    case HeuristicKind::MaxMax: {
+      MaxMaxParams params;
+      params.weights = weights;
+      params.aet_sign = aet_sign;
+      return run_maxmax(scenario, params);
+    }
+  }
+  throw PreconditionError("unknown heuristic kind");
+}
+
+}  // namespace ahg::core

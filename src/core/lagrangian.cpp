@@ -1,0 +1,87 @@
+#include "core/lagrangian.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contract.hpp"
+
+namespace ahg::core {
+
+void LagrangianParams::validate() const {
+  AHG_EXPECTS_MSG(max_iterations >= 1, "need at least one iteration");
+  AHG_EXPECTS_MSG(initial_step > 0.0, "step must be positive");
+  AHG_EXPECTS_MSG(step_decay >= 0.0, "decay must be non-negative");
+  AHG_EXPECTS_MSG(energy_target > 0.0 && energy_target <= 1.0,
+                  "energy target must be in (0, 1]");
+  AHG_EXPECTS_MSG(lambda_energy0 >= 0.0 && lambda_time0 >= 0.0,
+                  "multipliers must be non-negative");
+}
+
+namespace {
+
+Weights weights_from_multipliers(double lambda_energy, double lambda_time) {
+  const double denom = 1.0 + lambda_energy + lambda_time;
+  return Weights::make(1.0 / denom, lambda_energy / denom);
+}
+
+}  // namespace
+
+LagrangianOutcome run_lagrangian_iteration(const workload::Scenario& scenario,
+                                           const LagrangianParams& params) {
+  params.validate();
+  scenario.validate();
+
+  LagrangianOutcome outcome;
+  double lambda_energy = params.lambda_energy0;
+  double lambda_time = params.lambda_time0;
+  const double tse = scenario.grid.total_system_energy();
+
+  for (std::size_t k = 0; k < params.max_iterations; ++k) {
+    const Weights weights = weights_from_multipliers(lambda_energy, lambda_time);
+    // The time multiplier prices LATENESS: the gamma term must penalize.
+    const MappingResult run = run_heuristic(params.inner, scenario, weights,
+                                            params.clock, AetSign::Penalize);
+    ++outcome.runs;
+
+    LagrangianIterate iterate;
+    iterate.iteration = k;
+    iterate.lambda_energy = lambda_energy;
+    iterate.lambda_time = lambda_time;
+    iterate.weights = weights;
+    iterate.t100 = run.t100;
+    iterate.aet = run.aet;
+    iterate.feasible = run.feasible();
+    outcome.trajectory.push_back(iterate);
+
+    if (run.feasible() && (!outcome.found || run.t100 > outcome.best.t100)) {
+      outcome.found = true;
+      outcome.best = run;
+      outcome.best_weights = weights;
+    }
+
+    // Projected subgradient step on the relaxed constraints.
+    const double step =
+        params.initial_step / (1.0 + params.step_decay * static_cast<double>(k));
+    const double g_time =
+        run.complete
+            ? static_cast<double>(run.aet) / static_cast<double>(scenario.tau) - 1.0
+            : 1.0;  // incomplete: the deadline bound binds, price it harder
+    const double g_energy = run.tec / tse - params.energy_target;
+
+    const double new_lambda_time = std::max(0.0, lambda_time + step * g_time);
+    const double new_lambda_energy = std::max(0.0, lambda_energy + step * g_energy);
+
+    if (std::abs(new_lambda_time - lambda_time) < 1e-6 &&
+        std::abs(new_lambda_energy - lambda_energy) < 1e-6) {
+      lambda_time = new_lambda_time;
+      lambda_energy = new_lambda_energy;
+      outcome.converged = true;
+      break;
+    }
+    lambda_time = new_lambda_time;
+    lambda_energy = new_lambda_energy;
+  }
+  return outcome;
+}
+
+}  // namespace ahg::core

@@ -1,0 +1,85 @@
+#pragma once
+// Lagrangian multiplier iteration — the NON-simplified counterpart of SLRH.
+//
+// "Simplified" in SLRH means the Lagrangian multipliers are held constant
+// for the whole run (paper §IV), with the admission that this yields "a less
+// optimal mapping". The paper's §II lineage (Luh & Hoitomt's Lagrangian
+// relaxation, the LRNN of Luh et al. [LuZ00]) and its §VIII conclusion (the
+// multipliers "require adjustment") both point at iteratively adjusted
+// multipliers. This module implements that: a projected-subgradient outer
+// loop that prices the relaxed constraints and re-runs the inner heuristic
+// until the mapping is feasible and T100 stops improving.
+//
+// Formulation. The relaxed problem is
+//
+//   max  T100/|T|  -  lambda_E * TEC/TSE  -  lambda_T * (AET/tau - 1)
+//
+// with lambda_E, lambda_T >= 0 pricing the energy and deadline constraints.
+// Dividing by (1 + lambda_E + lambda_T) maps any multiplier pair onto the
+// paper's normalised weight simplex:
+//
+//   alpha = 1/(1+lE+lT),  beta = lE/(1+lE+lT),  gamma = lT/(1+lE+lT)
+//
+// where the gamma term must act as a lateness PENALTY (AetSign::Penalize) —
+// this is the genuine Lagrangian role of the time multiplier, as opposed to
+// the reward sign the paper chose for its constant-weight heuristic.
+//
+// Multiplier update (projected subgradient with diminishing step):
+//
+//   lambda_T <- max(0, lambda_T + step_k * g_T),
+//     g_T = AET/tau - 1            for a complete mapping,
+//     g_T = +1                     when the mapping is incomplete
+//                                  (the deadline bound, priced harder);
+//   lambda_E <- max(0, lambda_E + step_k * (TEC/TSE - energy_target)).
+//
+// The iteration keeps the best FEASIBLE mapping seen (max T100) and stops on
+// convergence (no multiplier movement) or after max_iterations.
+
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/result.hpp"
+#include "workload/scenario.hpp"
+
+namespace ahg::core {
+
+struct LagrangianParams {
+  HeuristicKind inner = HeuristicKind::Slrh1;  ///< the inner mapping heuristic
+  SlrhClock clock{};
+  std::size_t max_iterations = 30;
+  double initial_step = 0.5;
+  /// Step decay: step_k = initial_step / (1 + decay * k).
+  double step_decay = 0.3;
+  /// Fraction of TSE the energy constraint is priced against (1.0 = the hard
+  /// bound; lower values price energy thrift like the paper's beta term).
+  double energy_target = 1.0;
+  double lambda_energy0 = 0.2;
+  double lambda_time0 = 0.2;
+
+  void validate() const;
+};
+
+struct LagrangianIterate {
+  std::size_t iteration = 0;
+  double lambda_energy = 0.0;
+  double lambda_time = 0.0;
+  Weights weights;         ///< the normalised weights used this iteration
+  std::size_t t100 = 0;
+  Cycles aet = 0;
+  bool feasible = false;
+};
+
+struct LagrangianOutcome {
+  bool found = false;        ///< at least one feasible iterate
+  MappingResult best;        ///< best feasible mapping (max T100)
+  Weights best_weights;      ///< weights of the best iterate
+  std::size_t runs = 0;      ///< inner heuristic invocations
+  bool converged = false;    ///< multipliers stopped moving before the cap
+  std::vector<LagrangianIterate> trajectory;
+};
+
+/// Run the multiplier iteration on one scenario. Deterministic.
+LagrangianOutcome run_lagrangian_iteration(const workload::Scenario& scenario,
+                                           const LagrangianParams& params = {});
+
+}  // namespace ahg::core

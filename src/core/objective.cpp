@@ -1,0 +1,27 @@
+#include "core/objective.hpp"
+
+#include <sstream>
+
+namespace ahg::core {
+
+std::string Weights::str() const {
+  std::ostringstream oss;
+  oss << "(alpha=" << alpha << ", beta=" << beta << ", gamma=" << gamma << ")";
+  return oss.str();
+}
+
+double objective_value(const Weights& weights, const ObjectiveState& state,
+                       const ObjectiveTotals& totals, AetSign aet_sign) {
+  AHG_EXPECTS_MSG(totals.num_tasks > 0, "objective needs |T| > 0");
+  AHG_EXPECTS_MSG(totals.tse > 0.0, "objective needs TSE > 0");
+  AHG_EXPECTS_MSG(totals.tau > 0, "objective needs tau > 0");
+  const double t100_term =
+      static_cast<double>(state.t100) / static_cast<double>(totals.num_tasks);
+  const double tec_term = state.tec / totals.tse;
+  const double aet_term =
+      static_cast<double>(state.aet) / static_cast<double>(totals.tau);
+  return weights.alpha * t100_term - weights.beta * tec_term +
+         static_cast<double>(static_cast<int>(aet_sign)) * weights.gamma * aet_term;
+}
+
+}  // namespace ahg::core

@@ -1,0 +1,70 @@
+#pragma once
+// The global objective function (paper §IV):
+//
+//   ObjFn(a, b, g) = a * T100/|T|  -  b * TEC/TSE  +  g * AET/tau
+//
+// with a + b + g = 1 and each weight in [0, 1]. Every term is normalised to
+// [0, 1] (for feasible mappings), so the objective itself stays in [-1, 1].
+// The hard constraints on total system energy and execution time appear only
+// as soft biases here — feasibility is enforced separately (candidate-pool
+// admission and post-hoc tau check).
+//
+// The sign of the AET term is POSITIVE by default: the paper found that a
+// negative sign produced very short-AET solutions with correspondingly lower
+// T100, and explicitly chose + to encourage use of all available time. The
+// negative variant is retained as an ablation knob (AetSign::Penalize).
+
+#include <string>
+
+#include "support/contract.hpp"
+#include "support/units.hpp"
+
+namespace ahg::core {
+
+enum class AetSign : int { Reward = +1, Penalize = -1 };
+
+struct Weights {
+  double alpha = 0.0;  ///< weight on T100/|T|
+  double beta = 0.0;   ///< weight on TEC/TSE (entering negatively)
+  double gamma = 0.0;  ///< weight on AET/tau
+
+  /// Construct with gamma = 1 - alpha - beta (the paper's convention: only
+  /// two weights are free).
+  static Weights make(double alpha, double beta) {
+    Weights w{alpha, beta, 1.0 - alpha - beta};
+    w.validate();
+    return w;
+  }
+
+  void validate() const {
+    constexpr double eps = 1e-9;
+    AHG_EXPECTS_MSG(alpha >= -eps && alpha <= 1.0 + eps, "alpha must be in [0,1]");
+    AHG_EXPECTS_MSG(beta >= -eps && beta <= 1.0 + eps, "beta must be in [0,1]");
+    AHG_EXPECTS_MSG(gamma >= -eps && gamma <= 1.0 + eps, "gamma must be in [0,1]");
+    const double sum = alpha + beta + gamma;
+    AHG_EXPECTS_MSG(sum > 1.0 - 1e-6 && sum < 1.0 + 1e-6, "weights must sum to 1");
+  }
+
+  std::string str() const;
+};
+
+/// Scenario-level normalisation constants for the objective.
+struct ObjectiveTotals {
+  std::size_t num_tasks = 0;  ///< |T|
+  double tse = 0.0;           ///< total system energy, sum of B(j)
+  Cycles tau = 0;             ///< AET constraint in cycles
+};
+
+/// Snapshot of the quantities the objective scores.
+struct ObjectiveState {
+  std::size_t t100 = 0;
+  double tec = 0.0;
+  Cycles aet = 0;
+};
+
+/// Evaluate ObjFn for a (possibly hypothetical) state.
+double objective_value(const Weights& weights, const ObjectiveState& state,
+                       const ObjectiveTotals& totals,
+                       AetSign aet_sign = AetSign::Reward);
+
+}  // namespace ahg::core

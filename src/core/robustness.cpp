@@ -1,0 +1,120 @@
+#include "core/robustness.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "support/contract.hpp"
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace ahg::core {
+
+void NoiseParams::validate() const {
+  AHG_EXPECTS_MSG(cv > 0.0, "noise cv must be positive");
+  AHG_EXPECTS_MSG(bias > 0.0, "noise bias must be positive");
+  AHG_EXPECTS_MSG(min_factor > 0.0 && min_factor < max_factor,
+                  "noise truncation must be a valid positive interval");
+}
+
+workload::Scenario perturb_etc(const workload::Scenario& scenario,
+                               const NoiseParams& params, std::uint64_t seed) {
+  params.validate();
+  scenario.validate();
+  Rng rng(seed);
+  const GammaDist factor_dist = GammaDist::from_mean_cv(params.bias, params.cv);
+
+  workload::Scenario actual = scenario;
+  for (std::size_t i = 0; i < scenario.num_tasks(); ++i) {
+    for (std::size_t j = 0; j < scenario.num_machines(); ++j) {
+      const double factor = sample_truncated_gamma(rng, factor_dist,
+                                                   params.min_factor,
+                                                   params.max_factor);
+      const auto task = static_cast<TaskId>(i);
+      const auto machine = static_cast<MachineId>(j);
+      actual.etc.set_seconds(task, machine,
+                             scenario.etc.seconds(task, machine) * factor);
+    }
+  }
+  actual.validate();
+  return actual;
+}
+
+ReplayResult replay_with_actuals(const workload::Scenario& estimated,
+                                 const workload::Scenario& actual,
+                                 const sim::Schedule& schedule) {
+  estimated.validate();
+  actual.validate();
+  AHG_EXPECTS_MSG(actual.num_tasks() == estimated.num_tasks() &&
+                      actual.num_machines() == estimated.num_machines(),
+                  "estimated/actual scenario shape mismatch");
+  AHG_EXPECTS_MSG(schedule.complete(), "replay requires a complete mapping");
+
+  ReplayResult result;
+  result.planned_aet = schedule.aet();
+
+  // Dispatch order: original start times. This is simultaneously (a) each
+  // machine's queue order and (b) a topological order of the DAG (a parent
+  // always started strictly before its children in a valid schedule).
+  std::vector<TaskId> order;
+  order.reserve(estimated.num_tasks());
+  for (TaskId t = 0; t < static_cast<TaskId>(estimated.num_tasks()); ++t) {
+    order.push_back(t);
+  }
+  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    const Cycles sa = schedule.assignment(a).start;
+    const Cycles sb = schedule.assignment(b).start;
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+
+  auto replay = make_schedule(actual);  // outages pre-booked
+  std::vector<Cycles> machine_cursor(actual.num_machines(), 0);
+
+  for (const TaskId task : order) {
+    const auto& original = schedule.assignment(task);
+    const MachineId machine = original.machine;
+
+    // Plan with the ACTUAL durations, appended after this machine's
+    // previously replayed work (dispatch order is preserved; timing floats).
+    const PlacementPlan plan =
+        plan_placement(actual, *replay, task, machine, original.version,
+                       machine_cursor[static_cast<std::size_t>(machine)]);
+
+    // Energy guard: the replan never reserves ahead; it charges as it goes
+    // and stops the moment any battery would be overdrawn ("the machine
+    // died mid-application").
+    bool fits = replay->energy().available(machine) >= plan.exec_energy - 1e-9;
+    for (const auto& comm : plan.comms) {
+      if (replay->energy().available(comm.from_machine) < comm.energy - 1e-9) {
+        fits = false;
+      }
+    }
+    if (!fits) {
+      result.executed = false;
+      result.completed = replay->num_assigned();
+      result.aet = replay->aet();
+      result.tec = replay->tec();
+      result.schedule = std::move(replay);
+      return result;
+    }
+
+    for (const auto& comm : plan.comms) {
+      replay->add_comm(comm.parent, task, comm.from_machine, machine, comm.start,
+                       comm.duration, comm.bits, comm.energy);
+    }
+    replay->add_assignment(task, machine, original.version, plan.start,
+                           plan.duration, plan.exec_energy);
+    machine_cursor[static_cast<std::size_t>(machine)] = plan.finish();
+  }
+
+  result.executed = true;
+  result.completed = replay->num_assigned();
+  result.aet = replay->aet();
+  result.tec = replay->tec();
+  result.within_tau = result.aet <= actual.tau;
+  result.schedule = std::move(replay);
+  return result;
+}
+
+}  // namespace ahg::core

@@ -1,0 +1,65 @@
+#pragma once
+// Robustness of a mapping to execution-time estimation error.
+//
+// The "E" in ETC is *estimated*: a fielded resource manager plans with
+// estimates while machines deliver actuals. This module evaluates how a
+// produced mapping survives that gap: keep the mapping's DECISIONS — which
+// machine, which version, and the per-machine execution order — and replay
+// them with perturbed actual durations, recomputing every start, transfer,
+// finish, and energy draw under the same physical rules (precedence, data
+// arrival, channel exclusivity, battery limits). The replayed schedule is
+// then judged against tau and the batteries.
+//
+// This mirrors how list schedules are executed in practice: dispatch order
+// is fixed, timing floats. It quantifies the slack a heuristic's mapping
+// leaves — a tightly-packed deadline-riding mapping breaks under small
+// overruns, a padded one absorbs them.
+
+#include <cstdint>
+#include <memory>
+
+#include "core/result.hpp"
+#include "workload/scenario.hpp"
+
+namespace ahg::core {
+
+struct NoiseParams {
+  /// Actual duration = estimate * factor, factor ~ Gamma(mean = bias,
+  /// CV = cv), truncated to [min_factor, max_factor]. bias > 1 models
+  /// systematic underestimation.
+  double cv = 0.2;
+  double bias = 1.0;
+  double min_factor = 0.25;
+  double max_factor = 4.0;
+
+  void validate() const;
+};
+
+struct ReplayResult {
+  bool executed = false;       ///< replay ran to completion (energy sufficed)
+  bool within_tau = false;     ///< replayed AET <= tau
+  std::size_t completed = 0;   ///< subtasks executed before energy ran out
+  Cycles aet = 0;              ///< replayed application execution time
+  double tec = 0.0;            ///< replayed energy consumption
+  Cycles planned_aet = 0;      ///< the mapping's nominal AET, for comparison
+  /// The replayed schedule (validates against the ACTUAL-duration scenario).
+  std::shared_ptr<const sim::Schedule> schedule;
+
+  bool robust() const noexcept { return executed && within_tau; }
+};
+
+/// Build the actual-duration scenario: every ETC entry scaled by an
+/// independent truncated-Gamma factor. Deterministic in `seed`.
+workload::Scenario perturb_etc(const workload::Scenario& scenario,
+                               const NoiseParams& params, std::uint64_t seed);
+
+/// Replay `schedule` (produced against `estimated`) under `actual` durations.
+/// Requires: the schedule's mapping is complete and both scenarios share the
+/// grid/DAG/data shape (perturb_etc output qualifies). Transfers are
+/// re-slotted with the same (sender, receiver) pairs in the original edge
+/// order; a machine executes its tasks in the original start order.
+ReplayResult replay_with_actuals(const workload::Scenario& estimated,
+                                 const workload::Scenario& actual,
+                                 const sim::Schedule& schedule);
+
+}  // namespace ahg::core

@@ -1,0 +1,96 @@
+#include "core/runner.hpp"
+
+#include <sstream>
+
+#include "support/contract.hpp"
+
+namespace ahg::core {
+
+CaseHeuristicSummary evaluate_case(const workload::ScenarioSuite& suite,
+                                   sim::GridCase grid_case, HeuristicKind heuristic,
+                                   const EvaluationParams& params) {
+  CaseHeuristicSummary summary;
+  summary.grid_case = grid_case;
+  summary.heuristic = heuristic;
+
+  // The upper bound depends only on (grid case, ETC); cache per ETC index.
+  std::vector<std::optional<std::size_t>> bound_cache(suite.num_etc());
+
+  for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
+    for (std::size_t dag = 0; dag < suite.num_dag(); ++dag) {
+      const workload::Scenario scenario = suite.make(grid_case, etc, dag);
+
+      if (!bound_cache[etc].has_value()) {
+        bound_cache[etc] = compute_upper_bound(scenario).bound;
+      }
+
+      const WeightedSolver solver = [&](const Weights& w) {
+        return run_heuristic(heuristic, scenario, w, params.clock);
+      };
+      ScenarioEvaluation eval;
+      eval.etc_index = etc;
+      eval.dag_index = dag;
+      eval.upper_bound = *bound_cache[etc];
+      eval.tune = tune_weights(solver, params.tuner);
+
+      if (eval.tune.found) {
+        ++summary.feasible_count;
+        const auto& best = eval.tune.best;
+        summary.t100.add(static_cast<double>(best.t100));
+        if (eval.upper_bound > 0) {
+          summary.vs_bound.add(static_cast<double>(best.t100) /
+                               static_cast<double>(eval.upper_bound));
+        }
+        summary.wall_seconds.add(best.wall_seconds);
+        if (best.wall_seconds > 0.0) {
+          summary.value_metric.add(static_cast<double>(best.t100) / best.wall_seconds);
+        }
+        summary.alpha.add(eval.tune.alpha);
+        summary.beta.add(eval.tune.beta);
+      }
+
+      if (params.progress) {
+        std::ostringstream oss;
+        oss << to_string(grid_case) << " " << to_string(heuristic) << " etc=" << etc
+            << " dag=" << dag;
+        if (eval.tune.found) {
+          oss << " -> T100=" << eval.tune.best.t100 << " (alpha=" << eval.tune.alpha
+              << ", beta=" << eval.tune.beta << ")";
+        } else {
+          oss << " -> no feasible weight combination";
+        }
+        params.progress(oss.str());
+      }
+
+      summary.scenarios.push_back(std::move(eval));
+    }
+  }
+  return summary;
+}
+
+const CaseHeuristicSummary& EvaluationMatrix::cell(sim::GridCase grid_case,
+                                                   HeuristicKind heuristic) const {
+  for (const auto& summary : cells) {
+    if (summary.grid_case == grid_case && summary.heuristic == heuristic) {
+      return summary;
+    }
+  }
+  throw PreconditionError("no such (case, heuristic) cell");
+}
+
+EvaluationMatrix evaluate_matrix(const workload::ScenarioSuite& suite,
+                                 const std::vector<sim::GridCase>& cases,
+                                 const std::vector<HeuristicKind>& heuristics,
+                                 const EvaluationParams& params) {
+  EvaluationMatrix matrix;
+  matrix.cases = cases;
+  matrix.heuristics = heuristics;
+  for (const auto grid_case : cases) {
+    for (const auto heuristic : heuristics) {
+      matrix.cells.push_back(evaluate_case(suite, grid_case, heuristic, params));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace ahg::core

@@ -1,0 +1,73 @@
+#pragma once
+// Experiment pipeline for the paper's evaluation section (§VII).
+//
+// For every (grid case, heuristic, ETC, DAG) combination: tune the objective
+// weights (coarse + optional fine pass), keep the run at the optimal
+// (alpha, beta), and aggregate the four quantities the paper's Figures 4-7
+// report — T100, T100 relative to the equivalent-computing-cycles upper
+// bound, heuristic execution time, and T100 per second of heuristic
+// execution time.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/tuner.hpp"
+#include "core/upper_bound.hpp"
+#include "support/stats.hpp"
+#include "workload/scenario.hpp"
+
+namespace ahg::core {
+
+struct ScenarioEvaluation {
+  std::size_t etc_index = 0;
+  std::size_t dag_index = 0;
+  TuneOutcome tune;
+  std::size_t upper_bound = 0;
+};
+
+struct CaseHeuristicSummary {
+  sim::GridCase grid_case = sim::GridCase::A;
+  HeuristicKind heuristic = HeuristicKind::Slrh1;
+  std::vector<ScenarioEvaluation> scenarios;
+
+  std::size_t feasible_count = 0;  ///< scenarios with a feasible tuned mapping
+  Accumulator t100;                ///< over feasible scenarios
+  Accumulator vs_bound;            ///< T100 / upper bound
+  Accumulator wall_seconds;        ///< heuristic execution time at optimum
+  Accumulator value_metric;        ///< T100 / execution time (Fig. 7)
+  Accumulator alpha;               ///< optimal alpha (Fig. 3)
+  Accumulator beta;                ///< optimal beta (Fig. 3)
+};
+
+struct EvaluationParams {
+  TunerParams tuner;
+  SlrhClock clock;
+  /// Called after each scenario finishes (benches print progress with it).
+  std::function<void(const std::string&)> progress;
+};
+
+/// Evaluate one heuristic on one grid case across the suite's full
+/// (ETC, DAG) grid.
+CaseHeuristicSummary evaluate_case(const workload::ScenarioSuite& suite,
+                                   sim::GridCase grid_case, HeuristicKind heuristic,
+                                   const EvaluationParams& params);
+
+/// The full cases x heuristics matrix (row-major over cases).
+struct EvaluationMatrix {
+  std::vector<sim::GridCase> cases;
+  std::vector<HeuristicKind> heuristics;
+  std::vector<CaseHeuristicSummary> cells;
+
+  const CaseHeuristicSummary& cell(sim::GridCase grid_case,
+                                   HeuristicKind heuristic) const;
+};
+
+EvaluationMatrix evaluate_matrix(const workload::ScenarioSuite& suite,
+                                 const std::vector<sim::GridCase>& cases,
+                                 const std::vector<HeuristicKind>& heuristics,
+                                 const EvaluationParams& params);
+
+}  // namespace ahg::core

@@ -1,0 +1,53 @@
+#include "core/scoring.hpp"
+
+#include <algorithm>
+
+#include "core/feasibility.hpp"
+#include "sim/comm.hpp"
+#include "support/contract.hpp"
+
+namespace ahg::core {
+
+ObjectiveTotals objective_totals(const workload::Scenario& scenario) {
+  return ObjectiveTotals{scenario.num_tasks(), scenario.grid.total_system_energy(),
+                         scenario.tau};
+}
+
+double score_candidate(const workload::Scenario& scenario,
+                       const sim::Schedule& schedule, const Weights& weights,
+                       const ObjectiveTotals& totals, TaskId task,
+                       MachineId machine, VersionKind version, Cycles earliest,
+                       AetSign aet_sign) {
+  const Cycles duration = scenario.exec_cycles(task, machine, version);
+  const Cycles finish_est =
+      std::max(earliest, schedule.machine_ready(machine)) + duration;
+  return score_candidate_with_finish(scenario, schedule, weights, totals, task,
+                                     machine, version, finish_est, aet_sign);
+}
+
+double score_candidate_with_finish(const workload::Scenario& scenario,
+                                   const sim::Schedule& schedule,
+                                   const Weights& weights,
+                                   const ObjectiveTotals& totals, TaskId task,
+                                   MachineId machine, VersionKind version,
+                                   Cycles finish_est, AetSign aet_sign) {
+  double tec_delta = exec_energy(scenario, task, machine, version);
+  for (const TaskId parent : scenario.dag.parents(task)) {
+    AHG_EXPECTS_MSG(schedule.is_assigned(parent), "scoring with unassigned parent");
+    const auto& pa = schedule.assignment(parent);
+    if (pa.machine == machine) continue;
+    const double bits = scenario.edge_bits(parent, task, pa.version);
+    if (bits <= 0.0) continue;
+    const auto& sender = scenario.grid.machine(pa.machine);
+    const auto& receiver = scenario.grid.machine(machine);
+    tec_delta += sim::transfer_energy(sender, sim::transfer_cycles(bits, sender, receiver));
+  }
+
+  ObjectiveState state;
+  state.t100 = schedule.t100() + (version == VersionKind::Primary ? 1 : 0);
+  state.tec = schedule.tec() + tec_delta;
+  state.aet = std::max(schedule.aet(), finish_est);
+  return objective_value(weights, state, totals, aet_sign);
+}
+
+}  // namespace ahg::core

@@ -1,0 +1,47 @@
+#pragma once
+// Candidate scoring against the global objective function.
+//
+// Both SLRH and Max-Max order candidates by the objective value the global
+// state WOULD have if the candidate were committed. Computing the exact
+// start time of every candidate would require a full communication-slot
+// search per candidate per machine; like the paper (which orders the pool
+// first and only then finds the first candidate startable within the
+// horizon), we score with a cheap finish estimate — max(lower_bound,
+// machine ready time) + execution time — and run the exact placement search
+// only for the candidates actually considered for selection.
+
+#include "core/objective.hpp"
+#include "sim/schedule.hpp"
+#include "support/units.hpp"
+#include "support/version.hpp"
+#include "workload/scenario.hpp"
+
+namespace ahg::core {
+
+/// Objective-normalisation constants for a scenario.
+ObjectiveTotals objective_totals(const workload::Scenario& scenario);
+
+/// Hypothetical global objective if (task, version) were mapped to machine.
+/// `earliest` is a lower bound on the start time (SLRH: the current clock;
+/// Max-Max: 0). TEC' adds exec energy plus the exact energies of the
+/// incoming transfers (computable without slot search); AET' uses the
+/// finish estimate described above.
+double score_candidate(const workload::Scenario& scenario,
+                       const sim::Schedule& schedule, const Weights& weights,
+                       const ObjectiveTotals& totals, TaskId task,
+                       MachineId machine, VersionKind version, Cycles earliest,
+                       AetSign aet_sign = AetSign::Reward);
+
+/// Same hypothetical-objective computation, but with the finish time
+/// supplied by the caller. Max-Max uses this with a hole-aware earliest-fit
+/// estimate (its placements backfill schedule holes, so the append-style
+/// estimate of score_candidate would misprice every backfilled candidate).
+double score_candidate_with_finish(const workload::Scenario& scenario,
+                                   const sim::Schedule& schedule,
+                                   const Weights& weights,
+                                   const ObjectiveTotals& totals, TaskId task,
+                                   MachineId machine, VersionKind version,
+                                   Cycles finish_est,
+                                   AetSign aet_sign = AetSign::Reward);
+
+}  // namespace ahg::core

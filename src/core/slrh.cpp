@@ -1,0 +1,194 @@
+#include "core/slrh.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/feasibility.hpp"
+#include "core/placement.hpp"
+#include "core/scoring.hpp"
+#include "support/stopwatch.hpp"
+
+namespace ahg::core {
+
+std::string to_string(SlrhVariant variant) {
+  switch (variant) {
+    case SlrhVariant::V1: return "SLRH-1";
+    case SlrhVariant::V2: return "SLRH-2";
+    case SlrhVariant::V3: return "SLRH-3";
+  }
+  return "SLRH-?";
+}
+
+namespace {
+
+struct Candidate {
+  TaskId task = kInvalidTask;
+  VersionKind version = VersionKind::Primary;
+  double score = 0.0;
+};
+
+/// Build and order the candidate pool U for one machine at the current
+/// clock: admissible subtasks with their objective-maximising version,
+/// sorted by score descending (ties: smaller task id, for determinism).
+std::vector<Candidate> build_pool(const workload::Scenario& scenario,
+                                  const sim::Schedule& schedule,
+                                  const SlrhParams& params,
+                                  const ObjectiveTotals& totals, MachineId machine,
+                                  Cycles clock) {
+  std::vector<Candidate> pool;
+  const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
+  for (TaskId task = 0; task < num_tasks; ++task) {
+    // A subtask that has not arrived yet is invisible to the dynamic
+    // heuristic (unlike the clairvoyant static baselines, which see the
+    // whole application and only respect the release as a start bound).
+    if (scenario.release(task) > clock) continue;
+    if (!slrh_pool_admissible(scenario, schedule, task, machine)) continue;
+
+    // The pool admission guarantees the secondary version fits; the primary
+    // version is only offered to the objective if its own worst-case energy
+    // fits too.
+    const double secondary_score =
+        score_candidate(scenario, schedule, params.weights, totals, task, machine,
+                        VersionKind::Secondary, clock, params.aet_sign);
+    Candidate cand{task, VersionKind::Secondary, secondary_score};
+    if (version_fits_energy(scenario, schedule, task, machine, VersionKind::Primary)) {
+      const double primary_score =
+          score_candidate(scenario, schedule, params.weights, totals, task, machine,
+                          VersionKind::Primary, clock, params.aet_sign);
+      if (primary_score >= secondary_score) {
+        cand.version = VersionKind::Primary;
+        cand.score = primary_score;
+      }
+    }
+    pool.push_back(cand);
+  }
+  std::sort(pool.begin(), pool.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.task < b.task;
+  });
+  return pool;
+}
+
+/// Walk the ordered pool and commit the first candidate whose exact
+/// earliest start (communication included) falls within the horizon.
+/// Returns the index into `pool` of the mapped candidate, or npos.
+std::size_t map_first_startable(const workload::Scenario& scenario,
+                                sim::Schedule& schedule, const SlrhParams& params,
+                                const std::vector<Candidate>& pool, MachineId machine,
+                                Cycles clock, std::size_t skip_before = 0) {
+  for (std::size_t k = skip_before; k < pool.size(); ++k) {
+    const Candidate& cand = pool[k];
+    if (schedule.is_assigned(cand.task)) continue;
+    // Re-check energy: earlier commits in this timestep (variants 2/3) may
+    // have consumed what the pool admission saw.
+    VersionKind version = cand.version;
+    if (!version_fits_energy(scenario, schedule, cand.task, machine, version)) {
+      if (version == VersionKind::Primary &&
+          version_fits_energy(scenario, schedule, cand.task, machine,
+                              VersionKind::Secondary)) {
+        version = VersionKind::Secondary;
+      } else {
+        continue;
+      }
+    }
+    const PlacementPlan plan =
+        plan_placement(scenario, schedule, cand.task, machine, version, clock);
+    // The horizon test uses the earliest possible start "given precedence
+    // and communication requirements" (paper §IV) — i.e. data readiness on
+    // this machine, NOT the machine's queue. For variant 1 the two coincide
+    // (the machine is idle at the clock); for variants 2/3 this is what lets
+    // them stack a queue of data-ready subtasks onto one machine within a
+    // single timestep — and is exactly why SLRH-2 overloads machines and
+    // rarely meets the constraints (paper §VII).
+    const Cycles data_ready = std::max(clock, plan.arrival);
+    if (data_ready <= clock + params.horizon) {
+      commit_placement(scenario, schedule, plan);
+      return k;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
+                sim::Schedule& schedule, Cycles start_clock, Cycles end_clock,
+                MappingResult& result) {
+  params.validate();
+  AHG_EXPECTS_MSG(start_clock >= 0, "start clock must be non-negative");
+  const ObjectiveTotals totals = objective_totals(scenario);
+  constexpr auto npos = static_cast<std::size_t>(-1);
+  const auto num_machines = static_cast<MachineId>(scenario.num_machines());
+  for (Cycles clock = start_clock;
+       !schedule.complete() && clock <= scenario.tau && clock < end_clock;
+       clock += params.dt) {
+    ++result.iterations;
+    for (MachineId machine = 0; machine < num_machines; ++machine) {
+      if (schedule.complete()) break;
+      if (schedule.machine_ready(machine) > clock) continue;  // not available
+
+      switch (params.variant) {
+        case SlrhVariant::V1: {
+          const auto pool =
+              build_pool(scenario, schedule, params, totals, machine, clock);
+          ++result.pools_built;
+          if (pool.empty()) break;
+          map_first_startable(scenario, schedule, params, pool, machine, clock);
+          break;
+        }
+        case SlrhVariant::V2: {
+          // One pool per (machine, timestep); keep assigning pairs from it in
+          // score order until exhausted or nothing starts within the horizon.
+          const auto pool =
+              build_pool(scenario, schedule, params, totals, machine, clock);
+          ++result.pools_built;
+          std::size_t next = 0;
+          while (next < pool.size()) {
+            const std::size_t mapped = map_first_startable(
+                scenario, schedule, params, pool, machine, clock, next);
+            if (mapped == npos) break;
+            next = mapped + 1;
+          }
+          break;
+        }
+        case SlrhVariant::V3: {
+          // Rebuild and re-score the pool after every assignment; children of
+          // the subtask just mapped become admissible immediately.
+          for (;;) {
+            const auto pool =
+                build_pool(scenario, schedule, params, totals, machine, clock);
+            ++result.pools_built;
+            if (pool.empty()) break;
+            const std::size_t mapped =
+                map_first_startable(scenario, schedule, params, pool, machine, clock);
+            if (mapped == npos) break;
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+MappingResult run_slrh(const workload::Scenario& scenario, const SlrhParams& params) {
+  params.validate();
+  scenario.validate();
+  const Stopwatch timer;
+
+  auto schedule = make_schedule(scenario);
+  MappingResult result;
+  drive_slrh(scenario, params, *schedule, /*start_clock=*/0,
+             /*end_clock=*/scenario.tau + 1, result);
+
+  result.wall_seconds = timer.seconds();
+  result.complete = schedule->complete();
+  result.assigned = schedule->num_assigned();
+  result.t100 = schedule->t100();
+  result.aet = schedule->aet();
+  result.tec = schedule->tec();
+  result.within_tau = schedule->aet() <= scenario.tau;
+  result.schedule = std::move(schedule);
+  return result;
+}
+
+}  // namespace ahg::core

@@ -1,0 +1,62 @@
+#pragma once
+// The Simplified Lagrangian Receding Horizon (SLRH) resource manager
+// (paper §IV, Figure 1) and its three variants (paper §V).
+//
+// SLRH is a clock-driven dynamic heuristic: at each timestep of dT cycles it
+// sweeps the machines in numerical order; for each machine that is available
+// (its last scheduled computation has finished), it builds a pool U of
+// candidate subtasks (parents mapped, secondary version energy-feasible on
+// that machine under the worst-case communication rule), picks the version
+// of each candidate that maximises the global objective, orders the pool by
+// objective value, and maps the first candidate whose exact earliest start
+// falls within the receding horizon H of the current clock. "Simplified"
+// means the Lagrangian weights (alpha, beta, gamma) are constants for the
+// whole run.
+//
+// Variant 1 maps at most one subtask per machine per timestep. Variant 2
+// keeps assigning pairs from the SAME pool (no re-evaluation) until the pool
+// is exhausted or nothing more starts within the horizon. Variant 3 rebuilds
+// and re-scores the pool after every assignment (newly enabled children join
+// immediately) and keeps filling the same machine.
+
+#include <cstdint>
+
+#include "core/objective.hpp"
+#include "core/result.hpp"
+#include "workload/scenario.hpp"
+
+namespace ahg::core {
+
+enum class SlrhVariant : std::uint8_t { V1 = 1, V2 = 2, V3 = 3 };
+
+std::string to_string(SlrhVariant variant);
+
+struct SlrhParams {
+  SlrhVariant variant = SlrhVariant::V1;
+  Weights weights = Weights::make(0.5, 0.1);
+  Cycles dt = 10;       ///< timestep in clock cycles (paper: 10)
+  Cycles horizon = 100; ///< receding horizon H in clock cycles (paper: 100)
+  AetSign aet_sign = AetSign::Reward;
+
+  void validate() const {
+    weights.validate();
+    AHG_EXPECTS_MSG(dt >= 1, "dT must be at least one cycle");
+    AHG_EXPECTS_MSG(horizon >= 0, "horizon must be non-negative");
+  }
+};
+
+/// Run SLRH to completion (all subtasks mapped) or until the clock passes
+/// tau with work remaining. Deterministic. The returned result owns the
+/// final schedule.
+MappingResult run_slrh(const workload::Scenario& scenario, const SlrhParams& params);
+
+/// Low-level driver: advance an EXISTING schedule with the SLRH loop from
+/// start_clock until completion, the scenario's tau (inclusive), or
+/// end_clock (EXCLUSIVE) — whichever comes first. Used by run_slrh (fresh schedule, full window) and by the
+/// dynamic machine-loss extension (replayed schedule, resuming at the loss
+/// time). Updates stats.iterations / stats.pools_built in place.
+void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
+                sim::Schedule& schedule, Cycles start_clock, Cycles end_clock,
+                MappingResult& stats);
+
+}  // namespace ahg::core

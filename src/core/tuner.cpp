@@ -1,0 +1,154 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/contract.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ahg::core {
+
+namespace {
+
+// Grid coordinates are snapped to 1e-6 to deduplicate coarse/fine overlaps.
+long long snap(double value) { return std::llround(value * 1e6); }
+
+struct GridPoint {
+  double alpha;
+  double beta;
+};
+
+std::vector<GridPoint> coarse_grid(double step) {
+  std::vector<GridPoint> points;
+  const int n = static_cast<int>(std::llround(1.0 / step));
+  for (int ia = 0; ia <= n; ++ia) {
+    for (int ib = 0; ia + ib <= n; ++ib) {
+      points.push_back(GridPoint{static_cast<double>(ia) * step,
+                                 static_cast<double>(ib) * step});
+    }
+  }
+  return points;
+}
+
+std::vector<GridPoint> fine_grid(double alpha0, double beta0, double coarse,
+                                 double fine, std::set<std::pair<long long, long long>>& seen) {
+  std::vector<GridPoint> points;
+  const int span = static_cast<int>(std::llround(coarse / fine));
+  for (int da = -span; da <= span; ++da) {
+    for (int db = -span; db <= span; ++db) {
+      const double a = alpha0 + static_cast<double>(da) * fine;
+      const double b = beta0 + static_cast<double>(db) * fine;
+      if (a < -1e-9 || b < -1e-9 || a + b > 1.0 + 1e-9) continue;
+      const auto key = std::make_pair(snap(a), snap(b));
+      if (!seen.insert(key).second) continue;
+      points.push_back(GridPoint{std::max(0.0, a), std::max(0.0, b)});
+    }
+  }
+  return points;
+}
+
+struct Evaluation {
+  GridPoint point;
+  MappingResult result;
+};
+
+std::vector<Evaluation> evaluate(const WeightedSolver& solver,
+                                 const std::vector<GridPoint>& points, bool parallel) {
+  std::vector<Evaluation> evals(points.size());
+  const auto run_one = [&](std::size_t k) {
+    const Weights w = Weights::make(points[k].alpha, points[k].beta);
+    evals[k] = Evaluation{points[k], solver(w)};
+  };
+  if (parallel && points.size() > 1) {
+    global_pool().parallel_for(0, points.size(), run_one);
+  } else {
+    for (std::size_t k = 0; k < points.size(); ++k) run_one(k);
+  }
+  return evals;
+}
+
+/// True iff `lhs` is a strictly better optimum than `rhs`.
+bool better(const Evaluation& lhs, const Evaluation& rhs) {
+  if (lhs.result.t100 != rhs.result.t100) return lhs.result.t100 > rhs.result.t100;
+  if (lhs.point.alpha != rhs.point.alpha) return lhs.point.alpha < rhs.point.alpha;
+  return lhs.point.beta < rhs.point.beta;
+}
+
+TuneOutcome::Range range_over(const std::vector<TunedPoint>& evaluated,
+                              std::size_t best_t100, std::size_t slack,
+                              double TunedPoint::*member) {
+  TuneOutcome::Range range;
+  std::size_t count = 0;
+  double sum = 0.0;
+  for (const auto& p : evaluated) {
+    if (!p.feasible) continue;
+    if (p.t100 + slack < best_t100) continue;
+    const double v = p.*member;
+    if (count == 0) {
+      range.min = v;
+      range.max = v;
+    } else {
+      range.min = std::min(range.min, v);
+      range.max = std::max(range.max, v);
+    }
+    sum += v;
+    ++count;
+  }
+  if (count > 0) range.mean = sum / static_cast<double>(count);
+  return range;
+}
+
+}  // namespace
+
+TuneOutcome::Range TuneOutcome::alpha_range(std::size_t t100_slack) const {
+  return range_over(evaluated, best.t100, t100_slack, &TunedPoint::alpha);
+}
+
+TuneOutcome::Range TuneOutcome::beta_range(std::size_t t100_slack) const {
+  return range_over(evaluated, best.t100, t100_slack, &TunedPoint::beta);
+}
+
+TuneOutcome tune_weights(const WeightedSolver& solver, const TunerParams& params) {
+  AHG_EXPECTS_MSG(params.coarse_step > 0.0 && params.coarse_step <= 0.5,
+                  "coarse step must be in (0, 0.5]");
+  AHG_EXPECTS_MSG(params.fine_step >= 0.0, "fine step must be non-negative");
+
+  TuneOutcome outcome;
+  std::set<std::pair<long long, long long>> seen;
+
+  auto record = [&](const std::vector<Evaluation>& evals) {
+    const Evaluation* best = nullptr;
+    for (const auto& e : evals) {
+      outcome.evaluated.push_back(TunedPoint{e.point.alpha, e.point.beta,
+                                             e.result.t100, e.result.feasible(),
+                                             e.result.wall_seconds});
+      if (!e.result.feasible()) continue;
+      if (best == nullptr || better(e, *best)) best = &e;
+    }
+    if (best != nullptr) {
+      if (!outcome.found ||
+          better(*best, Evaluation{GridPoint{outcome.alpha, outcome.beta},
+                                   outcome.best})) {
+        outcome.found = true;
+        outcome.alpha = best->point.alpha;
+        outcome.beta = best->point.beta;
+        outcome.best = best->result;
+      }
+    }
+  };
+
+  auto coarse = coarse_grid(params.coarse_step);
+  for (const auto& p : coarse) seen.insert({snap(p.alpha), snap(p.beta)});
+  record(evaluate(solver, coarse, params.parallel));
+
+  if (outcome.found && params.fine_step > 0.0 &&
+      params.fine_step < params.coarse_step) {
+    const auto fine = fine_grid(outcome.alpha, outcome.beta, params.coarse_step,
+                                params.fine_step, seen);
+    record(evaluate(solver, fine, params.parallel));
+  }
+  return outcome;
+}
+
+}  // namespace ahg::core

@@ -1,0 +1,59 @@
+#pragma once
+// Objective-weight tuner (paper §VII).
+//
+// The paper searches (alpha, beta) on a coarse 0.1 grid over [0,1]^2 (with
+// alpha + beta <= 1, gamma = 1 - alpha - beta), keeps only combinations for
+// which the heuristic successfully maps ALL subtasks within both the energy
+// and time constraints, and then refines around the best region in steps of
+// 0.02. "Best" means maximum T100.
+
+#include <functional>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "core/result.hpp"
+
+namespace ahg::core {
+
+struct TunerParams {
+  double coarse_step = 0.1;
+  /// Refinement step; 0 disables the refinement pass.
+  double fine_step = 0.02;
+  /// Evaluate grid points on the global thread pool.
+  bool parallel = true;
+};
+
+struct TunedPoint {
+  double alpha = 0.0;
+  double beta = 0.0;
+  std::size_t t100 = 0;
+  bool feasible = false;      ///< complete mapping within energy and tau
+  double wall_seconds = 0.0;  ///< heuristic execution time at this point
+};
+
+struct TuneOutcome {
+  bool found = false;  ///< at least one feasible grid point
+  double alpha = 0.0;
+  double beta = 0.0;
+  MappingResult best;               ///< the run at the optimal point
+  std::vector<TunedPoint> evaluated;  ///< every grid point probed
+
+  /// Weight range over FEASIBLE points within `slack` of the best T100
+  /// (Figure 3 reports min/avg/max of the optimal region).
+  struct Range {
+    double min = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+  };
+  Range alpha_range(std::size_t t100_slack = 0) const;
+  Range beta_range(std::size_t t100_slack = 0) const;
+};
+
+/// The solver maps a weight pair to a full heuristic run.
+using WeightedSolver = std::function<MappingResult(const Weights&)>;
+
+/// Search for the (alpha, beta) maximising T100 subject to full feasibility.
+/// Deterministic: ties break toward smaller alpha, then smaller beta.
+TuneOutcome tune_weights(const WeightedSolver& solver, const TunerParams& params);
+
+}  // namespace ahg::core

@@ -1,0 +1,247 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "sim/comm.hpp"
+
+namespace ahg::core {
+
+namespace {
+
+constexpr double kEnergyEps = 1e-6;
+
+struct Booking {
+  Cycles start;
+  Cycles end;
+  std::string what;
+};
+
+void check_no_overlap(std::vector<Booking>& bookings, const std::string& resource,
+                      std::vector<std::string>& out) {
+  std::sort(bookings.begin(), bookings.end(),
+            [](const Booking& a, const Booking& b) { return a.start < b.start; });
+  for (std::size_t k = 1; k < bookings.size(); ++k) {
+    if (bookings[k].start < bookings[k - 1].end) {
+      out.push_back(resource + ": overlap between " + bookings[k - 1].what + " and " +
+                    bookings[k].what);
+    }
+  }
+}
+
+std::string task_str(TaskId task) { return "task " + std::to_string(task); }
+
+}  // namespace
+
+std::string ValidationReport::str() const {
+  if (ok()) return "valid";
+  std::ostringstream oss;
+  oss << violations.size() << " violation(s):\n";
+  for (const auto& v : violations) oss << "  - " << v << '\n';
+  return oss.str();
+}
+
+ValidationReport validate_schedule(const workload::Scenario& scenario,
+                                   const sim::Schedule& schedule,
+                                   const ValidateOptions& options) {
+  ValidationReport report;
+  auto& out = report.violations;
+  const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
+  const auto num_machines = static_cast<MachineId>(scenario.num_machines());
+
+  if (schedule.num_tasks() != scenario.num_tasks() ||
+      schedule.num_machines() != scenario.num_machines()) {
+    out.push_back("schedule/scenario shape mismatch");
+    return report;
+  }
+
+  // 1+2: assignment well-formedness and precedence.
+  std::size_t assigned = 0;
+  std::size_t t100 = 0;
+  Cycles aet = 0;
+  for (TaskId task = 0; task < num_tasks; ++task) {
+    if (!schedule.is_assigned(task)) {
+      if (options.require_complete) out.push_back(task_str(task) + " is unassigned");
+      continue;
+    }
+    const auto& a = schedule.assignment(task);
+    ++assigned;
+    if (a.version == VersionKind::Primary) ++t100;
+    aet = std::max(aet, a.finish);
+    if (a.machine < 0 || a.machine >= num_machines) {
+      out.push_back(task_str(task) + " on invalid machine");
+      continue;
+    }
+    if (a.start < 0) out.push_back(task_str(task) + " starts before time 0");
+    if (a.start < scenario.release(task)) {
+      out.push_back(task_str(task) + " starts before its release time");
+    }
+    const Cycles expect = scenario.exec_cycles(task, a.machine, a.version);
+    if (a.finish - a.start != expect) {
+      out.push_back(task_str(task) + " duration " + std::to_string(a.finish - a.start) +
+                    " != prescribed " + std::to_string(expect));
+    }
+    for (const TaskId parent : scenario.dag.parents(task)) {
+      if (!schedule.is_assigned(parent)) {
+        out.push_back(task_str(task) + " assigned but parent " + std::to_string(parent) +
+                      " is not");
+      }
+    }
+  }
+
+  // 3: machine compute exclusivity (rebuilt from records).
+  {
+    std::vector<std::vector<Booking>> per_machine(scenario.num_machines());
+    for (TaskId task = 0; task < num_tasks; ++task) {
+      if (!schedule.is_assigned(task)) continue;
+      const auto& a = schedule.assignment(task);
+      per_machine[static_cast<std::size_t>(a.machine)].push_back(
+          Booking{a.start, a.finish, task_str(task)});
+    }
+    for (std::size_t j = 0; j < per_machine.size(); ++j) {
+      check_no_overlap(per_machine[j], "machine " + std::to_string(j) + " compute", out);
+    }
+  }
+
+  // 4: channel exclusivity (rebuilt from records).
+  {
+    std::vector<std::vector<Booking>> tx(scenario.num_machines());
+    std::vector<std::vector<Booking>> rx(scenario.num_machines());
+    for (const auto& ev : schedule.comm_events()) {
+      const std::string what =
+          "transfer " + std::to_string(ev.from_task) + "->" + std::to_string(ev.to_task);
+      if (ev.from_machine < 0 || ev.from_machine >= num_machines ||
+          ev.to_machine < 0 || ev.to_machine >= num_machines) {
+        out.push_back(what + " uses an invalid machine");
+        continue;
+      }
+      if (ev.from_machine == ev.to_machine) {
+        out.push_back(what + " is a recorded same-machine transfer");
+        continue;
+      }
+      tx[static_cast<std::size_t>(ev.from_machine)].push_back(
+          Booking{ev.start, ev.finish, what});
+      rx[static_cast<std::size_t>(ev.to_machine)].push_back(
+          Booking{ev.start, ev.finish, what});
+    }
+    for (std::size_t j = 0; j < tx.size(); ++j) {
+      check_no_overlap(tx[j], "machine " + std::to_string(j) + " tx", out);
+      check_no_overlap(rx[j], "machine " + std::to_string(j) + " rx", out);
+    }
+  }
+
+  // 5: data routing per DAG edge.
+  std::map<std::pair<TaskId, TaskId>, const sim::CommEvent*> transfers;
+  for (const auto& ev : schedule.comm_events()) {
+    const auto key = std::make_pair(ev.from_task, ev.to_task);
+    if (transfers.contains(key)) {
+      out.push_back("duplicate transfer for edge " + std::to_string(ev.from_task) +
+                    "->" + std::to_string(ev.to_task));
+    }
+    transfers[key] = &ev;
+  }
+  for (TaskId parent = 0; parent < num_tasks; ++parent) {
+    if (!schedule.is_assigned(parent)) continue;
+    const auto& pa = schedule.assignment(parent);
+    for (const TaskId child : scenario.dag.children(parent)) {
+      if (!schedule.is_assigned(child)) continue;
+      const auto& ca = schedule.assignment(child);
+      const std::string edge =
+          "edge " + std::to_string(parent) + "->" + std::to_string(child);
+      const double bits = scenario.edge_bits(parent, child, pa.version);
+      const auto it = transfers.find({parent, child});
+      if (pa.machine == ca.machine || bits <= 0.0) {
+        if (it != transfers.end()) {
+          out.push_back(edge + " needs no transfer but one is recorded");
+        }
+        if (ca.start < pa.finish) {
+          out.push_back(edge + ": child starts before parent finishes");
+        }
+        continue;
+      }
+      if (it == transfers.end()) {
+        out.push_back(edge + ": cross-machine data but no transfer recorded");
+        continue;
+      }
+      const auto& ev = *it->second;
+      if (ev.from_machine != pa.machine || ev.to_machine != ca.machine) {
+        out.push_back(edge + ": transfer endpoints do not match the assignment");
+      }
+      if (std::abs(ev.bits - bits) > 1e-6 * std::max(1.0, bits)) {
+        out.push_back(edge + ": transfer bit volume mismatch");
+      }
+      const Cycles expect_dur = sim::transfer_cycles(
+          bits, scenario.grid.machine(pa.machine), scenario.grid.machine(ca.machine));
+      if (ev.finish - ev.start != expect_dur) {
+        out.push_back(edge + ": transfer duration mismatch");
+      }
+      if (ev.start < pa.finish) out.push_back(edge + ": transfer starts before parent finishes");
+      if (ev.finish > ca.start) out.push_back(edge + ": data arrives after child starts");
+    }
+  }
+
+  // 5b: transfers must avoid link outages on both endpoints.
+  for (const auto& ev : schedule.comm_events()) {
+    for (const auto& outage : scenario.link_outages) {
+      if (outage.machine != ev.from_machine && outage.machine != ev.to_machine) {
+        continue;
+      }
+      const Cycles o_end = outage.start + outage.duration;
+      if (ev.start < o_end && outage.start < ev.finish) {
+        out.push_back("transfer " + std::to_string(ev.from_task) + "->" +
+                      std::to_string(ev.to_task) +
+                      " overlaps a link outage on machine " +
+                      std::to_string(outage.machine));
+      }
+    }
+  }
+
+  // 6: energy, recomputed from records.
+  {
+    std::vector<double> consumed(scenario.num_machines(), 0.0);
+    for (TaskId task = 0; task < num_tasks; ++task) {
+      if (!schedule.is_assigned(task)) continue;
+      const auto& a = schedule.assignment(task);
+      consumed[static_cast<std::size_t>(a.machine)] +=
+          scenario.grid.machine(a.machine).compute_energy(a.finish - a.start);
+    }
+    for (const auto& ev : schedule.comm_events()) {
+      consumed[static_cast<std::size_t>(ev.from_machine)] +=
+          scenario.grid.machine(ev.from_machine).transmit_energy(ev.finish - ev.start);
+    }
+    double tec = 0.0;
+    for (std::size_t j = 0; j < consumed.size(); ++j) {
+      tec += consumed[j];
+      const auto m = static_cast<MachineId>(j);
+      if (consumed[j] > scenario.grid.machine(m).battery_capacity + kEnergyEps) {
+        out.push_back("machine " + std::to_string(j) + " battery overdrawn: " +
+                      std::to_string(consumed[j]) + " > " +
+                      std::to_string(scenario.grid.machine(m).battery_capacity));
+      }
+      if (std::abs(consumed[j] - schedule.energy().spent(m)) > kEnergyEps) {
+        out.push_back("machine " + std::to_string(j) +
+                      " ledger drift: recomputed energy does not match spent()");
+      }
+    }
+    if (std::abs(tec - schedule.tec()) > kEnergyEps) {
+      out.push_back("TEC mismatch between records and schedule aggregate");
+    }
+  }
+
+  // 7: aggregates.
+  if (assigned != schedule.num_assigned()) out.push_back("num_assigned mismatch");
+  if (t100 != schedule.t100()) out.push_back("t100 mismatch");
+  if (schedule.num_assigned() > 0 && aet != schedule.aet()) {
+    out.push_back("AET mismatch between records and schedule aggregate");
+  }
+  if (options.require_within_tau && aet > scenario.tau) {
+    out.push_back("AET " + std::to_string(aet) + " exceeds tau " +
+                  std::to_string(scenario.tau));
+  }
+
+  return report;
+}
+
+}  // namespace ahg::core

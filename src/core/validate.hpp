@@ -1,0 +1,50 @@
+#pragma once
+// Independent full-schedule validator.
+//
+// Re-derives every constraint from the Scenario and the Schedule's records
+// WITHOUT trusting the Schedule's own bookkeeping (timelines and energy
+// totals are rebuilt from the assignment/communication records). Used by the
+// test suite as the ground-truth oracle for every heuristic, and by the
+// examples to demonstrate that produced mappings are genuinely feasible.
+
+#include <string>
+#include <vector>
+
+#include "sim/schedule.hpp"
+#include "workload/scenario.hpp"
+
+namespace ahg::core {
+
+struct ValidationReport {
+  std::vector<std::string> violations;
+  bool ok() const noexcept { return violations.empty(); }
+  std::string str() const;
+};
+
+struct ValidateOptions {
+  /// Require every subtask to be assigned (a complete mapping).
+  bool require_complete = true;
+  /// Require AET <= tau.
+  bool require_within_tau = true;
+};
+
+/// Checks performed:
+///  1. every assigned task sits on a valid machine with the exact duration
+///     the scenario prescribes for its version;
+///  2. precedence: every parent of an assigned task is assigned;
+///  3. machine exclusivity: no two computations overlap on one machine;
+///  4. channel exclusivity: no two transfers overlap on one tx or rx channel;
+///  5. data routing: every data-carrying cross-machine edge has exactly one
+///     matching transfer with the correct bit volume and duration, starting
+///     no earlier than the parent's finish and ending no later than the
+///     child's start; same-machine children start no earlier than the parent
+///     finishes;
+///  6. energy: per-machine recomputed consumption (compute + transmit)
+///     stays within B(j) and matches the ledger's spent totals;
+///  7. aggregates: T100 / AET / TEC reported by the schedule match the
+///     records.
+ValidationReport validate_schedule(const workload::Scenario& scenario,
+                                   const sim::Schedule& schedule,
+                                   const ValidateOptions& options = {});
+
+}  // namespace ahg::core

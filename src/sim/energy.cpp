@@ -1,0 +1,103 @@
+#include "sim/energy.hpp"
+
+#include "support/contract.hpp"
+
+namespace ahg::sim {
+
+namespace {
+// Tolerance for floating-point accumulation when comparing against capacity.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+EnergyLedger::EnergyLedger(std::vector<double> capacities)
+    : capacity_(std::move(capacities)),
+      spent_(capacity_.size(), 0.0),
+      reserved_(capacity_.size(), 0.0) {
+  AHG_EXPECTS_MSG(!capacity_.empty(), "ledger needs at least one machine");
+  for (const double cap : capacity_) {
+    AHG_EXPECTS_MSG(cap >= 0.0, "battery capacity must be non-negative");
+  }
+}
+
+void EnergyLedger::check_machine(MachineId machine) const {
+  AHG_EXPECTS_MSG(machine >= 0 && static_cast<std::size_t>(machine) < capacity_.size(),
+                  "machine id out of range");
+}
+
+double EnergyLedger::capacity(MachineId machine) const {
+  check_machine(machine);
+  return capacity_[static_cast<std::size_t>(machine)];
+}
+
+double EnergyLedger::spent(MachineId machine) const {
+  check_machine(machine);
+  return spent_[static_cast<std::size_t>(machine)];
+}
+
+double EnergyLedger::reserved(MachineId machine) const {
+  check_machine(machine);
+  return reserved_[static_cast<std::size_t>(machine)];
+}
+
+double EnergyLedger::available(MachineId machine) const {
+  check_machine(machine);
+  const auto j = static_cast<std::size_t>(machine);
+  return capacity_[j] - spent_[j] - reserved_[j];
+}
+
+double EnergyLedger::total_spent() const noexcept {
+  double total = 0.0;
+  for (const double s : spent_) total += s;
+  return total;
+}
+
+void EnergyLedger::charge(MachineId machine, double amount) {
+  check_machine(machine);
+  AHG_EXPECTS_MSG(amount >= 0.0, "charge must be non-negative");
+  const auto j = static_cast<std::size_t>(machine);
+  AHG_ENSURES_MSG(spent_[j] + reserved_[j] + amount <= capacity_[j] + kEps,
+                  "battery overdraw — feasibility check missing before charge");
+  spent_[j] += amount;
+}
+
+void EnergyLedger::reserve(MachineId machine, ReservationKey key, double amount) {
+  check_machine(machine);
+  AHG_EXPECTS_MSG(amount >= 0.0, "reservation must be non-negative");
+  AHG_EXPECTS_MSG(!reservations_.contains(key), "duplicate reservation key");
+  const auto j = static_cast<std::size_t>(machine);
+  AHG_ENSURES_MSG(spent_[j] + reserved_[j] + amount <= capacity_[j] + kEps,
+                  "battery overdraw — reservation exceeds remaining energy");
+  reserved_[j] += amount;
+  reservations_.emplace(key, Reservation{machine, amount});
+}
+
+bool EnergyLedger::has_reservation(ReservationKey key) const noexcept {
+  return reservations_.contains(key);
+}
+
+double EnergyLedger::release(ReservationKey key) {
+  const auto it = reservations_.find(key);
+  AHG_EXPECTS_MSG(it != reservations_.end(), "release of unknown reservation");
+  const Reservation res = it->second;
+  reservations_.erase(it);
+  auto& held = reserved_[static_cast<std::size_t>(res.machine)];
+  held -= res.amount;
+  if (held < 0.0) held = 0.0;  // clamp fp residue
+  return res.amount;
+}
+
+double EnergyLedger::settle(ReservationKey key, double actual_amount) {
+  const auto it = reservations_.find(key);
+  AHG_EXPECTS_MSG(it != reservations_.end(), "settle of unknown reservation");
+  const Reservation res = it->second;
+  AHG_EXPECTS_MSG(actual_amount <= res.amount + kEps,
+                  "actual charge exceeds worst-case reservation");
+  const MachineId machine = res.machine;
+  release(key);
+  if (actual_amount > 0.0) {
+    charge(machine, actual_amount);
+  }
+  return actual_amount;
+}
+
+}  // namespace ahg::sim

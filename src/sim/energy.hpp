@@ -1,0 +1,74 @@
+#pragma once
+// Per-machine battery accounting with named worst-case reservations.
+//
+// The SLRH feasibility check (paper §IV) is conservative: when a subtask is
+// mapped, enough of the host's battery must remain to send every output data
+// item over the lowest-bandwidth link. We make that rule airtight by HOLDING
+// the worst-case amount as a named reservation per outgoing DAG edge and
+// converting it to the (never larger) actual charge when the child is mapped.
+// A schedule built through this ledger can never overdraw a battery.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace ahg::sim {
+
+class EnergyLedger {
+ public:
+  /// Opaque reservation name; callers key it by DAG edge.
+  using ReservationKey = std::uint64_t;
+
+  explicit EnergyLedger(std::vector<double> capacities);
+
+  std::size_t num_machines() const noexcept { return capacity_.size(); }
+
+  double capacity(MachineId machine) const;
+  double spent(MachineId machine) const;
+  double reserved(MachineId machine) const;
+
+  /// capacity - spent - reserved: what a new demand may draw on.
+  double available(MachineId machine) const;
+
+  /// Total energy actually consumed across the grid (the paper's TEC).
+  double total_spent() const noexcept;
+
+  /// Charge actual consumption. Throws InvariantError if the charge would
+  /// push spent + reserved past capacity (a heuristic bug, since feasibility
+  /// checks must precede every charge).
+  void charge(MachineId machine, double amount);
+
+  /// Hold `amount` against `machine` under `key`. A key may be reserved only
+  /// once until released.
+  void reserve(MachineId machine, ReservationKey key, double amount);
+
+  bool has_reservation(ReservationKey key) const noexcept;
+
+  /// Release the reservation and return the amount that was held.
+  double release(ReservationKey key);
+
+  /// Release and charge an actual amount that must not exceed the held
+  /// amount plus `slack` (default: exactly covered). Returns actual charged.
+  double settle(ReservationKey key, double actual_amount);
+
+ private:
+  struct Reservation {
+    MachineId machine;
+    double amount;
+  };
+  std::vector<double> capacity_;
+  std::vector<double> spent_;
+  std::vector<double> reserved_;
+  std::unordered_map<ReservationKey, Reservation> reservations_;
+  void check_machine(MachineId machine) const;
+};
+
+/// Reservation key for a DAG edge parent -> child.
+constexpr EnergyLedger::ReservationKey edge_key(TaskId parent, TaskId child) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(parent)) << 32) |
+         static_cast<std::uint32_t>(child);
+}
+
+}  // namespace ahg::sim

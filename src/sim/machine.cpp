@@ -1,0 +1,29 @@
+#include "sim/machine.hpp"
+
+namespace ahg::sim {
+
+std::string to_string(MachineClass cls) {
+  return cls == MachineClass::Fast ? "fast" : "slow";
+}
+
+MachineSpec fast_machine_spec() noexcept {
+  MachineSpec spec;
+  spec.cls = MachineClass::Fast;
+  spec.battery_capacity = 580.0;
+  spec.compute_power = 0.1;
+  spec.transmit_power = 0.2;
+  spec.bandwidth_bps = 8.0e6;
+  return spec;
+}
+
+MachineSpec slow_machine_spec() noexcept {
+  MachineSpec spec;
+  spec.cls = MachineClass::Slow;
+  spec.battery_capacity = 58.0;
+  spec.compute_power = 0.001;
+  spec.transmit_power = 0.002;
+  spec.bandwidth_bps = 4.0e6;
+  return spec;
+}
+
+}  // namespace ahg::sim

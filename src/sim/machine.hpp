@@ -1,0 +1,48 @@
+#pragma once
+// Machine model for the ad hoc grid (paper §III, Table 2).
+//
+// Each machine j is characterised by four parameters:
+//   B(j)  — battery energy capacity            [energy units]
+//   E(j)  — energy drawn while computing       [energy units / second]
+//   C(j)  — energy drawn while transmitting    [energy units / second]
+//   BW(j) — communication bandwidth            [bits / second]
+// Machines consume no energy when idle or receiving.
+
+#include <cstdint>
+#include <string>
+
+#include "support/units.hpp"
+
+namespace ahg::sim {
+
+enum class MachineClass : std::uint8_t { Fast, Slow };
+
+std::string to_string(MachineClass cls);
+
+struct MachineSpec {
+  MachineClass cls = MachineClass::Fast;
+  double battery_capacity = 0.0;       ///< B(j), energy units
+  double compute_power = 0.0;          ///< E(j), energy units per second
+  double transmit_power = 0.0;         ///< C(j), energy units per second
+  double bandwidth_bps = 0.0;          ///< BW(j), bits per second
+
+  /// Energy consumed by `cycles` of computation on this machine.
+  double compute_energy(Cycles cycles) const noexcept {
+    return compute_power * seconds_from_cycles(cycles);
+  }
+
+  /// Energy consumed by `cycles` of transmission from this machine.
+  double transmit_energy(Cycles cycles) const noexcept {
+    return transmit_power * seconds_from_cycles(cycles);
+  }
+};
+
+/// Table 2 "Fast" machine: Dell Precision M60-class notebook.
+/// B = 580 energy units, E = 0.1 u/s, C = 0.2 u/s, BW = 8 Mbit/s.
+MachineSpec fast_machine_spec() noexcept;
+
+/// Table 2 "Slow" machine: Dell Axim X5-class PDA.
+/// B = 58 energy units, E = 0.001 u/s, C = 0.002 u/s, BW = 4 Mbit/s.
+MachineSpec slow_machine_spec() noexcept;
+
+}  // namespace ahg::sim

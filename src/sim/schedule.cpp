@@ -1,0 +1,115 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+
+#include "support/contract.hpp"
+
+namespace ahg::sim {
+
+namespace {
+std::vector<double> capacities(const GridConfig& grid) {
+  std::vector<double> caps;
+  caps.reserve(grid.num_machines());
+  for (const auto& machine : grid.machines()) caps.push_back(machine.battery_capacity);
+  return caps;
+}
+}  // namespace
+
+Schedule::Schedule(const GridConfig& grid, std::size_t num_tasks)
+    : compute_(grid.num_machines()),
+      tx_(grid.num_machines()),
+      rx_(grid.num_machines()),
+      assignments_(num_tasks),
+      ledger_(capacities(grid)) {
+  AHG_EXPECTS_MSG(num_tasks > 0, "schedule needs at least one task");
+}
+
+void Schedule::check_machine(MachineId machine) const {
+  AHG_EXPECTS_MSG(machine >= 0 && static_cast<std::size_t>(machine) < compute_.size(),
+                  "machine id out of range");
+}
+
+void Schedule::check_task(TaskId task) const {
+  AHG_EXPECTS_MSG(task >= 0 && static_cast<std::size_t>(task) < assignments_.size(),
+                  "task id out of range");
+}
+
+bool Schedule::is_assigned(TaskId task) const {
+  check_task(task);
+  return assignments_[static_cast<std::size_t>(task)].valid();
+}
+
+const Assignment& Schedule::assignment(TaskId task) const {
+  check_task(task);
+  const auto& a = assignments_[static_cast<std::size_t>(task)];
+  AHG_EXPECTS_MSG(a.valid(), "assignment() on an unassigned task");
+  return a;
+}
+
+const Timeline& Schedule::compute_timeline(MachineId machine) const {
+  check_machine(machine);
+  return compute_[static_cast<std::size_t>(machine)];
+}
+
+const Timeline& Schedule::tx_timeline(MachineId machine) const {
+  check_machine(machine);
+  return tx_[static_cast<std::size_t>(machine)];
+}
+
+const Timeline& Schedule::rx_timeline(MachineId machine) const {
+  check_machine(machine);
+  return rx_[static_cast<std::size_t>(machine)];
+}
+
+Cycles Schedule::machine_ready(MachineId machine) const {
+  check_machine(machine);
+  return compute_[static_cast<std::size_t>(machine)].ready_time();
+}
+
+void Schedule::add_assignment(TaskId task, MachineId machine, VersionKind version,
+                              Cycles start, Cycles duration, double exec_energy) {
+  check_task(task);
+  check_machine(machine);
+  AHG_EXPECTS_MSG(!is_assigned(task), "task already assigned");
+  AHG_EXPECTS_MSG(duration > 0, "assignment duration must be positive");
+  compute_[static_cast<std::size_t>(machine)].insert(start, duration);
+  ledger_.charge(machine, exec_energy);
+  auto& a = assignments_[static_cast<std::size_t>(task)];
+  a = Assignment{task, machine, version, start, start + duration, exec_energy};
+  ++num_assigned_;
+  if (version == VersionKind::Primary) ++t100_;
+  aet_ = std::max(aet_, a.finish);
+  order_.push_back(task);
+}
+
+void Schedule::block_channels(MachineId machine, Cycles start, Cycles duration) {
+  check_machine(machine);
+  AHG_EXPECTS_MSG(duration > 0, "outage duration must be positive");
+  tx_[static_cast<std::size_t>(machine)].insert(start, duration);
+  rx_[static_cast<std::size_t>(machine)].insert(start, duration);
+}
+
+void Schedule::add_comm(TaskId from_task, TaskId to_task, MachineId from_machine,
+                        MachineId to_machine, Cycles start, Cycles duration,
+                        double bits, double energy) {
+  check_task(from_task);
+  check_task(to_task);
+  check_machine(from_machine);
+  check_machine(to_machine);
+  AHG_EXPECTS_MSG(from_machine != to_machine,
+                  "same-machine transfers are free and must not be recorded");
+  AHG_EXPECTS_MSG(duration > 0, "transfer duration must be positive");
+  tx_[static_cast<std::size_t>(from_machine)].insert(start, duration);
+  rx_[static_cast<std::size_t>(to_machine)].insert(start, duration);
+  // Energy is charged by the caller through the reservation settle path, or
+  // directly here when no reservation exists (e.g. hand-built schedules).
+  if (energy > 0.0 && !ledger_.has_reservation(edge_key(from_task, to_task))) {
+    ledger_.charge(from_machine, energy);
+  } else if (ledger_.has_reservation(edge_key(from_task, to_task))) {
+    ledger_.settle(edge_key(from_task, to_task), energy);
+  }
+  comms_.push_back(CommEvent{from_task, to_task, from_machine, to_machine, start,
+                             start + duration, bits, energy});
+}
+
+}  // namespace ahg::sim

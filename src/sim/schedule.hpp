@@ -1,0 +1,123 @@
+#pragma once
+// The evolving mapping state shared by every heuristic: per-machine compute
+// and communication timelines, the energy ledger, and the record of all
+// assignments and transfers ("a historical record of all critical
+// parameters", paper §IV).
+//
+// Schedule is purely mechanical — it enforces resource exclusivity and
+// energy bounds but knows nothing about DAGs, ETC matrices, or versions'
+// scaling rules. The placement planner in ahg_core computes durations,
+// arrival times, and energies from the Scenario and drives this API.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/energy.hpp"
+#include "sim/grid.hpp"
+#include "sim/timeline.hpp"
+#include "support/units.hpp"
+#include "support/version.hpp"
+
+namespace ahg::sim {
+
+struct Assignment {
+  TaskId task = kInvalidTask;
+  MachineId machine = kInvalidMachine;
+  VersionKind version = VersionKind::Primary;
+  Cycles start = 0;
+  Cycles finish = 0;  ///< exclusive: the subtask occupies [start, finish)
+  double energy = 0.0;
+
+  bool valid() const noexcept { return machine != kInvalidMachine; }
+};
+
+struct CommEvent {
+  TaskId from_task = kInvalidTask;
+  TaskId to_task = kInvalidTask;
+  MachineId from_machine = kInvalidMachine;
+  MachineId to_machine = kInvalidMachine;
+  Cycles start = 0;
+  Cycles finish = 0;  ///< exclusive
+  double bits = 0.0;
+  double energy = 0.0;  ///< drawn from from_machine's battery
+};
+
+class Schedule {
+ public:
+  Schedule(const GridConfig& grid, std::size_t num_tasks);
+
+  std::size_t num_tasks() const noexcept { return assignments_.size(); }
+  std::size_t num_machines() const noexcept { return compute_.size(); }
+
+  // --- queries -------------------------------------------------------------
+
+  bool is_assigned(TaskId task) const;
+  const Assignment& assignment(TaskId task) const;  ///< requires is_assigned
+  std::size_t num_assigned() const noexcept { return num_assigned_; }
+  bool complete() const noexcept { return num_assigned_ == assignments_.size(); }
+
+  /// Number of subtasks mapped at their primary version (the paper's T100).
+  std::size_t t100() const noexcept { return t100_; }
+
+  /// Application execution time: finish of the last assigned subtask
+  /// (0 when nothing is assigned).
+  Cycles aet() const noexcept { return aet_; }
+
+  /// Total energy consumed so far (the paper's TEC): all actual charges.
+  double tec() const noexcept { return ledger_.total_spent(); }
+
+  const Timeline& compute_timeline(MachineId machine) const;
+  const Timeline& tx_timeline(MachineId machine) const;
+  const Timeline& rx_timeline(MachineId machine) const;
+
+  /// End of the machine's last scheduled computation.
+  Cycles machine_ready(MachineId machine) const;
+
+  const EnergyLedger& energy() const noexcept { return ledger_; }
+
+  std::span<const CommEvent> comm_events() const noexcept { return comms_; }
+
+  /// All assignments made so far, in assignment order (for traces/reports).
+  std::span<const TaskId> assignment_order() const noexcept { return order_; }
+
+  // --- mutation (driven by the core placement planner) ----------------------
+
+  /// Record a computation: occupies [start, start+duration) on the machine's
+  /// compute timeline and charges exec_energy to its battery.
+  void add_assignment(TaskId task, MachineId machine, VersionKind version,
+                      Cycles start, Cycles duration, double exec_energy);
+
+  /// Record a transfer: occupies tx(from) and rx(to) over [start,
+  /// start+duration) and charges energy to the sender. Same-machine
+  /// transfers must not be recorded (they are free and instantaneous).
+  void add_comm(TaskId from_task, TaskId to_task, MachineId from_machine,
+                MachineId to_machine, Cycles start, Cycles duration, double bits,
+                double energy);
+
+  /// Block both communication channels of a machine over [start,
+  /// start+duration): a link outage. No energy is drawn and no comm event is
+  /// recorded; transfers simply cannot be booked across the window. The
+  /// compute unit is unaffected.
+  void block_channels(MachineId machine, Cycles start, Cycles duration);
+
+  /// Named worst-case energy reservations (see EnergyLedger).
+  EnergyLedger& ledger() noexcept { return ledger_; }
+
+ private:
+  void check_machine(MachineId machine) const;
+  void check_task(TaskId task) const;
+
+  std::vector<Timeline> compute_;
+  std::vector<Timeline> tx_;
+  std::vector<Timeline> rx_;
+  std::vector<Assignment> assignments_;
+  std::vector<CommEvent> comms_;
+  std::vector<TaskId> order_;
+  EnergyLedger ledger_;
+  std::size_t num_assigned_ = 0;
+  std::size_t t100_ = 0;
+  Cycles aet_ = 0;
+};
+
+}  // namespace ahg::sim

@@ -1,0 +1,147 @@
+#include "sim/svg.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/contract.hpp"
+
+namespace ahg::sim {
+
+namespace {
+
+// Muted, print-friendly palette: primary-version bars, secondary-version
+// bars, transfers, outage shading.
+constexpr const char* kPrimaryFill = "#4878a8";
+constexpr const char* kSecondaryFill = "#a8c4dc";
+constexpr const char* kCommFill = "#c88c28";
+constexpr const char* kOutageFill = "#d9d9d9";
+constexpr const char* kLaneStroke = "#cccccc";
+constexpr int kLabelWidth = 64;
+constexpr int kTopMargin = 28;
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  for (const char ch : text) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void render_svg_gantt(std::ostream& os, const Schedule& schedule,
+                      const SvgOptions& options) {
+  AHG_EXPECTS_MSG(options.width > kLabelWidth + 10, "canvas too narrow");
+  AHG_EXPECTS_MSG(options.lane_height >= 8, "lanes too short");
+
+  Cycles horizon = schedule.aet();
+  for (std::size_t j = 0; j < schedule.num_machines(); ++j) {
+    const auto m = static_cast<MachineId>(j);
+    horizon = std::max({horizon, schedule.tx_timeline(m).ready_time(),
+                        schedule.rx_timeline(m).ready_time()});
+  }
+  for (const auto& outage : options.outages) {
+    horizon = std::max(horizon, outage.start + outage.duration);
+  }
+  if (horizon == 0) horizon = 1;
+
+  const int lanes_per_machine = options.show_comm ? 3 : 1;
+  const auto num_lanes =
+      static_cast<int>(schedule.num_machines()) * lanes_per_machine;
+  const int height = kTopMargin + num_lanes * options.lane_height + 8;
+  const double plot_width = options.width - kLabelWidth - 8;
+  const auto x_of = [&](Cycles t) {
+    return static_cast<double>(kLabelWidth) +
+           plot_width * static_cast<double>(t) / static_cast<double>(horizon);
+  };
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+     << "\" height=\"" << height << "\" font-family=\"sans-serif\" font-size=\"10\">\n";
+  if (!options.title.empty()) {
+    os << "  <text x=\"" << kLabelWidth << "\" y=\"14\" font-size=\"12\">"
+       << escape_xml(options.title) << "</text>\n";
+  }
+
+  const auto lane_y = [&](std::size_t machine, int sublane) {
+    return kTopMargin +
+           (static_cast<int>(machine) * lanes_per_machine + sublane) *
+               options.lane_height;
+  };
+
+  auto bar = [&](double x0, double x1, int y, const char* fill,
+                 const std::string& tooltip) {
+    const double w = std::max(1.0, x1 - x0);
+    os << "  <rect x=\"" << x0 << "\" y=\"" << y + 2 << "\" width=\"" << w
+       << "\" height=\"" << options.lane_height - 4 << "\" fill=\"" << fill
+       << "\"><title>" << escape_xml(tooltip) << "</title></rect>\n";
+  };
+
+  // Lane backgrounds + labels.
+  static constexpr const char* kSub[] = {"cpu", "tx", "rx"};
+  for (std::size_t j = 0; j < schedule.num_machines(); ++j) {
+    for (int sub = 0; sub < lanes_per_machine; ++sub) {
+      const int y = lane_y(j, sub);
+      os << "  <rect x=\"" << kLabelWidth << "\" y=\"" << y << "\" width=\""
+         << plot_width << "\" height=\"" << options.lane_height
+         << "\" fill=\"none\" stroke=\"" << kLaneStroke << "\"/>\n";
+      os << "  <text x=\"4\" y=\"" << y + options.lane_height - 7 << "\">m" << j
+         << ' ' << kSub[sub] << "</text>\n";
+    }
+  }
+
+  // Outage shading on tx/rx lanes (or the cpu lane when comm lanes hidden).
+  for (const auto& outage : options.outages) {
+    if (outage.machine < 0 ||
+        static_cast<std::size_t>(outage.machine) >= schedule.num_machines()) {
+      continue;
+    }
+    const double x0 = x_of(outage.start);
+    const double x1 = x_of(outage.start + outage.duration);
+    const int first = options.show_comm ? 1 : 0;
+    const int last = options.show_comm ? 2 : 0;
+    for (int sub = first; sub <= last; ++sub) {
+      bar(x0, x1, lane_y(static_cast<std::size_t>(outage.machine), sub),
+          kOutageFill, "link outage");
+    }
+  }
+
+  // Task bars.
+  for (const TaskId task : schedule.assignment_order()) {
+    const auto& a = schedule.assignment(task);
+    std::ostringstream tip;
+    tip << "task " << task << " (" << to_string(a.version) << ") [" << a.start
+        << ", " << a.finish << ")";
+    bar(x_of(a.start), x_of(a.finish),
+        lane_y(static_cast<std::size_t>(a.machine), 0),
+        a.version == VersionKind::Primary ? kPrimaryFill : kSecondaryFill,
+        tip.str());
+  }
+
+  // Transfer bars.
+  if (options.show_comm) {
+    for (const auto& ev : schedule.comm_events()) {
+      std::ostringstream tip;
+      tip << "transfer " << ev.from_task << " -> " << ev.to_task << " [" << ev.start
+          << ", " << ev.finish << ")";
+      bar(x_of(ev.start), x_of(ev.finish),
+          lane_y(static_cast<std::size_t>(ev.from_machine), 1), kCommFill, tip.str());
+      bar(x_of(ev.start), x_of(ev.finish),
+          lane_y(static_cast<std::size_t>(ev.to_machine), 2), kCommFill, tip.str());
+    }
+  }
+
+  // Time axis caption.
+  os << "  <text x=\"" << kLabelWidth << "\" y=\"" << height - 2 << "\">0</text>\n"
+     << "  <text x=\"" << options.width - 40 << "\" y=\"" << height - 2 << "\">"
+     << seconds_from_cycles(horizon) << " s</text>\n";
+  os << "</svg>\n";
+}
+
+}  // namespace ahg::sim

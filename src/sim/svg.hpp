@@ -1,0 +1,34 @@
+#pragma once
+// SVG Gantt-chart export: a self-contained vector rendering of a schedule —
+// one lane per machine (compute + communication channels), version-coded
+// task bars, transfer bars, and link-outage shading. Complements the ASCII
+// Gantt (trace.hpp) for reports and papers.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/schedule.hpp"
+
+namespace ahg::sim {
+
+struct SvgOptions {
+  int width = 1200;          ///< total canvas width in px
+  int lane_height = 22;      ///< height of each resource lane
+  bool show_comm = true;     ///< include tx/rx lanes
+  /// Optional blackout windows to shade (machine, start, duration); callers
+  /// typically pass the scenario's link outages.
+  struct Outage {
+    MachineId machine;
+    Cycles start;
+    Cycles duration;
+  };
+  std::vector<Outage> outages;
+  std::string title;
+};
+
+/// Render the schedule as a standalone SVG document.
+void render_svg_gantt(std::ostream& os, const Schedule& schedule,
+                      const SvgOptions& options = {});
+
+}  // namespace ahg::sim

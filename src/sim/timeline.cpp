@@ -1,0 +1,77 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+
+#include "support/contract.hpp"
+
+namespace ahg::sim {
+
+bool Timeline::is_free(Cycles start, Cycles duration) const {
+  AHG_EXPECTS_MSG(start >= 0, "interval start must be non-negative");
+  AHG_EXPECTS_MSG(duration >= 0, "interval duration must be non-negative");
+  if (duration == 0) return true;
+  const Cycles end = start + duration;
+  // First busy interval with busy.end > start could overlap.
+  const auto it = std::lower_bound(
+      busy_.begin(), busy_.end(), start,
+      [](const Interval& iv, Cycles value) { return iv.end <= value; });
+  return it == busy_.end() || it->start >= end;
+}
+
+Cycles Timeline::earliest_fit(Cycles not_before, Cycles duration) const {
+  AHG_EXPECTS_MSG(not_before >= 0, "not_before must be non-negative");
+  AHG_EXPECTS_MSG(duration >= 0, "duration must be non-negative");
+  if (duration == 0) return not_before;
+  Cycles candidate = not_before;
+  auto it = std::lower_bound(
+      busy_.begin(), busy_.end(), candidate,
+      [](const Interval& iv, Cycles value) { return iv.end <= value; });
+  for (; it != busy_.end(); ++it) {
+    if (it->start - candidate >= duration) return candidate;  // fits in the gap
+    candidate = std::max(candidate, it->end);
+  }
+  return candidate;
+}
+
+Cycles Timeline::earliest_fit_pair(const Timeline& a, const Timeline& b,
+                                   Cycles not_before, Cycles duration) {
+  AHG_EXPECTS_MSG(not_before >= 0, "not_before must be non-negative");
+  AHG_EXPECTS_MSG(duration >= 0, "duration must be non-negative");
+  if (duration == 0) return not_before;
+  Cycles candidate = not_before;
+  // Alternate: let each timeline push the candidate forward until both are
+  // simultaneously free. Each push moves past at least one busy interval, so
+  // this terminates in O(|a| + |b|) probes.
+  for (;;) {
+    const Cycles fit_a = a.earliest_fit(candidate, duration);
+    const Cycles fit_b = b.earliest_fit(fit_a, duration);
+    if (fit_a == fit_b && a.is_free(fit_b, duration)) return fit_b;
+    candidate = fit_b;
+  }
+}
+
+void Timeline::insert(Cycles start, Cycles duration) {
+  AHG_EXPECTS_MSG(start >= 0, "interval start must be non-negative");
+  AHG_EXPECTS_MSG(duration > 0, "inserted interval must have positive duration");
+  AHG_EXPECTS_MSG(is_free(start, duration), "overlapping timeline insertion");
+  const Interval iv{start, start + duration};
+  const auto it = std::lower_bound(
+      busy_.begin(), busy_.end(), iv,
+      [](const Interval& lhs, const Interval& rhs) { return lhs.start < rhs.start; });
+  busy_.insert(it, iv);
+}
+
+void Timeline::erase(Cycles start, Cycles duration) {
+  const Interval iv{start, start + duration};
+  const auto it = std::find(busy_.begin(), busy_.end(), iv);
+  AHG_EXPECTS_MSG(it != busy_.end(), "erase of an interval that was never inserted");
+  busy_.erase(it);
+}
+
+Cycles Timeline::busy_cycles() const noexcept {
+  Cycles total = 0;
+  for (const auto& iv : busy_) total += iv.duration();
+  return total;
+}
+
+}  // namespace ahg::sim

@@ -1,0 +1,68 @@
+#pragma once
+// Busy-interval timeline for a single serial resource (a machine's compute
+// unit, its outgoing transmission channel, or its incoming reception
+// channel — the paper's assumptions (b)/(c): one subtask at a time, one
+// outgoing and one incoming transfer at a time).
+//
+// Intervals are half-open [start, end) in integer clock cycles, kept sorted
+// and non-overlapping. The structure supports both the SLRH append-mostly
+// workload and Max-Max hole-filling ("a sufficiently large hole in the
+// existing schedule", paper §V) through earliest_fit().
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace ahg::sim {
+
+struct Interval {
+  Cycles start = 0;
+  Cycles end = 0;  ///< exclusive
+  Cycles duration() const noexcept { return end - start; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+class Timeline {
+ public:
+  bool empty() const noexcept { return busy_.empty(); }
+  std::size_t size() const noexcept { return busy_.size(); }
+  std::span<const Interval> intervals() const noexcept { return busy_; }
+
+  /// End of the last busy interval (0 when empty): the earliest time at
+  /// which an append-only scheduler may start new work.
+  Cycles ready_time() const noexcept { return busy_.empty() ? 0 : busy_.back().end; }
+
+  /// True iff [start, start+duration) does not overlap any busy interval.
+  /// Zero-duration queries are always free.
+  bool is_free(Cycles start, Cycles duration) const;
+
+  /// Earliest s >= not_before such that [s, s+duration) is free. May land in
+  /// an interior hole (Max-Max backfill) or after ready_time(). A zero
+  /// duration fits anywhere: returns not_before.
+  Cycles earliest_fit(Cycles not_before, Cycles duration) const;
+
+  /// Earliest s >= not_before such that [s, s+duration) is simultaneously
+  /// free on both timelines (pairing a sender's tx channel with a receiver's
+  /// rx channel).
+  static Cycles earliest_fit_pair(const Timeline& a, const Timeline& b,
+                                  Cycles not_before, Cycles duration);
+
+  /// Insert a busy interval; throws PreconditionError on overlap, negative
+  /// start, or non-positive duration.
+  void insert(Cycles start, Cycles duration);
+
+  /// Remove an exact previously-inserted interval (used by the dynamic
+  /// machine-loss extension to un-schedule work from a lost machine).
+  /// Throws if no exact match exists.
+  void erase(Cycles start, Cycles duration);
+
+  /// Total busy cycles.
+  Cycles busy_cycles() const noexcept;
+
+ private:
+  std::vector<Interval> busy_;  // sorted by start, disjoint
+};
+
+}  // namespace ahg::sim

@@ -1,0 +1,122 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "support/csv.hpp"
+
+namespace ahg::sim {
+
+namespace {
+
+char task_glyph(TaskId task) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  return kHex[static_cast<std::size_t>(task) % 16];
+}
+
+void render_row(std::ostream& os, const std::string& label, const Timeline& timeline,
+                const std::vector<TaskId>& owners, Cycles horizon, std::size_t width) {
+  std::string row(width, '.');
+  const auto ivs = timeline.intervals();
+  for (std::size_t k = 0; k < ivs.size(); ++k) {
+    const auto& iv = ivs[k];
+    const auto lo = static_cast<std::size_t>(
+        iv.start * static_cast<Cycles>(width) / std::max<Cycles>(1, horizon));
+    auto hi = static_cast<std::size_t>(
+        iv.end * static_cast<Cycles>(width) / std::max<Cycles>(1, horizon));
+    hi = std::max(hi, lo + 1);
+    for (std::size_t c = lo; c < std::min(hi, width); ++c) {
+      row[c] = k < owners.size() ? task_glyph(owners[k]) : '#';
+    }
+  }
+  os << label << " |" << row << "|\n";
+}
+
+}  // namespace
+
+void render_gantt(std::ostream& os, const Schedule& schedule, const GanttOptions& options) {
+  Cycles horizon = schedule.aet();
+  for (std::size_t j = 0; j < schedule.num_machines(); ++j) {
+    const auto m = static_cast<MachineId>(j);
+    horizon = std::max({horizon, schedule.tx_timeline(m).ready_time(),
+                        schedule.rx_timeline(m).ready_time()});
+  }
+  if (horizon == 0) {
+    os << "(empty schedule)\n";
+    return;
+  }
+  os << "time horizon: " << horizon << " cycles (" << seconds_from_cycles(horizon)
+     << " s)\n";
+
+  // Owner lookup per machine: tasks in interval order on the compute timeline.
+  for (std::size_t j = 0; j < schedule.num_machines(); ++j) {
+    const auto m = static_cast<MachineId>(j);
+    const auto& tl = schedule.compute_timeline(m);
+
+    std::vector<std::pair<Cycles, TaskId>> started;
+    for (const TaskId task : schedule.assignment_order()) {
+      const auto& a = schedule.assignment(task);
+      if (a.machine == m) started.emplace_back(a.start, task);
+    }
+    std::sort(started.begin(), started.end());
+    std::vector<TaskId> owners;
+    owners.reserve(started.size());
+    for (const auto& [start, task] : started) owners.push_back(task);
+
+    render_row(os, "m" + std::to_string(j) + " cpu", tl, owners, horizon, options.width);
+    if (options.show_comm) {
+      std::vector<std::pair<Cycles, TaskId>> tx_started;
+      std::vector<std::pair<Cycles, TaskId>> rx_started;
+      for (const auto& ev : schedule.comm_events()) {
+        if (ev.from_machine == m) tx_started.emplace_back(ev.start, ev.from_task);
+        if (ev.to_machine == m) rx_started.emplace_back(ev.start, ev.to_task);
+      }
+      std::sort(tx_started.begin(), tx_started.end());
+      std::sort(rx_started.begin(), rx_started.end());
+      std::vector<TaskId> tx_owners;
+      std::vector<TaskId> rx_owners;
+      for (const auto& [s, t] : tx_started) tx_owners.push_back(t);
+      for (const auto& [s, t] : rx_started) rx_owners.push_back(t);
+      render_row(os, "m" + std::to_string(j) + " tx ", schedule.tx_timeline(m), tx_owners,
+                 horizon, options.width);
+      render_row(os, "m" + std::to_string(j) + " rx ", schedule.rx_timeline(m), rx_owners,
+                 horizon, options.width);
+    }
+  }
+}
+
+void write_assignment_csv(std::ostream& os, const Schedule& schedule) {
+  CsvWriter csv(os, {"task", "machine", "version", "start_cycles", "finish_cycles",
+                     "energy"});
+  for (const TaskId task : schedule.assignment_order()) {
+    const auto& a = schedule.assignment(task);
+    csv.begin_row();
+    csv.field(static_cast<long long>(a.task));
+    csv.field(static_cast<long long>(a.machine));
+    csv.field(to_string(a.version));
+    csv.field(static_cast<long long>(a.start));
+    csv.field(static_cast<long long>(a.finish));
+    csv.field(a.energy);
+    csv.end_row();
+  }
+}
+
+void write_comm_csv(std::ostream& os, const Schedule& schedule) {
+  CsvWriter csv(os, {"from_task", "to_task", "from_machine", "to_machine",
+                     "start_cycles", "finish_cycles", "bits", "energy"});
+  for (const auto& ev : schedule.comm_events()) {
+    csv.begin_row();
+    csv.field(static_cast<long long>(ev.from_task));
+    csv.field(static_cast<long long>(ev.to_task));
+    csv.field(static_cast<long long>(ev.from_machine));
+    csv.field(static_cast<long long>(ev.to_machine));
+    csv.field(static_cast<long long>(ev.start));
+    csv.field(static_cast<long long>(ev.finish));
+    csv.field(ev.bits);
+    csv.field(ev.energy);
+    csv.end_row();
+  }
+}
+
+}  // namespace ahg::sim

@@ -1,0 +1,34 @@
+#pragma once
+// Schedule introspection: ASCII Gantt charts and CSV event dumps for the
+// examples and for offline analysis of mapping behaviour.
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/schedule.hpp"
+
+namespace ahg::sim {
+
+struct GanttOptions {
+  /// Total character width of the time axis.
+  std::size_t width = 100;
+  /// Include tx/rx channel rows in addition to compute rows.
+  bool show_comm = true;
+};
+
+/// Render an ASCII Gantt chart of the schedule: one row per machine compute
+/// unit (plus optional tx/rx rows), time scaled to fit `options.width`
+/// columns. Busy cells show the last hex digit of the occupying task id so
+/// adjacent tasks are visually distinguishable.
+void render_gantt(std::ostream& os, const Schedule& schedule,
+                  const GanttOptions& options = {});
+
+/// Dump all assignments as CSV: task, machine, version, start_cycles,
+/// finish_cycles, energy.
+void write_assignment_csv(std::ostream& os, const Schedule& schedule);
+
+/// Dump all communication events as CSV: from_task, to_task, from_machine,
+/// to_machine, start_cycles, finish_cycles, bits, energy.
+void write_comm_csv(std::ostream& os, const Schedule& schedule);
+
+}  // namespace ahg::sim

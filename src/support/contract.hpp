@@ -1,0 +1,56 @@
+#pragma once
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6/I.8, GSL Expects/Ensures). Violations throw rather than abort so the
+// simulator, tuner, and test harness can observe and report them.
+
+#include <stdexcept>
+#include <string>
+
+namespace ahg {
+
+/// Thrown when a precondition (caller bug) is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a postcondition or internal invariant (library bug) is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_expects(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " + file + ":" +
+                          std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+[[noreturn]] inline void fail_ensures(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw InvariantError(std::string("invariant failed: ") + expr + " at " + file + ":" +
+                       std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace ahg
+
+#define AHG_EXPECTS(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) ::ahg::detail::fail_expects(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define AHG_EXPECTS_MSG(cond, msg)                                             \
+  do {                                                                         \
+    if (!(cond)) ::ahg::detail::fail_expects(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define AHG_ENSURES(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) ::ahg::detail::fail_ensures(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define AHG_ENSURES_MSG(cond, msg)                                             \
+  do {                                                                         \
+    if (!(cond)) ::ahg::detail::fail_ensures(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,68 @@
+#include "support/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/contract.hpp"
+
+namespace ahg {
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> headers)
+    : os_(os), columns_(headers.size()) {
+  AHG_EXPECTS_MSG(columns_ > 0, "csv needs at least one column");
+  write_raw_row(headers);
+}
+
+void CsvWriter::write_raw_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::begin_row() {
+  AHG_EXPECTS_MSG(!in_row_, "begin_row while a row is open");
+  in_row_ = true;
+  fields_in_row_ = 0;
+}
+
+void CsvWriter::field(const std::string& text) {
+  AHG_EXPECTS_MSG(in_row_, "field() outside a row");
+  AHG_EXPECTS_MSG(fields_in_row_ < columns_, "too many fields in csv row");
+  if (fields_in_row_ > 0) os_ << ',';
+  os_ << escape(text);
+  ++fields_in_row_;
+}
+
+void CsvWriter::field(double value) {
+  std::ostringstream oss;
+  oss << value;
+  field(oss.str());
+}
+
+void CsvWriter::field(long long value) { field(std::to_string(value)); }
+void CsvWriter::field(unsigned long long value) { field(std::to_string(value)); }
+
+void CsvWriter::end_row() {
+  AHG_EXPECTS_MSG(in_row_, "end_row without begin_row");
+  AHG_EXPECTS_MSG(fields_in_row_ == columns_, "csv row is missing fields");
+  os_ << '\n';
+  in_row_ = false;
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& text) {
+  const bool needs_quotes =
+      text.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return text;
+  std::string out = "\"";
+  for (const char ch : text) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace ahg

@@ -1,0 +1,39 @@
+#pragma once
+// Minimal RFC-4180-ish CSV writer for trace/series export (Gantt data,
+// figure series for external plotting).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ahg {
+
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& os, std::vector<std::string> headers);
+
+  void begin_row();
+  void field(const std::string& text);
+  void field(double value);
+  void field(long long value);
+  void field(unsigned long long value);
+  void field(int value) { field(static_cast<long long>(value)); }
+  void field(std::size_t value) { field(static_cast<unsigned long long>(value)); }
+  void end_row();
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Quote a field per RFC 4180 (only when it contains comma/quote/newline).
+  static std::string escape(const std::string& text);
+
+ private:
+  std::ostream& os_;
+  std::size_t columns_;
+  std::size_t fields_in_row_ = 0;
+  std::size_t rows_ = 0;
+  bool in_row_ = false;
+  void write_raw_row(const std::vector<std::string>& cells);
+};
+
+}  // namespace ahg

@@ -1,0 +1,48 @@
+#include "support/distributions.hpp"
+
+#include <cmath>
+
+namespace ahg {
+
+namespace {
+
+// Marsaglia–Tsang (2000) for shape >= 1.
+double sample_mt(Rng& rng, double shape) {
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.next_double();
+    if (u < 1.0 - 0.0331 * (x * x) * (x * x)) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+}  // namespace
+
+double GammaDist::sample(Rng& rng) const {
+  if (shape_ >= 1.0) {
+    return scale_ * sample_mt(rng, shape_);
+  }
+  // Boost for shape < 1: X ~ Gamma(k+1) * U^{1/k}.
+  const double g = sample_mt(rng, shape_ + 1.0);
+  double u = rng.next_double();
+  while (u <= 0.0) u = rng.next_double();  // avoid log(0)/pow(0,...) underflow to 0
+  return scale_ * g * std::pow(u, 1.0 / shape_);
+}
+
+double sample_truncated_gamma(Rng& rng, const GammaDist& dist, double lo, double hi) {
+  AHG_EXPECTS_MSG(lo < hi, "truncation bounds must satisfy lo < hi");
+  for (;;) {
+    const double x = dist.sample(rng);
+    if (x >= lo && x <= hi) return x;
+  }
+}
+
+}  // namespace ahg

@@ -1,0 +1,50 @@
+#pragma once
+// Sampling distributions used by the workload generators.
+//
+// The paper generates ETC matrices with the Gamma-based "coefficient of
+// variation" (CVB) method of Ali et al. [AlS00]; that method parameterises
+// Gamma distributions by (mean, CV) rather than (shape, scale), so the
+// GammaDist here exposes both constructions.
+
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace ahg {
+
+/// Gamma(shape k, scale theta) sampler using the Marsaglia–Tsang squeeze
+/// method, with the standard k<1 boost (sample at k+1 and scale by U^{1/k}).
+class GammaDist {
+ public:
+  GammaDist(double shape, double scale) : shape_(shape), scale_(scale) {
+    AHG_EXPECTS_MSG(shape > 0.0, "gamma shape must be positive");
+    AHG_EXPECTS_MSG(scale > 0.0, "gamma scale must be positive");
+  }
+
+  /// CVB parameterisation: mean = k*theta, CV = 1/sqrt(k).
+  static GammaDist from_mean_cv(double mean, double cv) {
+    AHG_EXPECTS_MSG(mean > 0.0, "gamma mean must be positive");
+    AHG_EXPECTS_MSG(cv > 0.0, "gamma cv must be positive");
+    const double shape = 1.0 / (cv * cv);
+    return GammaDist(shape, mean / shape);
+  }
+
+  double shape() const noexcept { return shape_; }
+  double scale() const noexcept { return scale_; }
+  double mean() const noexcept { return shape_ * scale_; }
+  double variance() const noexcept { return shape_ * scale_ * scale_; }
+
+  double sample(Rng& rng) const;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Truncated gamma: resamples until the draw falls in [lo, hi]. Used where a
+/// generator needs gamma-shaped values with hard physical bounds (e.g. the
+/// per-subtask slow/fast speed ratio). `lo`/`hi` must bracket a region of
+/// non-trivial probability mass or sampling will be slow; generators in this
+/// library keep the truncation mild.
+double sample_truncated_gamma(Rng& rng, const GammaDist& dist, double lo, double hi);
+
+}  // namespace ahg

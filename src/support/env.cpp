@@ -1,0 +1,47 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace ahg {
+
+ReproScale repro_scale_from_env() {
+  const char* raw = std::getenv("REPRO_SCALE");
+  if (raw == nullptr) return ReproScale::Default;
+  const std::string value(raw);
+  if (value == "smoke") return ReproScale::Smoke;
+  if (value == "paper" || value == "full") return ReproScale::Paper;
+  return ReproScale::Default;
+}
+
+std::string to_string(ReproScale scale) {
+  switch (scale) {
+    case ReproScale::Smoke: return "smoke";
+    case ReproScale::Default: return "default";
+    case ReproScale::Paper: return "paper";
+  }
+  return "default";
+}
+
+ScaleParams scale_params(ReproScale scale) {
+  const auto seed = static_cast<std::uint64_t>(env_int("REPRO_SEED", 20040426));
+  switch (scale) {
+    case ReproScale::Smoke:
+      return ScaleParams{64, 2, 2, 0.2, 0.0, seed};
+    case ReproScale::Default:
+      return ScaleParams{256, 3, 3, 0.1, 0.0, seed};
+    case ReproScale::Paper:
+      return ScaleParams{1024, 10, 10, 0.1, 0.02, seed};
+  }
+  return ScaleParams{256, 3, 3, 0.1, 0.0, seed};
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  return value;
+}
+
+}  // namespace ahg

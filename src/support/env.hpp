@@ -1,0 +1,37 @@
+#pragma once
+// Environment-variable knobs shared by the bench executables.
+//
+// REPRO_SCALE selects how much of the paper's full experimental grid a bench
+// runs: "smoke" (seconds, CI), "default" (about a core-minute per bench),
+// "paper" (the full 10 ETC x 10 DAG grid at |T| = 1024 — hours on one core).
+
+#include <cstdint>
+#include <string>
+
+namespace ahg {
+
+enum class ReproScale { Smoke, Default, Paper };
+
+/// Parse REPRO_SCALE from the environment; unknown values fall back to
+/// Default (and the bench prints the scale it resolved, so a typo is visible).
+ReproScale repro_scale_from_env();
+
+std::string to_string(ReproScale scale);
+
+/// Scale parameters common to the figure benches.
+struct ScaleParams {
+  std::size_t num_subtasks;   ///< |T|
+  std::size_t num_etc;        ///< ETC matrices in the grid
+  std::size_t num_dag;        ///< DAGs in the grid
+  double tune_coarse_step;    ///< coarse weight-grid step (paper: 0.1)
+  double tune_fine_step;      ///< refinement step (paper: 0.02); 0 disables
+  std::uint64_t master_seed;  ///< scenario-suite master seed
+};
+
+ScaleParams scale_params(ReproScale scale);
+
+/// Integer env knob with default (e.g. REPRO_SEED); returns `fallback` when
+/// unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+}  // namespace ahg

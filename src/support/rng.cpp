@@ -1,0 +1,19 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace ahg {
+
+double Rng::normal() noexcept {
+  // Polar Box–Muller; discards the spare to keep the draw sequence simple.
+  for (;;) {
+    const double u = 2.0 * next_double() - 1.0;
+    const double v = 2.0 * next_double() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace ahg

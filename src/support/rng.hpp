@@ -1,0 +1,115 @@
+#pragma once
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every stochastic component in the library (workload generators, data-size
+// sampling) takes an explicit 64-bit seed so that a scenario is fully
+// reproducible from (master_seed, etc_index, dag_index). The engine is
+// xoshiro256++ seeded through splitmix64, which is the recommended seeding
+// procedure for the xoshiro family and is both fast and statistically strong
+// for simulation workloads.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace ahg {
+
+/// splitmix64: used for seed expansion and for deriving independent child
+/// seeds from a parent seed plus a stream index.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derive an independent child seed from a parent seed and a stream index.
+/// Used to give each ETC matrix / DAG / data-size table its own stream.
+constexpr std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) noexcept {
+  SplitMix64 sm(parent ^ (0xa0761d6478bd642fULL * (stream + 1)));
+  sm.next();
+  return sm.next();
+}
+
+/// xoshiro256++ engine. Satisfies the essentials of UniformRandomBitGenerator
+/// so it can also be plugged into <random> distributions if ever needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection-free
+  /// reduction (bias is negligible for n << 2^64, and we additionally reject
+  /// to make it exact).
+  std::uint64_t uniform_below(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_below(span));
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Standard normal via the polar Box–Muller method (no cached spare so the
+  /// generator state is a pure function of the draw count).
+  double normal() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ahg

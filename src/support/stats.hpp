@@ -1,0 +1,54 @@
+#pragma once
+// Streaming and batch statistics used by the experiment harness and the
+// Table 3 / Figure 3 reports (which quote mean, standard deviation, min, max).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ahg {
+
+/// Welford streaming accumulator: numerically stable mean/variance plus
+/// min/max tracking. Sample (n-1) variance, matching how the paper quotes
+/// standard deviations over its ten ETC matrices.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance, 0 when n < 2
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merge another accumulator (parallel reduction support).
+  void merge(const Accumulator& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary snapshot of an Accumulator, convenient for tabular reports.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const Accumulator& acc) noexcept;
+Summary summarize(std::span<const double> values) noexcept;
+
+/// Linear-interpolated percentile (p in [0,100]) of an unsorted sample.
+/// Copies and sorts; intended for report generation, not hot paths.
+double percentile(std::span<const double> values, double p);
+
+}  // namespace ahg

@@ -1,0 +1,102 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/contract.hpp"
+
+namespace ahg {
+
+TextTable::TextTable(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  AHG_EXPECTS_MSG(!headers_.empty(), "table needs at least one column");
+  if (aligns_.empty()) {
+    aligns_.assign(headers_.size(), Align::Right);
+    aligns_.front() = Align::Left;
+  }
+  AHG_EXPECTS_MSG(aligns_.size() == headers_.size(), "one alignment per column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  AHG_EXPECTS_MSG(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::begin_row() {
+  flush_pending();
+  building_ = true;
+}
+
+void TextTable::flush_pending() {
+  if (building_) {
+    add_row(std::move(pending_));
+    pending_.clear();
+    building_ = false;
+  }
+}
+
+void TextTable::cell(std::string text) {
+  AHG_EXPECTS_MSG(building_, "cell() outside begin_row()");
+  AHG_EXPECTS_MSG(pending_.size() < headers_.size(), "too many cells in row");
+  pending_.push_back(std::move(text));
+}
+
+void TextTable::cell(double value, int precision) { cell(format_fixed(value, precision)); }
+
+void TextTable::cell(long long value) { cell(std::to_string(value)); }
+
+void TextTable::cell(unsigned long long value) { cell(std::to_string(value)); }
+
+void TextTable::render(std::ostream& os) const {
+  // NOTE: render() is const; finish any pending row through a const_cast-free
+  // path by requiring callers to have completed rows. We flush lazily in
+  // begin_row()/str(); here we just assert balance.
+  AHG_EXPECTS_MSG(!building_ || pending_.size() == headers_.size(),
+                  "render() with an incomplete row in progress");
+  std::vector<std::vector<std::string>> rows = rows_;
+  if (building_ && pending_.size() == headers_.size()) rows.push_back(pending_);
+
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << " | ";
+      const auto pad = widths[c] - row[c].size();
+      if (aligns_[c] == Align::Right) os << std::string(pad, ' ') << row[c];
+      else os << row[c] << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << "-+-";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows) emit(row);
+}
+
+std::string TextTable::str() const {
+  std::ostringstream oss;
+  render(oss);
+  return oss.str();
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string format_mean_sd(double mean, double sd, int precision) {
+  return format_fixed(mean, precision) + " (" + format_fixed(sd, precision) + ")";
+}
+
+}  // namespace ahg

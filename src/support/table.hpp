@@ -1,0 +1,58 @@
+#pragma once
+// ASCII table rendering for the bench harness: every table/figure bench
+// prints a paper-style table of rows/series to stdout.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ahg {
+
+enum class Align { Left, Right };
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendered with a header rule and column separators:
+///
+///   Configuration | # Fast | # Slow
+///   --------------+--------+-------
+///   Case A        |      2 |      2
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns = {});
+
+  std::size_t columns() const noexcept { return headers_.size(); }
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Append a fully-specified row; must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Row-builder interface: begin_row, then cell(...) per column.
+  void begin_row();
+  void cell(std::string text);
+  void cell(double value, int precision = 2);
+  void cell(long long value);
+  void cell(unsigned long long value);
+  void cell(int value) { cell(static_cast<long long>(value)); }
+  void cell(std::size_t value) { cell(static_cast<unsigned long long>(value)); }
+
+  void render(std::ostream& os) const;
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+  bool building_ = false;
+  void flush_pending();
+};
+
+/// Format a double with fixed precision (report helper).
+std::string format_fixed(double value, int precision);
+
+/// Format "mean (sd)" the way the paper's Table 3 quotes statistics.
+std::string format_mean_sd(double mean, double sd, int precision = 2);
+
+}  // namespace ahg

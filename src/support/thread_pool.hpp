@@ -1,0 +1,67 @@
+#pragma once
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The weight tuner and the figure benches sweep many independent
+// (scenario, alpha, beta) combinations; this pool lets those sweeps scale
+// with available cores while keeping results deterministic (work items are
+// indexed, outputs are written to pre-sized slots, no ordering dependence).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace ahg {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      AHG_EXPECTS_MSG(!stopping_, "submit on a stopped ThreadPool");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [begin, end). Blocks until all iterations finish.
+  /// Exceptions from iterations are rethrown (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience: a process-wide pool sized to the hardware. Constructed on
+/// first use; suitable for benches and the tuner.
+ThreadPool& global_pool();
+
+}  // namespace ahg

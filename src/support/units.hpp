@@ -1,0 +1,41 @@
+#pragma once
+// Time and identifier units shared across the simulator and heuristics.
+//
+// The paper's simulation is clock-driven with one clock cycle = 0.1 s; all
+// scheduling arithmetic in this library is done in integer cycles so the
+// discrete-event core is exact (no floating-point drift in start/finish
+// times). Energy is a double in abstract "energy units" (Table 2).
+
+#include <cstdint>
+
+namespace ahg {
+
+/// Discrete simulation time, in clock cycles.
+using Cycles = std::int64_t;
+
+/// Clock cycles per simulated second (paper: one cycle = 0.1 s).
+inline constexpr Cycles kCyclesPerSecond = 10;
+
+/// Convert seconds to cycles, rounding up so durations never shrink: a task
+/// that needs 1.01 s occupies 11 cycles, not 10. Ceil keeps every feasibility
+/// check conservative.
+constexpr Cycles cycles_from_seconds(double seconds) noexcept {
+  const double scaled = seconds * static_cast<double>(kCyclesPerSecond);
+  const auto floor_cycles = static_cast<Cycles>(scaled);
+  return (static_cast<double>(floor_cycles) < scaled) ? floor_cycles + 1 : floor_cycles;
+}
+
+constexpr double seconds_from_cycles(Cycles cycles) noexcept {
+  return static_cast<double>(cycles) / static_cast<double>(kCyclesPerSecond);
+}
+
+/// Index of a subtask within the application DAG.
+using TaskId = std::int32_t;
+
+/// Index of a machine within the grid.
+using MachineId = std::int32_t;
+
+inline constexpr TaskId kInvalidTask = -1;
+inline constexpr MachineId kInvalidMachine = -1;
+
+}  // namespace ahg

@@ -1,0 +1,18 @@
+#pragma once
+// Subtask version tag (paper §III): each subtask has a full-capability
+// "primary" version and a reduced "secondary" version. The tag itself is
+// shared by the simulator (schedule records) and the workload model (version
+// scaling rules live in workload::VersionModel).
+
+#include <cstdint>
+#include <string>
+
+namespace ahg {
+
+enum class VersionKind : std::uint8_t { Primary, Secondary };
+
+inline std::string to_string(VersionKind kind) {
+  return kind == VersionKind::Primary ? "primary" : "secondary";
+}
+
+}  // namespace ahg

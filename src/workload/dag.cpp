@@ -1,0 +1,117 @@
+#include "workload/dag.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/contract.hpp"
+
+namespace ahg::workload {
+
+Dag::Dag(std::size_t num_nodes) : parents_(num_nodes), children_(num_nodes) {
+  AHG_EXPECTS_MSG(num_nodes > 0, "DAG needs at least one node");
+}
+
+void Dag::check_node(TaskId node) const {
+  AHG_EXPECTS_MSG(node >= 0 && static_cast<std::size_t>(node) < num_nodes(),
+                  "node id out of range");
+}
+
+void Dag::add_edge(TaskId parent, TaskId child) {
+  check_node(parent);
+  check_node(child);
+  AHG_EXPECTS_MSG(parent != child, "self-loop");
+  AHG_EXPECTS_MSG(!has_edge(parent, child), "duplicate edge");
+  parents_[static_cast<std::size_t>(child)].push_back(parent);
+  children_[static_cast<std::size_t>(parent)].push_back(child);
+  ++num_edges_;
+}
+
+bool Dag::has_edge(TaskId parent, TaskId child) const {
+  check_node(parent);
+  check_node(child);
+  const auto& kids = children_[static_cast<std::size_t>(parent)];
+  return std::find(kids.begin(), kids.end(), child) != kids.end();
+}
+
+std::span<const TaskId> Dag::parents(TaskId node) const {
+  check_node(node);
+  return parents_[static_cast<std::size_t>(node)];
+}
+
+std::span<const TaskId> Dag::children(TaskId node) const {
+  check_node(node);
+  return children_[static_cast<std::size_t>(node)];
+}
+
+std::vector<TaskId> Dag::roots() const {
+  std::vector<TaskId> out;
+  for (std::size_t i = 0; i < num_nodes(); ++i) {
+    if (parents_[i].empty()) out.push_back(static_cast<TaskId>(i));
+  }
+  return out;
+}
+
+std::vector<TaskId> Dag::leaves() const {
+  std::vector<TaskId> out;
+  for (std::size_t i = 0; i < num_nodes(); ++i) {
+    if (children_[i].empty()) out.push_back(static_cast<TaskId>(i));
+  }
+  return out;
+}
+
+bool Dag::is_acyclic() const {
+  std::vector<std::size_t> indegree(num_nodes());
+  for (std::size_t i = 0; i < num_nodes(); ++i) indegree[i] = parents_[i].size();
+  std::queue<TaskId> ready;
+  for (std::size_t i = 0; i < num_nodes(); ++i) {
+    if (indegree[i] == 0) ready.push(static_cast<TaskId>(i));
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const TaskId node = ready.front();
+    ready.pop();
+    ++visited;
+    for (const TaskId child : children_[static_cast<std::size_t>(node)]) {
+      if (--indegree[static_cast<std::size_t>(child)] == 0) ready.push(child);
+    }
+  }
+  return visited == num_nodes();
+}
+
+std::vector<TaskId> Dag::topological_order() const {
+  std::vector<std::size_t> indegree(num_nodes());
+  for (std::size_t i = 0; i < num_nodes(); ++i) indegree[i] = parents_[i].size();
+  // min-heap on node id for a deterministic order
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (std::size_t i = 0; i < num_nodes(); ++i) {
+    if (indegree[i] == 0) ready.push(static_cast<TaskId>(i));
+  }
+  std::vector<TaskId> order;
+  order.reserve(num_nodes());
+  while (!ready.empty()) {
+    const TaskId node = ready.top();
+    ready.pop();
+    order.push_back(node);
+    for (const TaskId child : children_[static_cast<std::size_t>(node)]) {
+      if (--indegree[static_cast<std::size_t>(child)] == 0) ready.push(child);
+    }
+  }
+  AHG_ENSURES_MSG(order.size() == num_nodes(), "topological_order on a cyclic graph");
+  return order;
+}
+
+std::size_t Dag::depth() const {
+  const auto order = topological_order();
+  std::vector<std::size_t> level(num_nodes(), 1);
+  std::size_t best = 1;
+  for (const TaskId node : order) {
+    for (const TaskId child : children_[static_cast<std::size_t>(node)]) {
+      auto& lc = level[static_cast<std::size_t>(child)];
+      lc = std::max(lc, level[static_cast<std::size_t>(node)] + 1);
+      best = std::max(best, lc);
+    }
+  }
+  return best;
+}
+
+}  // namespace ahg::workload

@@ -1,0 +1,57 @@
+#pragma once
+// Directed acyclic graph of subtask precedence constraints.
+//
+// The application in the paper is a single task of |T| = 1024 communicating
+// subtasks whose dependencies form a DAG; a subtask becomes schedulable when
+// all of its parents are mapped, and can start once all parent outputs have
+// arrived at its machine.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace ahg::workload {
+
+/// Immutable-after-build DAG with O(1) parent/child adjacency.
+class Dag {
+ public:
+  /// An empty DAG over `num_nodes` isolated nodes.
+  explicit Dag(std::size_t num_nodes);
+
+  std::size_t num_nodes() const noexcept { return parents_.size(); }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Add edge parent -> child. Rejects self-loops, out-of-range ids, and
+  /// duplicate edges. Cycle detection is deferred to validate() (adding edges
+  /// in generator order is always forward, but hand-built DAGs are checked).
+  void add_edge(TaskId parent, TaskId child);
+
+  bool has_edge(TaskId parent, TaskId child) const;
+
+  std::span<const TaskId> parents(TaskId node) const;
+  std::span<const TaskId> children(TaskId node) const;
+
+  /// Nodes with no parents / no children.
+  std::vector<TaskId> roots() const;
+  std::vector<TaskId> leaves() const;
+
+  /// True iff the edge set is acyclic (Kahn's algorithm).
+  bool is_acyclic() const;
+
+  /// A topological order; requires is_acyclic(). Deterministic: smallest node
+  /// id first among ready nodes.
+  std::vector<TaskId> topological_order() const;
+
+  /// Length (in nodes) of the longest path; requires is_acyclic().
+  std::size_t depth() const;
+
+ private:
+  void check_node(TaskId node) const;
+  std::vector<std::vector<TaskId>> parents_;
+  std::vector<std::vector<TaskId>> children_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace ahg::workload

@@ -1,0 +1,68 @@
+#include "workload/dag_generator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace ahg::workload {
+
+Dag generate_dag(const DagGeneratorParams& params, std::uint64_t seed) {
+  AHG_EXPECTS_MSG(params.num_nodes >= 1, "need at least one node");
+  AHG_EXPECTS_MSG(params.mean_level_width >= 1, "level width must be positive");
+  AHG_EXPECTS_MSG(params.max_fan_in >= 1, "fan-in bound must be positive");
+  AHG_EXPECTS_MSG(params.extra_parent_prob >= 0.0 && params.extra_parent_prob <= 1.0,
+                  "probability out of range");
+  AHG_EXPECTS_MSG(params.long_edge_prob >= 0.0 && params.long_edge_prob <= 1.0,
+                  "probability out of range");
+
+  Rng rng(seed);
+  Dag dag(params.num_nodes);
+
+  // Partition the node ids [0, N) into consecutive layers. Node ids increase
+  // with layer index, so every generated edge points forward and the result
+  // is acyclic by construction.
+  std::vector<std::pair<TaskId, TaskId>> layers;  // [begin, end) per layer
+  {
+    const auto mean = static_cast<std::int64_t>(params.mean_level_width);
+    TaskId next = 0;
+    const auto total = static_cast<TaskId>(params.num_nodes);
+    while (next < total) {
+      const std::int64_t lo = std::max<std::int64_t>(1, mean / 2);
+      const std::int64_t hi = std::max<std::int64_t>(lo, (3 * mean) / 2);
+      auto width = static_cast<TaskId>(rng.uniform_int(lo, hi));
+      width = std::min<TaskId>(width, total - next);
+      layers.emplace_back(next, next + width);
+      next += width;
+    }
+  }
+
+  // Connect each non-first-layer node to parents from earlier layers.
+  for (std::size_t layer = 1; layer < layers.size(); ++layer) {
+    const auto [begin, end] = layers[layer];
+    for (TaskId node = begin; node < end; ++node) {
+      std::size_t fan_in = 1;
+      while (fan_in < params.max_fan_in && rng.bernoulli(params.extra_parent_prob)) {
+        ++fan_in;
+      }
+      for (std::size_t k = 0; k < fan_in; ++k) {
+        // Pick the source layer: usually the previous one, occasionally a
+        // uniformly chosen earlier layer (long-range edge).
+        std::size_t src_layer = layer - 1;
+        if (layer >= 2 && rng.bernoulli(params.long_edge_prob)) {
+          src_layer = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(layer) - 1));
+        }
+        const auto [sb, se] = layers[src_layer];
+        const auto parent = static_cast<TaskId>(rng.uniform_int(sb, se - 1));
+        if (!dag.has_edge(parent, node)) dag.add_edge(parent, node);
+      }
+    }
+  }
+
+  AHG_ENSURES_MSG(dag.is_acyclic(), "generated DAG must be acyclic");
+  return dag;
+}
+
+}  // namespace ahg::workload

@@ -1,0 +1,37 @@
+#pragma once
+// Random layered DAG generator.
+//
+// The paper draws its ten DAGs with the method of Shivle et al. [ShC04]
+// (HCW 2004), which is not publicly specified in the paper; we substitute a
+// layered random generator with the same structural knobs that family of
+// generators exposes (node count, level width, fan-in/out bounds). See
+// DESIGN.md §3 — only the precedence structure matters to the heuristics, so
+// any layered random DAG with comparable depth/width exercises identical
+// code paths.
+
+#include <cstdint>
+
+#include "workload/dag.hpp"
+
+namespace ahg::workload {
+
+struct DagGeneratorParams {
+  std::size_t num_nodes = 1024;
+  /// Mean number of nodes per level; actual widths are uniform in
+  /// [max(1, mean/2), 3*mean/2].
+  std::size_t mean_level_width = 32;
+  /// Upper bound on parents per node (fan-in). Every non-root gets >= 1.
+  std::size_t max_fan_in = 4;
+  /// Probability that a node links to an extra parent beyond the first.
+  double extra_parent_prob = 0.35;
+  /// Probability that a parent is drawn from a level further back than the
+  /// immediately preceding one (long-range dependence).
+  double long_edge_prob = 0.15;
+};
+
+/// Generate a connected, acyclic, layered DAG. Deterministic in `seed`.
+/// Guarantees: node 0 is a root; every non-root node has at least one
+/// parent in an earlier layer; fan-in <= params.max_fan_in.
+Dag generate_dag(const DagGeneratorParams& params, std::uint64_t seed);
+
+}  // namespace ahg::workload

@@ -1,0 +1,36 @@
+#include "workload/data_sizes.hpp"
+
+#include <algorithm>
+
+#include "support/contract.hpp"
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace ahg::workload {
+
+void DataSizes::set_bits(TaskId parent, TaskId child, double bits) {
+  AHG_EXPECTS_MSG(bits >= 0.0, "data size must be non-negative");
+  bits_[key(parent, child)] = bits;
+}
+
+double DataSizes::bits(TaskId parent, TaskId child) const noexcept {
+  const auto it = bits_.find(key(parent, child));
+  return it == bits_.end() ? 0.0 : it->second;
+}
+
+DataSizes generate_data_sizes(const DataSizeParams& params, const Dag& dag,
+                              std::uint64_t seed) {
+  AHG_EXPECTS_MSG(params.mean_bits > 0.0, "mean data size must be positive");
+  Rng rng(seed);
+  const GammaDist dist = GammaDist::from_mean_cv(params.mean_bits, params.cv);
+  DataSizes sizes;
+  for (std::size_t node = 0; node < dag.num_nodes(); ++node) {
+    const auto parent = static_cast<TaskId>(node);
+    for (const TaskId child : dag.children(parent)) {
+      sizes.set_bits(parent, child, std::max(params.min_bits, dist.sample(rng)));
+    }
+  }
+  return sizes;
+}
+
+}  // namespace ahg::workload

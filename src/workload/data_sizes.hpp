@@ -1,0 +1,48 @@
+#pragma once
+// Sizes of the global data items g(p, c) communicated along DAG edges
+// (paper §III). The paper draws these with the method of [ShC04], which is
+// not publicly specified; we substitute Gamma-distributed sizes whose mean
+// keeps transfer time well below compute time, matching the paper's
+// observation that "the communications energy proved to be a negligible
+// factor" (see DESIGN.md §3).
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "support/units.hpp"
+#include "workload/dag.hpp"
+
+namespace ahg::workload {
+
+/// Per-edge data volumes (bits of PRIMARY-version output along each edge).
+class DataSizes {
+ public:
+  DataSizes() = default;
+
+  void set_bits(TaskId parent, TaskId child, double bits);
+
+  /// Bits transferred parent -> child when the parent ran its primary
+  /// version. Zero if the edge carries no data (or does not exist).
+  double bits(TaskId parent, TaskId child) const noexcept;
+
+  std::size_t num_entries() const noexcept { return bits_.size(); }
+
+ private:
+  static std::uint64_t key(TaskId parent, TaskId child) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(parent)) << 32) |
+           static_cast<std::uint32_t>(child);
+  }
+  std::unordered_map<std::uint64_t, double> bits_;
+};
+
+struct DataSizeParams {
+  double mean_bits = 4.0e6;  ///< ~4 Mbit: ~0.5-1 s per hop at 4-8 Mbit/s links
+  double cv = 0.5;
+  double min_bits = 1.0e4;
+};
+
+/// Draw one size per DAG edge. Deterministic in `seed`.
+DataSizes generate_data_sizes(const DataSizeParams& params, const Dag& dag,
+                              std::uint64_t seed);
+
+}  // namespace ahg::workload

@@ -1,0 +1,40 @@
+#pragma once
+// Generators for the dynamic-environment extensions (DESIGN.md §8): subtask
+// arrival (release) times and communication-link outages. Both model the ad
+// hoc grid behaviours the paper's introduction motivates but its initial
+// study simplifies away.
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/scenario.hpp"
+
+namespace ahg::workload {
+
+struct ReleaseParams {
+  /// Fraction of tau over which arrivals spread: a subtask's release is
+  /// uniform in [release(parents), spread_fraction * tau], so releases stay
+  /// monotone along DAG edges. 0 reproduces the paper's all-at-once study.
+  double spread_fraction = 0.25;
+};
+
+/// Draw monotone release times for every subtask. Deterministic in `seed`.
+std::vector<Cycles> generate_release_times(const ReleaseParams& params, const Dag& dag,
+                                           Cycles tau, std::uint64_t seed);
+
+struct OutageParams {
+  /// Expected number of outages per machine over the whole window.
+  double outages_per_machine = 4.0;
+  /// Outage durations are Gamma-distributed with this mean (seconds).
+  double mean_duration_seconds = 60.0;
+  double duration_cv = 0.7;
+};
+
+/// Draw link outages (tx+rx blackout windows) per machine, non-overlapping
+/// within a machine. Deterministic in `seed`.
+std::vector<Scenario::LinkOutage> generate_link_outages(const OutageParams& params,
+                                                        std::size_t num_machines,
+                                                        Cycles tau,
+                                                        std::uint64_t seed);
+
+}  // namespace ahg::workload

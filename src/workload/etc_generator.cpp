@@ -1,0 +1,52 @@
+#include "workload/etc_generator.hpp"
+
+#include <algorithm>
+
+#include "support/contract.hpp"
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace ahg::workload {
+
+EtcMatrix generate_etc(const EtcGeneratorParams& params,
+                       std::size_t num_tasks,
+                       const std::vector<sim::MachineClass>& machine_classes,
+                       std::uint64_t seed) {
+  AHG_EXPECTS_MSG(num_tasks > 0, "need at least one task");
+  AHG_EXPECTS_MSG(!machine_classes.empty(), "need at least one machine");
+  AHG_EXPECTS_MSG(params.task_mean_seconds > 0.0, "task mean must be positive");
+  AHG_EXPECTS_MSG(params.speed_ratio_min > 0.0 &&
+                      params.speed_ratio_min < params.speed_ratio_max,
+                  "speed ratio truncation must be a valid positive interval");
+
+  Rng rng(seed);
+  const GammaDist task_dist =
+      GammaDist::from_mean_cv(params.task_mean_seconds, params.task_cv);
+  const GammaDist machine_dist = GammaDist::from_mean_cv(1.0, params.machine_cv);
+  const GammaDist ratio_dist =
+      GammaDist::from_mean_cv(params.speed_ratio_mean, params.speed_ratio_cv);
+
+  EtcMatrix etc(num_tasks, machine_classes.size());
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    const double nominal = std::max(params.min_task_seconds, task_dist.sample(rng));
+    const double ratio = sample_truncated_gamma(rng, ratio_dist, params.speed_ratio_min,
+                                                params.speed_ratio_max);
+    for (std::size_t j = 0; j < machine_classes.size(); ++j) {
+      const double noise = machine_dist.sample(rng);
+      const double base =
+          machine_classes[j] == sim::MachineClass::Fast ? nominal / ratio : nominal;
+      const double secs = std::max(params.min_task_seconds, base * noise);
+      etc.set_seconds(static_cast<TaskId>(i), static_cast<MachineId>(j), secs);
+    }
+  }
+  return etc;
+}
+
+std::vector<sim::MachineClass> machine_classes(const sim::GridConfig& grid) {
+  std::vector<sim::MachineClass> classes;
+  classes.reserve(grid.num_machines());
+  for (const auto& machine : grid.machines()) classes.push_back(machine.cls);
+  return classes;
+}
+
+}  // namespace ahg::workload

@@ -1,0 +1,69 @@
+#pragma once
+// ETC matrix generation following the Gamma-distribution (CVB) method of
+// Ali et al. [AlS00], specialised to the paper's two machine classes.
+//
+// Model (see DESIGN.md §3/§4 for calibration rationale):
+//   q_i        ~ Gamma(mean = task_mean_seconds, CV = task_cv)
+//                 — the nominal execution time of subtask i on a SLOW machine
+//   r_i        ~ truncated Gamma(mean = speed_ratio_mean, CV = speed_ratio_cv)
+//                 — the fast/slow speed ratio for subtask i ("the exact ratio
+//                   was determined randomly for each subtask")
+//   g_{i,j}    ~ Gamma(mean = 1, CV = machine_cv)
+//                 — per-entry machine heterogeneity noise
+//
+//   ETC(i, j) = q_i           * g_{i,j}    if machine j is slow
+//   ETC(i, j) = (q_i / r_i)   * g_{i,j}    if machine j is fast
+//
+// Calibration: task_mean_seconds = 131 s is the paper's quoted per-subtask
+// mean; identifying it with the slow-machine nominal time is the only
+// interpretation consistent with the paper's Table 4 (upper bound = 1024 for
+// Cases A/B, cycle-limited ~650-900 for Case C) and with tau = 34 075 s
+// forcing load balancing (fast machines energy-bound near 440 primaries,
+// slow machines time-bound near 260).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/grid.hpp"
+#include "sim/machine.hpp"
+#include "workload/etc_matrix.hpp"
+
+namespace ahg::workload {
+
+struct EtcGeneratorParams {
+  /// Mean NOMINAL (slow-machine) execution time. The default is derived from
+  /// the paper's "mean estimated execution time for a single subtask of
+  /// 131 seconds", read as the mean over all Case-A ETC entries: with 2 fast
+  /// and 2 slow machines and a fast/slow ratio near 10, nominal = 131 * 2 /
+  /// (1 + E[1/ratio]*...) ~ 238 s (fast entries then average ~26 s, slow
+  /// ~238 s, grand mean ~131 s). This reading is the only one under which
+  /// tau = 34 075 s "forces load balancing" as the paper states: all-primary
+  /// capacity in Case A is ~773 of 1024 subtasks (fast machines energy-bound
+  /// near 243 primaries each, slow machines time-bound near 143 each), so
+  /// heuristics must mix versions — which is exactly the regime Figures 4-5
+  /// report (T100 near 60 % of the upper bound).
+  double task_mean_seconds = 238.0;
+  /// Heterogeneity knobs, calibrated so the Table-3 minimum-ratio statistics
+  /// at |T| = 1024 land in the paper's band (second fast machine MR near
+  /// 0.26-0.28, slow machines near 1.55-1.74); see tests/test_calibration.
+  double task_cv = 0.5;              ///< task heterogeneity
+  double machine_cv = 0.27;          ///< per-entry machine heterogeneity
+  double speed_ratio_mean = 10.0;    ///< fast machines ~10x faster on average
+  double speed_ratio_cv = 0.3;       ///< spread of the per-subtask ratio
+  double speed_ratio_min = 3.5;      ///< physical truncation of the ratio
+  double speed_ratio_max = 30.0;
+  double min_task_seconds = 1.0;     ///< floor on any generated ETC entry
+};
+
+/// Generate ETC for `num_tasks` subtasks over the given machine classes.
+/// Deterministic in `seed`. The machine-class vector normally comes from a
+/// GridConfig (Case A ordering: fast, fast, slow, slow).
+EtcMatrix generate_etc(const EtcGeneratorParams& params,
+                       std::size_t num_tasks,
+                       const std::vector<sim::MachineClass>& machine_classes,
+                       std::uint64_t seed);
+
+/// Machine-class vector of a grid, in machine-id order.
+std::vector<sim::MachineClass> machine_classes(const sim::GridConfig& grid);
+
+}  // namespace ahg::workload

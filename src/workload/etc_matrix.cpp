@@ -1,0 +1,59 @@
+#include "workload/etc_matrix.hpp"
+
+#include "support/contract.hpp"
+
+namespace ahg::workload {
+
+EtcMatrix::EtcMatrix(std::size_t num_tasks, std::size_t num_machines)
+    : num_tasks_(num_tasks),
+      num_machines_(num_machines),
+      seconds_(num_tasks * num_machines, 0.0) {
+  AHG_EXPECTS_MSG(num_tasks > 0, "ETC needs at least one task");
+  AHG_EXPECTS_MSG(num_machines > 0, "ETC needs at least one machine");
+}
+
+std::size_t EtcMatrix::index(TaskId task, MachineId machine) const {
+  AHG_EXPECTS_MSG(task >= 0 && static_cast<std::size_t>(task) < num_tasks_,
+                  "task id out of range");
+  AHG_EXPECTS_MSG(machine >= 0 && static_cast<std::size_t>(machine) < num_machines_,
+                  "machine id out of range");
+  return static_cast<std::size_t>(task) * num_machines_ + static_cast<std::size_t>(machine);
+}
+
+double EtcMatrix::seconds(TaskId task, MachineId machine) const {
+  return seconds_[index(task, machine)];
+}
+
+void EtcMatrix::set_seconds(TaskId task, MachineId machine, double secs) {
+  AHG_EXPECTS_MSG(secs > 0.0, "execution time must be positive");
+  seconds_[index(task, machine)] = secs;
+}
+
+Cycles EtcMatrix::cycles(TaskId task, MachineId machine) const {
+  return cycles_from_seconds(seconds(task, machine));
+}
+
+EtcMatrix EtcMatrix::without_machine(MachineId machine) const {
+  AHG_EXPECTS_MSG(machine >= 0 && static_cast<std::size_t>(machine) < num_machines_,
+                  "machine id out of range");
+  AHG_EXPECTS_MSG(num_machines_ > 1, "cannot drop the last machine");
+  EtcMatrix out(num_tasks_, num_machines_ - 1);
+  for (std::size_t i = 0; i < num_tasks_; ++i) {
+    MachineId dst = 0;
+    for (std::size_t j = 0; j < num_machines_; ++j) {
+      if (static_cast<MachineId>(j) == machine) continue;
+      out.set_seconds(static_cast<TaskId>(i), dst,
+                      seconds(static_cast<TaskId>(i), static_cast<MachineId>(j)));
+      ++dst;
+    }
+  }
+  return out;
+}
+
+double EtcMatrix::mean() const noexcept {
+  double total = 0.0;
+  for (const double v : seconds_) total += v;
+  return total / static_cast<double>(seconds_.size());
+}
+
+}  // namespace ahg::workload

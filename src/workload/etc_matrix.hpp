@@ -1,0 +1,41 @@
+#pragma once
+// Estimated-time-to-compute matrix: ETC(i, j) is the estimated execution
+// time in seconds of subtask i's PRIMARY version on machine j (paper §III).
+// Secondary-version times are derived via the VersionModel (10 % of primary).
+
+#include <cstddef>
+#include <vector>
+
+#include "support/units.hpp"
+
+namespace ahg::workload {
+
+class EtcMatrix {
+ public:
+  EtcMatrix(std::size_t num_tasks, std::size_t num_machines);
+
+  std::size_t num_tasks() const noexcept { return num_tasks_; }
+  std::size_t num_machines() const noexcept { return num_machines_; }
+
+  /// Primary-version execution time of task i on machine j, seconds.
+  double seconds(TaskId task, MachineId machine) const;
+  void set_seconds(TaskId task, MachineId machine, double secs);
+
+  /// Primary-version execution time in integer clock cycles (ceil).
+  Cycles cycles(TaskId task, MachineId machine) const;
+
+  /// Drop one machine column (grid degradation); remaining columns keep
+  /// their relative order, mirroring GridConfig::without_machine.
+  EtcMatrix without_machine(MachineId machine) const;
+
+  /// Mean over all entries (diagnostics / calibration tests).
+  double mean() const noexcept;
+
+ private:
+  std::size_t index(TaskId task, MachineId machine) const;
+  std::size_t num_tasks_;
+  std::size_t num_machines_;
+  std::vector<double> seconds_;  // row-major [task][machine]
+};
+
+}  // namespace ahg::workload

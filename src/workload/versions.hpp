@@ -1,0 +1,49 @@
+#pragma once
+// Primary/secondary subtask version scaling (paper §III).
+//
+// Each subtask has two executable versions. The secondary version uses 10 %
+// of the primary's time (and hence, at a fixed machine power draw, 10 % of
+// its energy) and transfers 10 % of the output data to child subtasks. It
+// provides reduced value but widens the mapper's options under tight energy
+// and time constraints.
+
+#include "support/contract.hpp"
+#include "support/units.hpp"
+#include "support/version.hpp"
+
+namespace ahg::workload {
+
+using ahg::VersionKind;
+
+struct VersionModel {
+  /// Secondary execution time as a fraction of primary (paper: 0.1).
+  double secondary_time_factor = 0.1;
+  /// Secondary output data volume as a fraction of primary (paper: 0.1).
+  double secondary_data_factor = 0.1;
+
+  void validate() const {
+    AHG_EXPECTS_MSG(secondary_time_factor > 0.0 && secondary_time_factor <= 1.0,
+                    "secondary time factor must be in (0, 1]");
+    AHG_EXPECTS_MSG(secondary_data_factor >= 0.0 && secondary_data_factor <= 1.0,
+                    "secondary data factor must be in [0, 1]");
+  }
+
+  /// Execution duration in cycles for a version given the primary duration
+  /// in seconds. Ceil rounding keeps durations conservative; every version
+  /// occupies at least one cycle.
+  Cycles exec_cycles(double primary_seconds, VersionKind kind) const noexcept {
+    const double secs = kind == VersionKind::Primary
+                            ? primary_seconds
+                            : primary_seconds * secondary_time_factor;
+    const Cycles c = cycles_from_seconds(secs);
+    return c > 0 ? c : 1;
+  }
+
+  /// Output data volume in bits for a version given the primary volume.
+  double output_bits(double primary_bits, VersionKind kind) const noexcept {
+    return kind == VersionKind::Primary ? primary_bits
+                                        : primary_bits * secondary_data_factor;
+  }
+};
+
+}  // namespace ahg::workload

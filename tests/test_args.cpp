@@ -1,0 +1,122 @@
+#include "support/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ahg {
+namespace {
+
+bool parse(ArgParser& parser, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+ArgParser make_parser() {
+  ArgParser p("prog", "test program");
+  p.add_string("name", "default", "a string");
+  p.add_int("count", 7, "an int");
+  p.add_double("ratio", 0.5, "a double");
+  p.add_flag("verbose", "a flag");
+  return p;
+}
+
+TEST(Args, DefaultsApplyWhenUnset) {
+  auto p = make_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get_string("name"), "default");
+  EXPECT_EQ(p.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.5);
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(Args, SpaceSeparatedValues) {
+  auto p = make_parser();
+  ASSERT_TRUE(parse(p, {"--name", "alice", "--count", "42", "--ratio", "0.25"}));
+  EXPECT_EQ(p.get_string("name"), "alice");
+  EXPECT_EQ(p.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.25);
+}
+
+TEST(Args, EqualsSeparatedValues) {
+  auto p = make_parser();
+  ASSERT_TRUE(parse(p, {"--name=bob", "--count=-3"}));
+  EXPECT_EQ(p.get_string("name"), "bob");
+  EXPECT_EQ(p.get_int("count"), -3);
+}
+
+TEST(Args, FlagSetsTrue) {
+  auto p = make_parser();
+  ASSERT_TRUE(parse(p, {"--verbose"}));
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(Args, UnknownOptionFails) {
+  auto p = make_parser();
+  EXPECT_FALSE(parse(p, {"--bogus", "1"}));
+  EXPECT_TRUE(p.error());
+}
+
+TEST(Args, MissingValueFails) {
+  auto p = make_parser();
+  EXPECT_FALSE(parse(p, {"--name"}));
+  EXPECT_TRUE(p.error());
+}
+
+TEST(Args, NonNumericIntFails) {
+  auto p = make_parser();
+  EXPECT_FALSE(parse(p, {"--count", "abc"}));
+  EXPECT_TRUE(p.error());
+}
+
+TEST(Args, FlagWithValueFails) {
+  auto p = make_parser();
+  EXPECT_FALSE(parse(p, {"--verbose=yes"}));
+  EXPECT_TRUE(p.error());
+}
+
+TEST(Args, HelpReturnsFalseWithoutError) {
+  auto p = make_parser();
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(parse(p, {"--help"}));
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_FALSE(p.error());
+  EXPECT_NE(out.find("test program"), std::string::npos);
+  EXPECT_NE(out.find("--count"), std::string::npos);
+}
+
+TEST(Args, PositionalRequiredAndOptional) {
+  ArgParser p("prog", "positional test");
+  p.add_positional("input", "input file");
+  p.add_positional("output", "output file", std::string("out.txt"));
+  ASSERT_TRUE(parse(p, {"in.txt"}));
+  EXPECT_EQ(p.get_string("input"), "in.txt");
+  EXPECT_EQ(p.get_string("output"), "out.txt");
+
+  ArgParser q("prog", "positional test");
+  q.add_positional("input", "input file");
+  EXPECT_FALSE(parse(q, {}));
+  EXPECT_TRUE(q.error());
+}
+
+TEST(Args, ExtraPositionalFails) {
+  auto p = make_parser();
+  EXPECT_FALSE(parse(p, {"stray"}));
+  EXPECT_TRUE(p.error());
+}
+
+TEST(Args, WrongTypeAccessThrows) {
+  auto p = make_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_THROW(p.get_int("name"), PreconditionError);
+  EXPECT_THROW(p.get_string("bogus"), PreconditionError);
+}
+
+TEST(Args, DuplicateDeclarationThrows) {
+  ArgParser p("prog", "dup");
+  p.add_flag("x", "first");
+  EXPECT_THROW(p.add_int("x", 0, "second"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ahg

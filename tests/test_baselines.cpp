@@ -1,0 +1,155 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristics.hpp"
+#include "core/upper_bound.hpp"
+#include "core/validate.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::core {
+namespace {
+
+workload::Scenario scenario(sim::GridCase grid_case = sim::GridCase::A,
+                            std::uint64_t seed = 20040426) {
+  return test::small_suite_scenario(grid_case, 64, seed);
+}
+
+TEST(MinMin, CompletesAndValidates) {
+  const auto s = scenario();
+  const auto result = run_minmin(s);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.within_tau);  // deadline-aware by default
+  const auto report = validate_schedule(s, *result.schedule);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(MinMin, PrefersFastMachinesForEarlyCompletion) {
+  // Min completion time loads fast machines first on uniform workloads.
+  const auto s = test::make_scenario(sim::GridConfig::make(1, 1), 4, {},
+                                     {{10.0, 100.0},
+                                      {10.0, 100.0},
+                                      {10.0, 100.0},
+                                      {10.0, 100.0}},
+                                     1000000);
+  const auto result = run_minmin(s);
+  ASSERT_TRUE(result.complete);
+  std::size_t on_fast = 0;
+  for (const TaskId t : result.schedule->assignment_order()) {
+    if (result.schedule->assignment(t).machine == 0) ++on_fast;
+  }
+  EXPECT_GE(on_fast, 3u);  // the slow machine is 10x slower
+}
+
+TEST(MinMin, RespectsPrecedence) {
+  const auto s = test::make_scenario(sim::GridConfig::make(2, 0), 3,
+                                     {{0, 1, 1e6}, {1, 2, 1e6}},
+                                     {{10.0, 10.0}, {10.0, 10.0}, {10.0, 10.0}},
+                                     100000);
+  const auto result = run_minmin(s);
+  ASSERT_TRUE(result.complete);
+  EXPECT_GE(result.schedule->assignment(1).start, result.schedule->assignment(0).finish);
+  EXPECT_GE(result.schedule->assignment(2).start, result.schedule->assignment(1).finish);
+}
+
+TEST(Olb, CompletesAndValidates) {
+  const auto s = scenario();
+  const auto result = run_olb(s);
+  EXPECT_TRUE(result.complete);
+  const auto report = validate_schedule(s, *result.schedule,
+                                        ValidateOptions{true, false});
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(Olb, IgnoresExecutionTimes) {
+  // OLB assigns to the earliest-ready machine even when it is slow: with one
+  // fast and one slow machine and two tasks, the second task lands on the
+  // slow machine (ready at 0) despite the 10x penalty.
+  const auto s = test::make_scenario(sim::GridConfig::make(1, 1), 2, {},
+                                     {{10.0, 100.0}, {10.0, 100.0}}, 1000000);
+  const auto result = run_olb(s);
+  ASSERT_TRUE(result.complete);
+  const auto m0 = result.schedule->assignment(0).machine;
+  const auto m1 = result.schedule->assignment(1).machine;
+  EXPECT_NE(m0, m1);  // one task per machine, slow included
+}
+
+TEST(RandomMapper, CompletesAndValidates) {
+  const auto s = scenario();
+  RandomMapperParams params;
+  params.seed = 7;
+  const auto result = run_random(s, params);
+  EXPECT_TRUE(result.complete);
+  const auto report = validate_schedule(s, *result.schedule,
+                                        ValidateOptions{true, false});
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(RandomMapper, DeterministicPerSeed) {
+  const auto s = scenario();
+  RandomMapperParams params;
+  params.seed = 11;
+  const auto a = run_random(s, params);
+  const auto b = run_random(s, params);
+  EXPECT_EQ(a.t100, b.t100);
+  EXPECT_EQ(a.aet, b.aet);
+  params.seed = 12;
+  const auto c = run_random(s, params);
+  EXPECT_TRUE(c.t100 != a.t100 || c.aet != a.aet);
+}
+
+class BaselineValidity
+    : public ::testing::TestWithParam<std::tuple<sim::GridCase, std::uint64_t>> {};
+
+TEST_P(BaselineValidity, AllBaselinesStayWithinTheBound) {
+  const auto [grid_case, seed] = GetParam();
+  const auto s = scenario(grid_case, seed);
+  const auto ub = compute_upper_bound(s);
+  for (const auto& [name, result] :
+       {std::pair{"minmin", run_minmin(s)}, std::pair{"olb", run_olb(s)},
+        std::pair{"random", run_random(s)}}) {
+    EXPECT_LE(result.t100, ub.bound) << name;
+    ValidateOptions lax;
+    lax.require_complete = false;
+    lax.require_within_tau = false;
+    const auto report = validate_schedule(s, *result.schedule, lax);
+    EXPECT_TRUE(report.ok()) << name << ": " << report.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CasesAndSeeds, BaselineValidity,
+    ::testing::Combine(::testing::Values(sim::GridCase::A, sim::GridCase::B,
+                                         sim::GridCase::C),
+                       ::testing::Values(1u, 20040426u)));
+
+TEST(Baselines, InformedBeatsUninformedOnAverage) {
+  // Min-Min should beat the random floor on T100 across seeds (majority).
+  int wins = 0;
+  int trials = 0;
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const auto s = scenario(sim::GridCase::A, seed);
+    const auto informed = run_minmin(s);
+    RandomMapperParams params;
+    params.seed = seed;
+    const auto random = run_random(s, params);
+    ++trials;
+    if (informed.t100 >= random.t100) ++wins;
+  }
+  EXPECT_GE(wins * 2, trials);
+}
+
+TEST(Baselines, DeadlineBlindVariantCanOvershootTau) {
+  BaselineParams params;
+  params.enforce_tau = false;
+  const auto s = scenario();
+  const auto result = run_minmin(s, params);
+  // Not asserted to overshoot (instance-dependent), but the knob must be
+  // honoured: with enforcement the mapping is within tau by construction.
+  const auto enforced = run_minmin(s);
+  EXPECT_TRUE(enforced.within_tau);
+  EXPECT_TRUE(result.complete);
+}
+
+}  // namespace
+}  // namespace ahg::core

@@ -1,0 +1,90 @@
+#include "sim/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/grid.hpp"
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace ahg::sim {
+namespace {
+
+TEST(Comm, CmtUsesSlowerEndpoint) {
+  const MachineSpec fast = fast_machine_spec();  // 8 Mbit/s
+  const MachineSpec slow = slow_machine_spec();  // 4 Mbit/s
+  EXPECT_DOUBLE_EQ(cmt_seconds_per_bit(fast, fast), 1.0 / 8e6);
+  EXPECT_DOUBLE_EQ(cmt_seconds_per_bit(fast, slow), 1.0 / 4e6);
+  EXPECT_DOUBLE_EQ(cmt_seconds_per_bit(slow, fast), 1.0 / 4e6);
+  EXPECT_DOUBLE_EQ(cmt_seconds_per_bit(slow, slow), 1.0 / 4e6);
+}
+
+TEST(Comm, TransferCyclesCeil) {
+  const MachineSpec fast = fast_machine_spec();
+  // 8e6 bits over 8 Mbit/s = 1 s = 10 cycles.
+  EXPECT_EQ(transfer_cycles(8e6, fast, fast), 10);
+  // A hair more data must round up.
+  EXPECT_EQ(transfer_cycles(8e6 + 1, fast, fast), 11);
+}
+
+TEST(Comm, ZeroBitsTakeZeroCycles) {
+  const MachineSpec fast = fast_machine_spec();
+  EXPECT_EQ(transfer_cycles(0.0, fast, fast), 0);
+}
+
+TEST(Comm, TinyTransferTakesAtLeastOneCycle) {
+  const MachineSpec fast = fast_machine_spec();
+  EXPECT_EQ(transfer_cycles(1.0, fast, fast), 1);
+}
+
+TEST(Comm, RejectsNegativeBits) {
+  const MachineSpec fast = fast_machine_spec();
+  EXPECT_THROW(transfer_cycles(-1.0, fast, fast), PreconditionError);
+}
+
+TEST(Comm, TransferEnergyChargesSenderRate) {
+  const MachineSpec fast = fast_machine_spec();
+  const MachineSpec slow = slow_machine_spec();
+  EXPECT_DOUBLE_EQ(transfer_energy(fast, 10), 0.2);   // 1 s * 0.2 u/s
+  EXPECT_DOUBLE_EQ(transfer_energy(slow, 10), 0.002); // 1 s * 0.002 u/s
+  EXPECT_THROW(transfer_energy(fast, -1), PreconditionError);
+}
+
+TEST(Comm, WorstCaseUsesGridMinimumBandwidth) {
+  const GridConfig grid = GridConfig::make_case(GridCase::A);  // min BW 4 Mbit/s
+  const MachineSpec fast = fast_machine_spec();
+  // 4e6 bits at 4 Mbit/s = 1 s = 10 cycles even from a fast sender.
+  EXPECT_EQ(worst_case_transfer_cycles(4e6, fast, grid), 10);
+  EXPECT_EQ(worst_case_transfer_cycles(0.0, fast, grid), 0);
+}
+
+TEST(Comm, WorstCaseInFastOnlyGridUsesFastBandwidth) {
+  const GridConfig grid = GridConfig::make(2, 0);
+  const MachineSpec fast = fast_machine_spec();
+  EXPECT_EQ(worst_case_transfer_cycles(8e6, fast, grid), 10);
+}
+
+// Property: the worst case never underestimates the actual transfer, for any
+// receiver in the grid and any data volume.
+class WorstCaseProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorstCaseProperty, DominatesActualTransfer) {
+  Rng rng(GetParam());
+  const GridConfig grid = GridConfig::make_case(GridCase::A);
+  for (int k = 0; k < 500; ++k) {
+    const double bits = rng.uniform(0.0, 2e7);
+    const auto sender = static_cast<MachineId>(rng.uniform_int(0, 3));
+    const auto receiver = static_cast<MachineId>(rng.uniform_int(0, 3));
+    const Cycles actual =
+        transfer_cycles(bits, grid.machine(sender), grid.machine(receiver));
+    const Cycles worst = worst_case_transfer_cycles(bits, grid.machine(sender), grid);
+    ASSERT_LE(actual, worst) << "bits=" << bits << " s=" << sender << " r=" << receiver;
+    // Energy comparison follows because both are charged at the sender rate.
+    ASSERT_LE(transfer_energy(grid.machine(sender), actual),
+              transfer_energy(grid.machine(sender), worst));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorstCaseProperty, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace ahg::sim

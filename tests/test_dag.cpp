@@ -1,0 +1,107 @@
+#include "workload/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/contract.hpp"
+
+namespace ahg::workload {
+namespace {
+
+Dag diamond() {
+  // 0 -> {1, 2} -> 3
+  Dag dag(4);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  return dag;
+}
+
+TEST(Dag, RejectsZeroNodes) { EXPECT_THROW(Dag(0), PreconditionError); }
+
+TEST(Dag, EmptyDagHasNoEdges) {
+  Dag dag(3);
+  EXPECT_EQ(dag.num_nodes(), 3u);
+  EXPECT_EQ(dag.num_edges(), 0u);
+  EXPECT_EQ(dag.roots().size(), 3u);
+  EXPECT_EQ(dag.leaves().size(), 3u);
+  EXPECT_TRUE(dag.is_acyclic());
+  EXPECT_EQ(dag.depth(), 1u);
+}
+
+TEST(Dag, AdjacencyIsConsistent) {
+  const Dag dag = diamond();
+  EXPECT_EQ(dag.num_edges(), 4u);
+  EXPECT_TRUE(dag.has_edge(0, 1));
+  EXPECT_FALSE(dag.has_edge(1, 0));
+  ASSERT_EQ(dag.parents(3).size(), 2u);
+  ASSERT_EQ(dag.children(0).size(), 2u);
+  EXPECT_TRUE(dag.parents(0).empty());
+  EXPECT_TRUE(dag.children(3).empty());
+}
+
+TEST(Dag, RootsAndLeaves) {
+  const Dag dag = diamond();
+  EXPECT_EQ(dag.roots(), std::vector<TaskId>{0});
+  EXPECT_EQ(dag.leaves(), std::vector<TaskId>{3});
+}
+
+TEST(Dag, RejectsSelfLoop) {
+  Dag dag(2);
+  EXPECT_THROW(dag.add_edge(1, 1), PreconditionError);
+}
+
+TEST(Dag, RejectsDuplicateEdge) {
+  Dag dag(2);
+  dag.add_edge(0, 1);
+  EXPECT_THROW(dag.add_edge(0, 1), PreconditionError);
+}
+
+TEST(Dag, RejectsOutOfRangeNodes) {
+  Dag dag(2);
+  EXPECT_THROW(dag.add_edge(0, 2), PreconditionError);
+  EXPECT_THROW(dag.add_edge(-1, 1), PreconditionError);
+  EXPECT_THROW(dag.parents(5), PreconditionError);
+}
+
+TEST(Dag, DetectsCycle) {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  dag.add_edge(2, 0);
+  EXPECT_FALSE(dag.is_acyclic());
+  EXPECT_THROW(dag.topological_order(), InvariantError);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  const Dag dag = diamond();
+  const auto order = dag.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](TaskId t) {
+    return std::find(order.begin(), order.end(), t) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(Dag, TopologicalOrderIsDeterministicSmallestFirst) {
+  Dag dag(4);
+  dag.add_edge(2, 3);  // 0, 1 isolated; ready set starts {0,1,2}
+  const auto order = dag.topological_order();
+  EXPECT_EQ(order, (std::vector<TaskId>{0, 1, 2, 3}));
+}
+
+TEST(Dag, DepthOfChain) {
+  Dag dag(5);
+  for (TaskId t = 0; t < 4; ++t) dag.add_edge(t, t + 1);
+  EXPECT_EQ(dag.depth(), 5u);
+}
+
+TEST(Dag, DepthOfDiamond) { EXPECT_EQ(diamond().depth(), 3u); }
+
+}  // namespace
+}  // namespace ahg::workload

@@ -1,0 +1,120 @@
+#include "workload/dag_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contract.hpp"
+
+namespace ahg::workload {
+namespace {
+
+// Structural properties must hold for every seed — parameterized sweep.
+class DagGeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DagGeneratorProperty, IsAcyclic) {
+  DagGeneratorParams params;
+  params.num_nodes = 200;
+  params.mean_level_width = 12;
+  EXPECT_TRUE(generate_dag(params, GetParam()).is_acyclic());
+}
+
+TEST_P(DagGeneratorProperty, EveryNonRootHasAParent) {
+  DagGeneratorParams params;
+  params.num_nodes = 200;
+  params.mean_level_width = 12;
+  const Dag dag = generate_dag(params, GetParam());
+  // The first layer may hold several roots, but no node after the first
+  // layer's maximum width may be parentless.
+  const std::size_t max_first_layer = (3 * params.mean_level_width) / 2;
+  for (std::size_t i = max_first_layer; i < dag.num_nodes(); ++i) {
+    EXPECT_FALSE(dag.parents(static_cast<TaskId>(i)).empty())
+        << "node " << i << " has no parent";
+  }
+}
+
+TEST_P(DagGeneratorProperty, FanInBoundHolds) {
+  DagGeneratorParams params;
+  params.num_nodes = 300;
+  params.mean_level_width = 20;
+  params.max_fan_in = 4;
+  const Dag dag = generate_dag(params, GetParam());
+  for (std::size_t i = 0; i < dag.num_nodes(); ++i) {
+    EXPECT_LE(dag.parents(static_cast<TaskId>(i)).size(), params.max_fan_in);
+  }
+}
+
+TEST_P(DagGeneratorProperty, EdgesPointForward) {
+  DagGeneratorParams params;
+  params.num_nodes = 150;
+  params.mean_level_width = 10;
+  const Dag dag = generate_dag(params, GetParam());
+  for (std::size_t i = 0; i < dag.num_nodes(); ++i) {
+    for (const TaskId child : dag.children(static_cast<TaskId>(i))) {
+      EXPECT_GT(child, static_cast<TaskId>(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagGeneratorProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 20040426u, 987654321u));
+
+TEST(DagGenerator, IsDeterministic) {
+  DagGeneratorParams params;
+  params.num_nodes = 100;
+  const Dag a = generate_dag(params, 42);
+  const Dag b = generate_dag(params, 42);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+    const auto pa = a.parents(static_cast<TaskId>(i));
+    const auto pb = b.parents(static_cast<TaskId>(i));
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t k = 0; k < pa.size(); ++k) EXPECT_EQ(pa[k], pb[k]);
+  }
+}
+
+TEST(DagGenerator, DifferentSeedsGiveDifferentGraphs) {
+  DagGeneratorParams params;
+  params.num_nodes = 100;
+  const Dag a = generate_dag(params, 1);
+  const Dag b = generate_dag(params, 2);
+  bool differs = a.num_edges() != b.num_edges();
+  for (std::size_t i = 0; !differs && i < a.num_nodes(); ++i) {
+    const auto pa = a.parents(static_cast<TaskId>(i));
+    const auto pb = b.parents(static_cast<TaskId>(i));
+    differs = pa.size() != pb.size() ||
+              !std::equal(pa.begin(), pa.end(), pb.begin());
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DagGenerator, SingleNodeGraph) {
+  DagGeneratorParams params;
+  params.num_nodes = 1;
+  const Dag dag = generate_dag(params, 5);
+  EXPECT_EQ(dag.num_nodes(), 1u);
+  EXPECT_EQ(dag.num_edges(), 0u);
+}
+
+TEST(DagGenerator, DepthScalesWithNarrowLevels) {
+  DagGeneratorParams narrow;
+  narrow.num_nodes = 128;
+  narrow.mean_level_width = 4;
+  DagGeneratorParams wide;
+  wide.num_nodes = 128;
+  wide.mean_level_width = 64;
+  EXPECT_GT(generate_dag(narrow, 9).depth(), generate_dag(wide, 9).depth());
+}
+
+TEST(DagGenerator, RejectsInvalidParams) {
+  DagGeneratorParams params;
+  params.num_nodes = 0;
+  EXPECT_THROW(generate_dag(params, 1), PreconditionError);
+  params.num_nodes = 10;
+  params.extra_parent_prob = 1.5;
+  EXPECT_THROW(generate_dag(params, 1), PreconditionError);
+  params.extra_parent_prob = 0.3;
+  params.max_fan_in = 0;
+  EXPECT_THROW(generate_dag(params, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ahg::workload

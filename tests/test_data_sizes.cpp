@@ -1,0 +1,106 @@
+#include "workload/data_sizes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contract.hpp"
+#include "support/stats.hpp"
+#include "workload/dag_generator.hpp"
+
+namespace ahg::workload {
+namespace {
+
+TEST(DataSizes, UnsetEdgeIsZero) {
+  DataSizes sizes;
+  EXPECT_DOUBLE_EQ(sizes.bits(0, 1), 0.0);
+}
+
+TEST(DataSizes, SetAndGet) {
+  DataSizes sizes;
+  sizes.set_bits(3, 7, 1e6);
+  EXPECT_DOUBLE_EQ(sizes.bits(3, 7), 1e6);
+  EXPECT_DOUBLE_EQ(sizes.bits(7, 3), 0.0);  // directed
+  EXPECT_EQ(sizes.num_entries(), 1u);
+}
+
+TEST(DataSizes, OverwriteReplaces) {
+  DataSizes sizes;
+  sizes.set_bits(0, 1, 5.0);
+  sizes.set_bits(0, 1, 9.0);
+  EXPECT_DOUBLE_EQ(sizes.bits(0, 1), 9.0);
+  EXPECT_EQ(sizes.num_entries(), 1u);
+}
+
+TEST(DataSizes, RejectsNegative) {
+  DataSizes sizes;
+  EXPECT_THROW(sizes.set_bits(0, 1, -1.0), PreconditionError);
+}
+
+TEST(DataSizeGenerator, CoversEveryEdgeExactly) {
+  DagGeneratorParams dag_params;
+  dag_params.num_nodes = 120;
+  const Dag dag = generate_dag(dag_params, 3);
+  const DataSizes sizes = generate_data_sizes(DataSizeParams{}, dag, 4);
+  EXPECT_EQ(sizes.num_entries(), dag.num_edges());
+  for (std::size_t i = 0; i < dag.num_nodes(); ++i) {
+    const auto parent = static_cast<TaskId>(i);
+    for (const TaskId child : dag.children(parent)) {
+      EXPECT_GT(sizes.bits(parent, child), 0.0);
+    }
+  }
+}
+
+TEST(DataSizeGenerator, RespectsFloor) {
+  DagGeneratorParams dag_params;
+  dag_params.num_nodes = 200;
+  const Dag dag = generate_dag(dag_params, 5);
+  DataSizeParams params;
+  params.min_bits = 5e5;
+  const DataSizes sizes = generate_data_sizes(params, dag, 6);
+  for (std::size_t i = 0; i < dag.num_nodes(); ++i) {
+    const auto parent = static_cast<TaskId>(i);
+    for (const TaskId child : dag.children(parent)) {
+      EXPECT_GE(sizes.bits(parent, child), params.min_bits);
+    }
+  }
+}
+
+TEST(DataSizeGenerator, MeanNearTarget) {
+  DagGeneratorParams dag_params;
+  dag_params.num_nodes = 2000;
+  dag_params.mean_level_width = 50;
+  const Dag dag = generate_dag(dag_params, 7);
+  const DataSizeParams params;
+  const DataSizes sizes = generate_data_sizes(params, dag, 8);
+  Accumulator acc;
+  for (std::size_t i = 0; i < dag.num_nodes(); ++i) {
+    const auto parent = static_cast<TaskId>(i);
+    for (const TaskId child : dag.children(parent)) acc.add(sizes.bits(parent, child));
+  }
+  EXPECT_NEAR(acc.mean(), params.mean_bits, 0.1 * params.mean_bits);
+}
+
+TEST(DataSizeGenerator, Deterministic) {
+  DagGeneratorParams dag_params;
+  dag_params.num_nodes = 60;
+  const Dag dag = generate_dag(dag_params, 9);
+  const DataSizes a = generate_data_sizes(DataSizeParams{}, dag, 10);
+  const DataSizes b = generate_data_sizes(DataSizeParams{}, dag, 10);
+  for (std::size_t i = 0; i < dag.num_nodes(); ++i) {
+    const auto parent = static_cast<TaskId>(i);
+    for (const TaskId child : dag.children(parent)) {
+      EXPECT_DOUBLE_EQ(a.bits(parent, child), b.bits(parent, child));
+    }
+  }
+}
+
+TEST(DataSizeGenerator, RejectsBadMean) {
+  DagGeneratorParams dag_params;
+  dag_params.num_nodes = 10;
+  const Dag dag = generate_dag(dag_params, 1);
+  DataSizeParams params;
+  params.mean_bits = 0.0;
+  EXPECT_THROW(generate_data_sizes(params, dag, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ahg::workload

@@ -1,0 +1,99 @@
+#include "support/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "support/contract.hpp"
+#include "support/stats.hpp"
+
+namespace ahg {
+namespace {
+
+TEST(GammaDist, RejectsNonPositiveParameters) {
+  EXPECT_THROW(GammaDist(0.0, 1.0), PreconditionError);
+  EXPECT_THROW(GammaDist(1.0, 0.0), PreconditionError);
+  EXPECT_THROW(GammaDist(-1.0, 1.0), PreconditionError);
+  EXPECT_THROW(GammaDist::from_mean_cv(0.0, 0.5), PreconditionError);
+  EXPECT_THROW(GammaDist::from_mean_cv(1.0, 0.0), PreconditionError);
+}
+
+TEST(GammaDist, FromMeanCvRoundTrips) {
+  const auto d = GammaDist::from_mean_cv(131.0, 0.5);
+  EXPECT_NEAR(d.mean(), 131.0, 1e-9);
+  // CV = sqrt(var)/mean
+  EXPECT_NEAR(std::sqrt(d.variance()) / d.mean(), 0.5, 1e-9);
+}
+
+TEST(GammaDist, ShapeScaleAccessors) {
+  const GammaDist d(4.0, 2.5);
+  EXPECT_DOUBLE_EQ(d.shape(), 4.0);
+  EXPECT_DOUBLE_EQ(d.scale(), 2.5);
+  EXPECT_DOUBLE_EQ(d.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 25.0);
+}
+
+TEST(GammaDist, SamplesArePositive) {
+  Rng rng(1);
+  const auto d = GammaDist::from_mean_cv(10.0, 0.9);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(d.sample(rng), 0.0);
+}
+
+// Parameterized moment check across the (mean, cv) plane the workload
+// generators actually use — including shape < 1 (cv > 1).
+class GammaMoments : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GammaMoments, SampleMomentsMatchAnalytic) {
+  const auto [mean, cv] = GetParam();
+  const auto d = GammaDist::from_mean_cv(mean, cv);
+  Rng rng(42);
+  Accumulator acc;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc.add(d.sample(rng));
+  EXPECT_NEAR(acc.mean(), mean, 0.02 * mean * (1.0 + cv));
+  const double sample_cv = acc.stddev() / acc.mean();
+  EXPECT_NEAR(sample_cv, cv, 0.05 * cv + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeanCvGrid, GammaMoments,
+    ::testing::Values(std::make_tuple(1.0, 0.25), std::make_tuple(1.0, 0.5),
+                      std::make_tuple(131.0, 0.5), std::make_tuple(238.0, 0.5),
+                      std::make_tuple(10.0, 0.3), std::make_tuple(4e6, 0.5),
+                      std::make_tuple(2.0, 1.5),   // shape < 1 branch
+                      std::make_tuple(0.5, 2.0))); // deep shape < 1
+
+TEST(TruncatedGamma, RespectsBounds) {
+  Rng rng(7);
+  const auto d = GammaDist::from_mean_cv(10.0, 0.3);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = sample_truncated_gamma(rng, d, 3.5, 30.0);
+    EXPECT_GE(x, 3.5);
+    EXPECT_LE(x, 30.0);
+  }
+}
+
+TEST(TruncatedGamma, RejectsInvertedBounds) {
+  Rng rng(8);
+  const auto d = GammaDist::from_mean_cv(10.0, 0.3);
+  EXPECT_THROW(sample_truncated_gamma(rng, d, 5.0, 5.0), PreconditionError);
+}
+
+TEST(TruncatedGamma, MildTruncationKeepsMeanClose) {
+  Rng rng(9);
+  const auto d = GammaDist::from_mean_cv(10.0, 0.3);
+  Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(sample_truncated_gamma(rng, d, 3.5, 30.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.3);
+}
+
+TEST(GammaDist, DeterministicGivenSameRngState) {
+  const auto d = GammaDist::from_mean_cv(5.0, 0.7);
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(d.sample(a), d.sample(b));
+}
+
+}  // namespace
+}  // namespace ahg

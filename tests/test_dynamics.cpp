@@ -1,0 +1,236 @@
+// Release-time and link-outage extensions: generators, placement semantics,
+// heuristic behaviour, and validator enforcement.
+
+#include "workload/dynamics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "workload/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristics.hpp"
+#include "core/placement.hpp"
+#include "core/validate.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg {
+namespace {
+
+using core::HeuristicKind;
+using core::Weights;
+
+// --- generators ---------------------------------------------------------------
+
+TEST(ReleaseGenerator, ZeroSpreadMeansAllAtTimeZero) {
+  const auto s = test::small_suite_scenario(sim::GridCase::A, 32);
+  workload::ReleaseParams params;
+  params.spread_fraction = 0.0;
+  const auto releases = workload::generate_release_times(params, s.dag, s.tau, 1);
+  for (const Cycles r : releases) EXPECT_EQ(r, 0);
+}
+
+TEST(ReleaseGenerator, MonotoneAlongEdges) {
+  const auto s = test::small_suite_scenario(sim::GridCase::A, 64);
+  workload::ReleaseParams params;
+  params.spread_fraction = 0.5;
+  const auto releases = workload::generate_release_times(params, s.dag, s.tau, 7);
+  for (std::size_t i = 0; i < s.dag.num_nodes(); ++i) {
+    const auto child = static_cast<TaskId>(i);
+    for (const TaskId parent : s.dag.parents(child)) {
+      EXPECT_LE(releases[static_cast<std::size_t>(parent)], releases[i]);
+    }
+  }
+}
+
+TEST(ReleaseGenerator, StaysWithinSpreadWindow) {
+  const auto s = test::small_suite_scenario(sim::GridCase::A, 64);
+  workload::ReleaseParams params;
+  params.spread_fraction = 0.25;
+  const auto releases = workload::generate_release_times(params, s.dag, s.tau, 3);
+  const auto horizon = static_cast<Cycles>(0.25 * static_cast<double>(s.tau));
+  bool any_positive = false;
+  for (const Cycles r : releases) {
+    EXPECT_GE(r, 0);
+    EXPECT_LE(r, horizon);
+    any_positive |= r > 0;
+  }
+  EXPECT_TRUE(any_positive);
+}
+
+TEST(ReleaseGenerator, DeterministicInSeed) {
+  const auto s = test::small_suite_scenario(sim::GridCase::A, 32);
+  workload::ReleaseParams params;
+  const auto a = workload::generate_release_times(params, s.dag, s.tau, 9);
+  const auto b = workload::generate_release_times(params, s.dag, s.tau, 9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(OutageGenerator, WithinWindowAndDisjointPerMachine) {
+  workload::OutageParams params;
+  params.outages_per_machine = 6;
+  const Cycles tau = 10000;
+  const auto outages = workload::generate_link_outages(params, 3, tau, 5);
+  EXPECT_FALSE(outages.empty());
+  for (std::size_t a = 0; a < outages.size(); ++a) {
+    EXPECT_GE(outages[a].start, 0);
+    EXPECT_LE(outages[a].start + outages[a].duration, tau);
+    for (std::size_t b = a + 1; b < outages.size(); ++b) {
+      if (outages[a].machine != outages[b].machine) continue;
+      const bool disjoint =
+          outages[a].start + outages[a].duration <= outages[b].start ||
+          outages[b].start + outages[b].duration <= outages[a].start;
+      EXPECT_TRUE(disjoint);
+    }
+  }
+}
+
+// --- scenario validation --------------------------------------------------------
+
+TEST(ScenarioDynamics, RejectsNonMonotoneReleases) {
+  auto s = test::make_scenario(sim::GridConfig::make(1, 0), 2, {{0, 1, 0.0}},
+                               {{10.0}, {10.0}}, 100000);
+  s.releases = {100, 50};  // child released before parent
+  EXPECT_THROW(s.validate(), PreconditionError);
+  s.releases = {50, 100};
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(ScenarioDynamics, RejectsBadOutages) {
+  auto s = test::two_fast_independent(2);
+  s.link_outages.push_back({5, 0, 10});  // machine out of range
+  EXPECT_THROW(s.validate(), PreconditionError);
+  s.link_outages = {{0, 0, 0}};  // zero duration
+  EXPECT_THROW(s.validate(), PreconditionError);
+}
+
+// --- placement semantics ----------------------------------------------------------
+
+TEST(ReleasePlacement, ExecutionWaitsForRelease) {
+  auto s = test::two_fast_independent(2);
+  s.releases = {500, 0};
+  auto schedule = core::make_schedule(s);
+  const auto plan =
+      core::plan_placement(s, *schedule, 0, 0, VersionKind::Primary, /*not_before=*/0);
+  EXPECT_EQ(plan.start, 500);
+}
+
+TEST(ReleasePlacement, TransfersMayPreStageData) {
+  // Parent on machine 0 finishes at 100; child released at 1000: the
+  // transfer may run before the release, execution starts at the release.
+  auto s = test::make_scenario(sim::GridConfig::make(2, 0), 2, {{0, 1, 8e6}},
+                               {{10.0, 10.0}, {10.0, 10.0}}, 100000);
+  s.releases = {0, 1000};
+  auto schedule = core::make_schedule(s);
+  core::commit_placement(
+      s, *schedule, core::plan_placement(s, *schedule, 0, 0, VersionKind::Primary, 0));
+  const auto plan = core::plan_placement(s, *schedule, 1, 1, VersionKind::Primary, 0);
+  ASSERT_EQ(plan.comms.size(), 1u);
+  EXPECT_EQ(plan.comms[0].start, 100);  // pre-staged right after the parent
+  EXPECT_EQ(plan.start, 1000);          // execution gated by the release
+}
+
+TEST(OutagePlacement, TransfersRouteAroundOutages) {
+  auto s = test::make_scenario(sim::GridConfig::make(2, 0), 2, {{0, 1, 8e6}},
+                               {{10.0, 10.0}, {10.0, 10.0}}, 100000);
+  // Parent finishes at 100; the transfer takes 10 cycles, but the receiver's
+  // link is down [90, 150): the transfer must wait until 150.
+  s.link_outages = {{1, 90, 60}};
+  auto schedule = core::make_schedule(s);
+  core::commit_placement(
+      s, *schedule, core::plan_placement(s, *schedule, 0, 0, VersionKind::Primary, 0));
+  const auto plan = core::plan_placement(s, *schedule, 1, 1, VersionKind::Primary, 0);
+  ASSERT_EQ(plan.comms.size(), 1u);
+  EXPECT_EQ(plan.comms[0].start, 150);
+  EXPECT_EQ(plan.start, 160);
+}
+
+// --- heuristic end-to-end -------------------------------------------------------
+
+class DynamicsEndToEnd : public ::testing::TestWithParam<HeuristicKind> {};
+
+TEST_P(DynamicsEndToEnd, ValidSchedulesUnderReleasesAndOutages) {
+  auto s = test::small_suite_scenario(sim::GridCase::A, 64);
+  workload::ReleaseParams release_params;
+  release_params.spread_fraction = 0.3;
+  s.releases = workload::generate_release_times(release_params, s.dag, s.tau, 11);
+  workload::OutageParams outage_params;
+  outage_params.outages_per_machine = 3;
+  s.link_outages =
+      workload::generate_link_outages(outage_params, s.num_machines(), s.tau, 13);
+  s.validate();
+
+  const auto result = core::run_heuristic(GetParam(), s, Weights::make(0.6, 0.3));
+  core::ValidateOptions lax;
+  lax.require_complete = false;
+  lax.require_within_tau = false;
+  const auto report = core::validate_schedule(s, *result.schedule, lax);
+  EXPECT_TRUE(report.ok()) << to_string(GetParam()) << ": " << report.str();
+  EXPECT_GT(result.assigned, 0u);
+  // Every start honours its release.
+  for (const TaskId t : result.schedule->assignment_order()) {
+    EXPECT_GE(result.schedule->assignment(t).start, s.release(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DynamicsEndToEnd,
+                         ::testing::Values(HeuristicKind::Slrh1, HeuristicKind::Slrh3,
+                                           HeuristicKind::MaxMax));
+
+TEST(DynamicsEndToEnd, ValidatorCatchesReleaseViolation) {
+  auto s = test::two_fast_independent(1);
+  s.releases = {500};
+  sim::Schedule schedule(s.grid, 1);
+  schedule.add_assignment(0, 0, VersionKind::Primary, 100, 100, 1.0);  // too early
+  const auto report = core::validate_schedule(s, schedule);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(DynamicsEndToEnd, ValidatorCatchesOutageViolation) {
+  auto s = test::make_scenario(sim::GridConfig::make(2, 0), 2, {{0, 1, 8e6}},
+                               {{10.0, 10.0}, {10.0, 10.0}}, 100000);
+  s.link_outages = {{1, 100, 50}};
+  sim::Schedule schedule(s.grid, 2);  // outage NOT pre-booked: a buggy mapper
+  schedule.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);
+  schedule.add_comm(0, 1, 0, 1, 100, 10, 8e6, 0.2);  // inside the outage
+  schedule.add_assignment(1, 1, VersionKind::Primary, 110, 100, 1.0);
+  const auto report = core::validate_schedule(s, schedule);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(DynamicsEndToEnd, ArrivalSpreadDegradesDynamicHeuristicGracefully) {
+  // With arrivals spread over half the window, SLRH-1 should still complete
+  // but no sooner than the last arrival allows.
+  auto s = test::small_suite_scenario(sim::GridCase::A, 48);
+  workload::ReleaseParams params;
+  params.spread_fraction = 0.5;
+  s.releases = workload::generate_release_times(params, s.dag, s.tau, 21);
+  const Cycles last_release =
+      *std::max_element(s.releases.begin(), s.releases.end());
+  const auto result = core::run_heuristic(HeuristicKind::Slrh1, s, Weights::make(0.6, 0.3));
+  if (result.complete) {
+    EXPECT_GE(result.aet, last_release);
+  }
+}
+
+TEST(DynamicsEndToEnd, ScenarioIoRoundTripsDynamics) {
+  auto s = test::small_suite_scenario(sim::GridCase::A, 24);
+  workload::ReleaseParams rp;
+  rp.spread_fraction = 0.2;
+  s.releases = workload::generate_release_times(rp, s.dag, s.tau, 2);
+  s.link_outages = workload::generate_link_outages({}, s.num_machines(), s.tau, 3);
+  std::stringstream buffer;
+  workload::write_scenario(buffer, s);
+  const auto loaded = workload::read_scenario(buffer);
+  EXPECT_EQ(loaded.releases, s.releases);
+  ASSERT_EQ(loaded.link_outages.size(), s.link_outages.size());
+  for (std::size_t k = 0; k < s.link_outages.size(); ++k) {
+    EXPECT_EQ(loaded.link_outages[k].machine, s.link_outages[k].machine);
+    EXPECT_EQ(loaded.link_outages[k].start, s.link_outages[k].start);
+    EXPECT_EQ(loaded.link_outages[k].duration, s.link_outages[k].duration);
+  }
+}
+
+}  // namespace
+}  // namespace ahg

@@ -1,0 +1,138 @@
+#include "sim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contract.hpp"
+
+namespace ahg::sim {
+namespace {
+
+EnergyLedger make_ledger() { return EnergyLedger({100.0, 50.0}); }
+
+TEST(EnergyLedger, InitialState) {
+  const EnergyLedger ledger = make_ledger();
+  EXPECT_EQ(ledger.num_machines(), 2u);
+  EXPECT_DOUBLE_EQ(ledger.capacity(0), 100.0);
+  EXPECT_DOUBLE_EQ(ledger.spent(0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.reserved(0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.available(1), 50.0);
+  EXPECT_DOUBLE_EQ(ledger.total_spent(), 0.0);
+}
+
+TEST(EnergyLedger, ChargeAccumulates) {
+  EnergyLedger ledger = make_ledger();
+  ledger.charge(0, 30.0);
+  ledger.charge(0, 20.0);
+  EXPECT_DOUBLE_EQ(ledger.spent(0), 50.0);
+  EXPECT_DOUBLE_EQ(ledger.available(0), 50.0);
+  EXPECT_DOUBLE_EQ(ledger.total_spent(), 50.0);
+}
+
+TEST(EnergyLedger, ChargeOverdrawThrows) {
+  EnergyLedger ledger = make_ledger();
+  ledger.charge(1, 49.0);
+  EXPECT_THROW(ledger.charge(1, 2.0), InvariantError);
+  // Failed charge must not corrupt state.
+  EXPECT_DOUBLE_EQ(ledger.spent(1), 49.0);
+}
+
+TEST(EnergyLedger, ReservationHoldsEnergy) {
+  EnergyLedger ledger = make_ledger();
+  ledger.reserve(0, edge_key(1, 2), 40.0);
+  EXPECT_DOUBLE_EQ(ledger.reserved(0), 40.0);
+  EXPECT_DOUBLE_EQ(ledger.available(0), 60.0);
+  EXPECT_TRUE(ledger.has_reservation(edge_key(1, 2)));
+  EXPECT_FALSE(ledger.has_reservation(edge_key(2, 1)));
+}
+
+TEST(EnergyLedger, ReservationBlocksOverdraw) {
+  EnergyLedger ledger = make_ledger();
+  ledger.reserve(0, edge_key(0, 1), 60.0);
+  EXPECT_THROW(ledger.charge(0, 41.0), InvariantError);
+  EXPECT_NO_THROW(ledger.charge(0, 40.0));
+}
+
+TEST(EnergyLedger, DuplicateReservationKeyRejected) {
+  EnergyLedger ledger = make_ledger();
+  ledger.reserve(0, edge_key(0, 1), 10.0);
+  EXPECT_THROW(ledger.reserve(1, edge_key(0, 1), 5.0), PreconditionError);
+}
+
+TEST(EnergyLedger, ReservationExceedingAvailableRejected) {
+  EnergyLedger ledger = make_ledger();
+  ledger.charge(1, 45.0);
+  EXPECT_THROW(ledger.reserve(1, edge_key(0, 1), 10.0), InvariantError);
+}
+
+TEST(EnergyLedger, ReleaseReturnsHeldAmount) {
+  EnergyLedger ledger = make_ledger();
+  ledger.reserve(0, edge_key(3, 4), 25.0);
+  EXPECT_DOUBLE_EQ(ledger.release(edge_key(3, 4)), 25.0);
+  EXPECT_DOUBLE_EQ(ledger.reserved(0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.available(0), 100.0);
+  EXPECT_THROW(ledger.release(edge_key(3, 4)), PreconditionError);
+}
+
+TEST(EnergyLedger, SettleConvertsReservationToCharge) {
+  EnergyLedger ledger = make_ledger();
+  ledger.reserve(0, edge_key(1, 2), 30.0);
+  const double charged = ledger.settle(edge_key(1, 2), 12.0);
+  EXPECT_DOUBLE_EQ(charged, 12.0);
+  EXPECT_DOUBLE_EQ(ledger.spent(0), 12.0);
+  EXPECT_DOUBLE_EQ(ledger.reserved(0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.available(0), 88.0);
+}
+
+TEST(EnergyLedger, SettleWithZeroActual) {
+  EnergyLedger ledger = make_ledger();
+  ledger.reserve(0, edge_key(1, 2), 30.0);
+  EXPECT_DOUBLE_EQ(ledger.settle(edge_key(1, 2), 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.spent(0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.available(0), 100.0);
+}
+
+TEST(EnergyLedger, SettleAboveReservationRejected) {
+  EnergyLedger ledger = make_ledger();
+  ledger.reserve(0, edge_key(1, 2), 30.0);
+  EXPECT_THROW(ledger.settle(edge_key(1, 2), 31.0), PreconditionError);
+}
+
+TEST(EnergyLedger, SettleUnknownKeyRejected) {
+  EnergyLedger ledger = make_ledger();
+  EXPECT_THROW(ledger.settle(edge_key(9, 9), 1.0), PreconditionError);
+}
+
+TEST(EnergyLedger, FullCycleNeverOverdraws) {
+  // reserve worst case -> settle actual (smaller) -> remaining capacity is
+  // exactly capacity - actuals.
+  EnergyLedger ledger = make_ledger();
+  for (TaskId t = 0; t < 10; ++t) {
+    ledger.reserve(0, edge_key(t, t + 100), 8.0);
+  }
+  EXPECT_DOUBLE_EQ(ledger.available(0), 20.0);
+  for (TaskId t = 0; t < 10; ++t) {
+    ledger.settle(edge_key(t, t + 100), 3.0);
+  }
+  EXPECT_DOUBLE_EQ(ledger.spent(0), 30.0);
+  EXPECT_DOUBLE_EQ(ledger.available(0), 70.0);
+}
+
+TEST(EnergyLedger, RejectsInvalidConstruction) {
+  EXPECT_THROW(EnergyLedger({}), PreconditionError);
+  EXPECT_THROW(EnergyLedger({-1.0}), PreconditionError);
+}
+
+TEST(EnergyLedger, MachineBoundsChecked) {
+  EnergyLedger ledger = make_ledger();
+  EXPECT_THROW(ledger.charge(2, 1.0), PreconditionError);
+  EXPECT_THROW(ledger.capacity(-1), PreconditionError);
+}
+
+TEST(EdgeKey, IsInjectiveOverSmallIds) {
+  EXPECT_NE(edge_key(1, 2), edge_key(2, 1));
+  EXPECT_NE(edge_key(0, 1), edge_key(1, 0));
+  EXPECT_EQ(edge_key(5, 7), edge_key(5, 7));
+}
+
+}  // namespace
+}  // namespace ahg::sim

@@ -1,0 +1,154 @@
+// EtcMatrix container and the Gamma (CVB) ETC generator.
+
+#include <gtest/gtest.h>
+
+#include "support/contract.hpp"
+#include "support/stats.hpp"
+#include "workload/etc_generator.hpp"
+#include "workload/etc_matrix.hpp"
+
+namespace ahg::workload {
+namespace {
+
+TEST(EtcMatrix, StoresAndReadsBack) {
+  EtcMatrix etc(2, 3);
+  etc.set_seconds(0, 0, 1.5);
+  etc.set_seconds(1, 2, 2.5);
+  EXPECT_DOUBLE_EQ(etc.seconds(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(etc.seconds(1, 2), 2.5);
+  EXPECT_EQ(etc.num_tasks(), 2u);
+  EXPECT_EQ(etc.num_machines(), 3u);
+}
+
+TEST(EtcMatrix, CyclesRoundUp) {
+  EtcMatrix etc(1, 1);
+  etc.set_seconds(0, 0, 1.01);
+  EXPECT_EQ(etc.cycles(0, 0), 11);
+}
+
+TEST(EtcMatrix, RejectsBadInput) {
+  EXPECT_THROW(EtcMatrix(0, 1), PreconditionError);
+  EXPECT_THROW(EtcMatrix(1, 0), PreconditionError);
+  EtcMatrix etc(2, 2);
+  EXPECT_THROW(etc.seconds(2, 0), PreconditionError);
+  EXPECT_THROW(etc.seconds(0, 2), PreconditionError);
+  EXPECT_THROW(etc.set_seconds(0, 0, 0.0), PreconditionError);
+  EXPECT_THROW(etc.set_seconds(0, 0, -1.0), PreconditionError);
+}
+
+TEST(EtcMatrix, WithoutMachineDropsColumn) {
+  EtcMatrix etc(2, 3);
+  for (TaskId i = 0; i < 2; ++i) {
+    for (MachineId j = 0; j < 3; ++j) {
+      etc.set_seconds(i, j, static_cast<double>(10 * i + j + 1));
+    }
+  }
+  const EtcMatrix dropped = etc.without_machine(1);
+  EXPECT_EQ(dropped.num_machines(), 2u);
+  EXPECT_DOUBLE_EQ(dropped.seconds(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(dropped.seconds(0, 1), 3.0);  // old column 2
+  EXPECT_DOUBLE_EQ(dropped.seconds(1, 1), 13.0);
+}
+
+TEST(EtcMatrix, WithoutMachineRejectsLastColumn) {
+  EtcMatrix etc(1, 1);
+  etc.set_seconds(0, 0, 1.0);
+  EXPECT_THROW(etc.without_machine(0), PreconditionError);
+}
+
+TEST(EtcMatrix, MeanOverEntries) {
+  EtcMatrix etc(1, 2);
+  etc.set_seconds(0, 0, 2.0);
+  etc.set_seconds(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(etc.mean(), 3.0);
+}
+
+// --- generator ----------------------------------------------------------------
+
+std::vector<sim::MachineClass> case_a_classes() {
+  return {sim::MachineClass::Fast, sim::MachineClass::Fast, sim::MachineClass::Slow,
+          sim::MachineClass::Slow};
+}
+
+TEST(EtcGenerator, IsDeterministic) {
+  const EtcGeneratorParams params;
+  const auto a = generate_etc(params, 50, case_a_classes(), 7);
+  const auto b = generate_etc(params, 50, case_a_classes(), 7);
+  for (TaskId i = 0; i < 50; ++i) {
+    for (MachineId j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(a.seconds(i, j), b.seconds(i, j));
+    }
+  }
+}
+
+TEST(EtcGenerator, AllEntriesPositiveAndFloored) {
+  const EtcGeneratorParams params;
+  const auto etc = generate_etc(params, 500, case_a_classes(), 11);
+  for (TaskId i = 0; i < 500; ++i) {
+    for (MachineId j = 0; j < 4; ++j) {
+      EXPECT_GE(etc.seconds(i, j), params.min_task_seconds);
+    }
+  }
+}
+
+class EtcGeneratorStats : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EtcGeneratorStats, FastMachinesRoughlyTenTimesFaster) {
+  const EtcGeneratorParams params;
+  const auto etc = generate_etc(params, 1024, case_a_classes(), GetParam());
+  Accumulator fast;
+  Accumulator slow;
+  for (TaskId i = 0; i < 1024; ++i) {
+    fast.add(etc.seconds(i, 0));
+    fast.add(etc.seconds(i, 1));
+    slow.add(etc.seconds(i, 2));
+    slow.add(etc.seconds(i, 3));
+  }
+  const double ratio = slow.mean() / fast.mean();
+  EXPECT_GT(ratio, 7.0);
+  EXPECT_LT(ratio, 13.0);
+}
+
+TEST_P(EtcGeneratorStats, GrandMeanNearPaperValue) {
+  // Paper: "a mean estimated execution time for a single subtask of 131
+  // seconds" — read as the mean over all Case-A ETC entries (DESIGN.md §3).
+  const EtcGeneratorParams params;
+  const auto etc = generate_etc(params, 1024, case_a_classes(), GetParam());
+  EXPECT_NEAR(etc.mean(), 131.0, 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EtcGeneratorStats,
+                         ::testing::Values(1u, 2u, 3u, 20040426u));
+
+TEST(EtcGenerator, SlowOnlyGridHasNominalMean) {
+  EtcGeneratorParams params;
+  params.task_cv = 0.3;
+  const std::vector<sim::MachineClass> slow_only(3, sim::MachineClass::Slow);
+  const auto etc = generate_etc(params, 2000, slow_only, 3);
+  EXPECT_NEAR(etc.mean(), params.task_mean_seconds, 0.05 * params.task_mean_seconds);
+}
+
+TEST(EtcGenerator, RejectsInvalidParams) {
+  EtcGeneratorParams params;
+  params.task_mean_seconds = 0.0;
+  EXPECT_THROW(generate_etc(params, 10, case_a_classes(), 1), PreconditionError);
+  params = EtcGeneratorParams{};
+  params.speed_ratio_min = 50.0;  // min > max
+  EXPECT_THROW(generate_etc(params, 10, case_a_classes(), 1), PreconditionError);
+  EXPECT_THROW(generate_etc(EtcGeneratorParams{}, 0, case_a_classes(), 1),
+               PreconditionError);
+  EXPECT_THROW(generate_etc(EtcGeneratorParams{}, 10, {}, 1), PreconditionError);
+}
+
+TEST(MachineClasses, ExtractsFromGrid) {
+  const auto grid = sim::GridConfig::make_case(sim::GridCase::A);
+  const auto classes = machine_classes(grid);
+  ASSERT_EQ(classes.size(), 4u);
+  EXPECT_EQ(classes[0], sim::MachineClass::Fast);
+  EXPECT_EQ(classes[1], sim::MachineClass::Fast);
+  EXPECT_EQ(classes[2], sim::MachineClass::Slow);
+  EXPECT_EQ(classes[3], sim::MachineClass::Slow);
+}
+
+}  // namespace
+}  // namespace ahg::workload

@@ -1,0 +1,97 @@
+#include "core/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::core {
+namespace {
+
+using test::make_scenario;
+
+// One fast (0) + one slow (1) machine; chain 0 -> 1 with 4 Mbit of data.
+workload::Scenario chain_scenario() {
+  return test::make_scenario(sim::GridConfig::make(1, 1), 2,
+                             {{0, 1, 4.0e6}},
+                             {{10.0, 100.0}, {10.0, 100.0}}, 1000000);
+}
+
+TEST(Feasibility, ExecEnergyMatchesHandComputation) {
+  const auto s = chain_scenario();
+  // Task 0 on fast machine: 10 s * 0.1 u/s = 1.0 u (primary).
+  EXPECT_DOUBLE_EQ(exec_energy(s, 0, 0, VersionKind::Primary), 1.0);
+  // Secondary: 1 s * 0.1 = 0.1 u.
+  EXPECT_DOUBLE_EQ(exec_energy(s, 0, 0, VersionKind::Secondary), 0.1);
+  // On the slow machine: 100 s * 0.001 = 0.1 u.
+  EXPECT_DOUBLE_EQ(exec_energy(s, 0, 1, VersionKind::Primary), 0.1);
+}
+
+TEST(Feasibility, WorstCaseOutgoingEnergyUsesMinBandwidth) {
+  const auto s = chain_scenario();
+  // Edge 0->1 carries 4 Mbit; grid min bandwidth = 4 Mbit/s -> 1 s transfer.
+  // From the fast machine: 1 s * 0.2 u/s = 0.2 u.
+  EXPECT_DOUBLE_EQ(worst_case_outgoing_energy(s, 0, 0, VersionKind::Primary), 0.2);
+  // Secondary version sends 10 % of the data: 0.1 s -> 0.02 u.
+  EXPECT_NEAR(worst_case_outgoing_energy(s, 0, 0, VersionKind::Secondary), 0.02, 1e-12);
+  // Task 1 has no children.
+  EXPECT_DOUBLE_EQ(worst_case_outgoing_energy(s, 1, 0, VersionKind::Primary), 0.0);
+}
+
+TEST(Feasibility, VersionFitsWhenEnergyAvailable) {
+  const auto s = chain_scenario();
+  sim::Schedule schedule(s.grid, s.num_tasks());
+  EXPECT_TRUE(version_fits_energy(s, schedule, 0, 0, VersionKind::Primary));
+  EXPECT_TRUE(version_fits_energy(s, schedule, 0, 0, VersionKind::Secondary));
+}
+
+TEST(Feasibility, VersionStopsFittingAfterConsumption) {
+  const auto s = chain_scenario();
+  sim::Schedule schedule(s.grid, s.num_tasks());
+  // Drain the fast machine to 1.1 u remaining: primary (1.0 exec + 0.2 comm)
+  // no longer fits, secondary (0.1 + 0.02) does.
+  schedule.ledger().charge(0, 580.0 - 1.1);
+  EXPECT_FALSE(version_fits_energy(s, schedule, 0, 0, VersionKind::Primary));
+  EXPECT_TRUE(version_fits_energy(s, schedule, 0, 0, VersionKind::Secondary));
+}
+
+TEST(Feasibility, ReservationsCountAgainstAvailability) {
+  const auto s = chain_scenario();
+  sim::Schedule schedule(s.grid, s.num_tasks());
+  schedule.ledger().charge(0, 578.0);
+  schedule.ledger().reserve(0, sim::edge_key(5, 6), 0.9);  // leaves 1.1 spendable
+  EXPECT_FALSE(version_fits_energy(s, schedule, 0, 0, VersionKind::Primary));
+  EXPECT_TRUE(version_fits_energy(s, schedule, 0, 0, VersionKind::Secondary));
+}
+
+TEST(Feasibility, ParentsAssignedGate) {
+  const auto s = chain_scenario();
+  sim::Schedule schedule(s.grid, s.num_tasks());
+  EXPECT_TRUE(parents_assigned(s, schedule, 0));   // root
+  EXPECT_FALSE(parents_assigned(s, schedule, 1));  // parent 0 unmapped
+  schedule.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);
+  EXPECT_TRUE(parents_assigned(s, schedule, 1));
+}
+
+TEST(Feasibility, PoolAdmissionRequiresParentsAndSecondaryEnergy) {
+  const auto s = chain_scenario();
+  sim::Schedule schedule(s.grid, s.num_tasks());
+  EXPECT_TRUE(slrh_pool_admissible(s, schedule, 0, 0));
+  EXPECT_FALSE(slrh_pool_admissible(s, schedule, 1, 0));  // parent unmapped
+  schedule.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);
+  EXPECT_FALSE(slrh_pool_admissible(s, schedule, 0, 0));  // already assigned
+  EXPECT_TRUE(slrh_pool_admissible(s, schedule, 1, 0));
+  // Drain machine 0 below even the secondary need of task 1 (0.1 u exec, no
+  // children): admission fails there but machine 1 still admits.
+  schedule.ledger().charge(0, 580.0 - 1.0 - 0.05);
+  EXPECT_FALSE(slrh_pool_admissible(s, schedule, 1, 0));
+  EXPECT_TRUE(slrh_pool_admissible(s, schedule, 1, 1));
+}
+
+TEST(Feasibility, ZeroDataChildCostsNothing) {
+  const auto s = test::make_scenario(sim::GridConfig::make(1, 1), 2, {{0, 1, 0.0}},
+                                     {{10.0, 100.0}, {10.0, 100.0}}, 1000000);
+  EXPECT_DOUBLE_EQ(worst_case_outgoing_energy(s, 0, 0, VersionKind::Primary), 0.0);
+}
+
+}  // namespace
+}  // namespace ahg::core

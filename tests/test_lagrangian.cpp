@@ -1,0 +1,131 @@
+#include "core/lagrangian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.hpp"
+#include "core/validate.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::core {
+namespace {
+
+workload::Scenario scenario(std::size_t num_tasks = 64) {
+  return test::small_suite_scenario(sim::GridCase::A, num_tasks);
+}
+
+LagrangianParams fast_params() {
+  LagrangianParams p;
+  p.max_iterations = 12;
+  return p;
+}
+
+TEST(Lagrangian, FindsAFeasibleMapping) {
+  const auto s = scenario();
+  const auto outcome = run_lagrangian_iteration(s, fast_params());
+  ASSERT_TRUE(outcome.found);
+  EXPECT_TRUE(outcome.best.feasible());
+  EXPECT_GT(outcome.best.t100, 0u);
+  EXPECT_EQ(outcome.trajectory.size(), outcome.runs);
+  const auto report = validate_schedule(s, *outcome.best.schedule);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(Lagrangian, IsDeterministic) {
+  const auto s = scenario();
+  const auto a = run_lagrangian_iteration(s, fast_params());
+  const auto b = run_lagrangian_iteration(s, fast_params());
+  ASSERT_EQ(a.found, b.found);
+  EXPECT_EQ(a.best.t100, b.best.t100);
+  EXPECT_EQ(a.runs, b.runs);
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  for (std::size_t k = 0; k < a.trajectory.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.trajectory[k].lambda_time, b.trajectory[k].lambda_time);
+    EXPECT_EQ(a.trajectory[k].t100, b.trajectory[k].t100);
+  }
+}
+
+TEST(Lagrangian, MultipliersStayNonNegative) {
+  const auto s = scenario();
+  const auto outcome = run_lagrangian_iteration(s, fast_params());
+  for (const auto& it : outcome.trajectory) {
+    EXPECT_GE(it.lambda_energy, 0.0);
+    EXPECT_GE(it.lambda_time, 0.0);
+    EXPECT_NO_THROW(it.weights.validate());
+  }
+}
+
+TEST(Lagrangian, TimeMultiplierRisesWhileInfeasible) {
+  // Whenever an iterate is infeasible (incomplete), the next lambda_time
+  // must be strictly larger (the deadline constraint is priced harder).
+  const auto s = scenario();
+  const auto outcome = run_lagrangian_iteration(s, fast_params());
+  for (std::size_t k = 0; k + 1 < outcome.trajectory.size(); ++k) {
+    if (!outcome.trajectory[k].feasible) {
+      EXPECT_GT(outcome.trajectory[k + 1].lambda_time,
+                outcome.trajectory[k].lambda_time - 1e-12);
+    }
+  }
+}
+
+TEST(Lagrangian, BestIterateIsRecordedCorrectly) {
+  const auto s = scenario();
+  const auto outcome = run_lagrangian_iteration(s, fast_params());
+  ASSERT_TRUE(outcome.found);
+  std::size_t best_seen = 0;
+  for (const auto& it : outcome.trajectory) {
+    if (it.feasible) best_seen = std::max(best_seen, it.t100);
+  }
+  EXPECT_EQ(outcome.best.t100, best_seen);
+}
+
+TEST(Lagrangian, CompetitiveWithGridTunerAtFewerRuns) {
+  // The adaptive-multiplier iteration should reach a comparable T100 to the
+  // coarse grid search while running the inner heuristic fewer times.
+  const auto s = scenario(96);
+  LagrangianParams lp;
+  lp.max_iterations = 20;
+  const auto adaptive = run_lagrangian_iteration(s, lp);
+
+  TunerParams tp;
+  tp.coarse_step = 0.1;
+  tp.fine_step = 0.0;
+  tp.parallel = false;
+  const auto grid = tune_weights(
+      [&](const Weights& w) { return run_heuristic(HeuristicKind::Slrh1, s, w); }, tp);
+
+  ASSERT_TRUE(adaptive.found);
+  ASSERT_TRUE(grid.found);
+  EXPECT_LT(adaptive.runs, grid.evaluated.size());
+  // Within 15 % of the grid optimum (often better).
+  EXPECT_GE(static_cast<double>(adaptive.best.t100),
+            0.85 * static_cast<double>(grid.best.t100));
+}
+
+TEST(Lagrangian, ParamValidation) {
+  LagrangianParams p;
+  p.max_iterations = 0;
+  EXPECT_THROW(p.validate(), PreconditionError);
+  p = LagrangianParams{};
+  p.initial_step = 0.0;
+  EXPECT_THROW(p.validate(), PreconditionError);
+  p = LagrangianParams{};
+  p.energy_target = 1.5;
+  EXPECT_THROW(p.validate(), PreconditionError);
+  p = LagrangianParams{};
+  p.lambda_time0 = -0.1;
+  EXPECT_THROW(p.validate(), PreconditionError);
+}
+
+TEST(Lagrangian, WorksWithOtherInnerHeuristics) {
+  const auto s = scenario();
+  LagrangianParams p = fast_params();
+  p.inner = HeuristicKind::MaxMax;
+  const auto outcome = run_lagrangian_iteration(s, p);
+  EXPECT_GT(outcome.runs, 0u);
+  if (outcome.found) {
+    EXPECT_TRUE(outcome.best.feasible());
+  }
+}
+
+}  // namespace
+}  // namespace ahg::core

@@ -1,0 +1,142 @@
+#include "core/maxmax.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::core {
+namespace {
+
+MaxMaxParams default_params() {
+  MaxMaxParams p;
+  p.weights = Weights::make(0.5, 0.1);
+  return p;
+}
+
+TEST(MaxMax, MapsIndependentTasks) {
+  const auto s = test::two_fast_independent(8);
+  const auto result = run_maxmax(s, default_params());
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.t100, 8u);
+  const auto report = validate_schedule(s, *result.schedule);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(MaxMax, RespectsPrecedence) {
+  const auto s = test::make_scenario(sim::GridConfig::make(2, 0), 3,
+                                     {{0, 1, 1e6}, {0, 2, 1e6}},
+                                     {{10.0, 10.0}, {10.0, 10.0}, {10.0, 10.0}},
+                                     100000);
+  const auto result = run_maxmax(s, default_params());
+  ASSERT_TRUE(result.complete);
+  const auto& a0 = result.schedule->assignment(0);
+  EXPECT_GE(result.schedule->assignment(1).start, a0.finish);
+  EXPECT_GE(result.schedule->assignment(2).start, a0.finish);
+  const auto report = validate_schedule(s, *result.schedule);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(MaxMax, ScoreTiesBalanceAcrossMachines) {
+  // Six identical tasks on two identical machines with alpha = 1 (so every
+  // primary placement scores the same): the earliest-finish tie-break must
+  // spread the work instead of stacking machine 0.
+  std::vector<std::vector<double>> etc(6, std::vector<double>{10.0, 10.0});
+  const auto s = test::make_scenario(sim::GridConfig::make(2, 0), 6, {}, etc, 100000);
+  MaxMaxParams p;
+  p.weights = Weights::make(1.0, 0.0);  // gamma = 0: flat AET term
+  const auto result = run_maxmax(s, p);
+  ASSERT_TRUE(result.complete);
+  EXPECT_LE(result.aet, 300);  // 6 tasks * 100 cycles over 2 machines
+}
+
+TEST(MaxMax, PositiveGammaRewardsLateFinishes) {
+  // The paper's positive AET term genuinely prefers placements that extend
+  // the application's finish time; with a large gamma the heuristic stacks
+  // one machine. This documents the (faithful) behaviour the weight tuner
+  // must steer around.
+  std::vector<std::vector<double>> etc(6, std::vector<double>{10.0, 10.0});
+  const auto s = test::make_scenario(sim::GridConfig::make(2, 0), 6, {}, etc, 100000);
+  MaxMaxParams p;
+  p.weights = Weights::make(0.1, 0.0);  // gamma = 0.9
+  const auto result = run_maxmax(s, p);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.aet, 600);  // serialized on one machine
+}
+
+TEST(MaxMax, IsStaticNoClockQuantization) {
+  // Unlike SLRH, assignments can start at arbitrary times (no dT grid): a
+  // chain's second task starts exactly at the parent's finish.
+  const auto s = test::make_scenario(sim::GridConfig::make(1, 0), 2, {{0, 1, 0.0}},
+                                     {{1.23}, {4.56}}, 100000);
+  const auto result = run_maxmax(s, default_params());
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.schedule->assignment(1).start,
+            result.schedule->assignment(0).finish);
+}
+
+TEST(MaxMax, PrefersPrimaryWhenAffordable) {
+  const auto s = test::two_fast_independent(4);
+  const auto result = run_maxmax(s, default_params());
+  EXPECT_EQ(result.t100, 4u);
+}
+
+TEST(MaxMax, MixesVersionsUnderEnergyPressure) {
+  // Battery supports one primary (1.0 u) plus change.
+  auto grid = sim::GridConfig::make(1, 0).with_battery_scale(1.25 / 580.0);
+  const auto s = test::make_scenario(std::move(grid), 2, {}, {{10.0}, {10.0}},
+                                     100000);
+  const auto result = run_maxmax(s, default_params());
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.t100, 1u);
+}
+
+TEST(MaxMax, StuckWhenNothingFits) {
+  // Battery cannot afford even a secondary of task 1 after task 0.
+  auto grid = sim::GridConfig::make(1, 0).with_battery_scale(0.14 / 580.0);
+  const auto s = test::make_scenario(std::move(grid), 2, {}, {{10.0}, {10.0}},
+                                     100000);
+  const auto result = run_maxmax(s, default_params());
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.assigned, 1u);  // one secondary (0.1 u), then stuck
+  EXPECT_FALSE(result.feasible());
+}
+
+TEST(MaxMax, DeterministicAcrossRuns) {
+  const auto s = test::small_suite_scenario();
+  const auto a = run_maxmax(s, default_params());
+  const auto b = run_maxmax(s, default_params());
+  EXPECT_EQ(a.t100, b.t100);
+  EXPECT_EQ(a.aet, b.aet);
+  EXPECT_DOUBLE_EQ(a.tec, b.tec);
+}
+
+class MaxMaxValidity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMaxValidity, ProducesValidSchedules) {
+  const auto s = test::small_suite_scenario(sim::GridCase::A, 48, GetParam());
+  const auto result = run_maxmax(s, default_params());
+  ValidateOptions options;
+  options.require_complete = false;
+  options.require_within_tau = false;
+  const auto report = validate_schedule(s, *result.schedule, options);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMaxValidity,
+                         ::testing::Values(1u, 7u, 42u, 20040426u));
+
+TEST(MaxMax, DegradedCasesStillValid) {
+  for (const auto grid_case : {sim::GridCase::B, sim::GridCase::C}) {
+    const auto s = test::small_suite_scenario(grid_case, 48);
+    const auto result = run_maxmax(s, default_params());
+    ValidateOptions options;
+    options.require_complete = false;
+    options.require_within_tau = false;
+    const auto report = validate_schedule(s, *result.schedule, options);
+    EXPECT_TRUE(report.ok()) << to_string(grid_case) << ": " << report.str();
+  }
+}
+
+}  // namespace
+}  // namespace ahg::core

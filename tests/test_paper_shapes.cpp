@@ -1,0 +1,135 @@
+// Paper-shape regression guards: deterministic, seed-pinned checks that the
+// qualitative results the benches reproduce (EXPERIMENTS.md) cannot silently
+// regress. Each test asserts an ORDERING or TREND from the paper's
+// evaluation, never an absolute level, so they are robust to calibration
+// tweaks yet catch behavioural regressions in the heuristics.
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/heuristics.hpp"
+#include "core/slrh.hpp"
+#include "core/upper_bound.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::core {
+namespace {
+
+workload::SuiteParams shape_suite_params() {
+  workload::SuiteParams p;
+  p.num_tasks = 96;
+  p.num_etc = 2;
+  p.num_dag = 2;
+  p.master_seed = 20040426;
+  return p;
+}
+
+/// Mean tuned-free T100 at fixed representative weights over the small grid.
+double mean_t100(HeuristicKind kind, sim::GridCase grid_case) {
+  const workload::ScenarioSuite suite(shape_suite_params());
+  double total = 0.0;
+  int n = 0;
+  for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
+    for (std::size_t dag = 0; dag < suite.num_dag(); ++dag) {
+      const auto s = suite.make(grid_case, etc, dag);
+      const auto r = run_heuristic(kind, s, Weights::make(0.6, 0.3));
+      total += static_cast<double>(r.t100);
+      ++n;
+    }
+  }
+  return total / n;
+}
+
+TEST(PaperShapes, Figure4MachineLossDegradesT100) {
+  const double a = mean_t100(HeuristicKind::Slrh1, sim::GridCase::A);
+  const double b = mean_t100(HeuristicKind::Slrh1, sim::GridCase::B);
+  const double c = mean_t100(HeuristicKind::Slrh1, sim::GridCase::C);
+  EXPECT_GT(a, b);
+  EXPECT_GT(b, c);  // losing the fast machine hurts most
+}
+
+TEST(PaperShapes, Figure4InformedBeatsRandomFloor) {
+  const workload::ScenarioSuite suite(shape_suite_params());
+  const auto s = suite.make(sim::GridCase::A, 0, 0);
+  const auto slrh = run_heuristic(HeuristicKind::Slrh1, s, Weights::make(0.6, 0.3));
+  RandomMapperParams rparams;
+  rparams.seed = 20040426;
+  const auto random = run_random(s, rparams);
+  EXPECT_GT(slrh.t100, random.t100);
+}
+
+TEST(PaperShapes, Figure2SmallDtCostsTimeNotQuality) {
+  const workload::ScenarioSuite suite(shape_suite_params());
+  const auto s = suite.make(sim::GridCase::A, 0, 0);
+  SlrhParams fine;
+  fine.weights = Weights::make(0.6, 0.3);
+  fine.dt = 1;
+  SlrhParams coarse = fine;
+  coarse.dt = 2000;
+  const auto rf = run_slrh(s, fine);
+  const auto rc = run_slrh(s, coarse);
+  // Plateau-vs-cliff: the very coarse timestep loses primaries (idle gaps),
+  // the very fine one pays only in sweeps.
+  EXPECT_GE(rf.t100, rc.t100);
+  EXPECT_GT(rf.iterations, rc.iterations * 10);
+}
+
+TEST(PaperShapes, Figure6FastMachineLossCheapensSlrh1) {
+  // The paper's most specific timing claim, measured in work units (clock
+  // sweeps) rather than flaky wall time: SLRH-1 does less work per run when
+  // the fast machine is gone (secondaries on slow machines finish the pool).
+  const workload::ScenarioSuite suite(shape_suite_params());
+  double sweeps_a = 0;
+  double sweeps_c = 0;
+  for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
+    const auto a = suite.make(sim::GridCase::A, etc, 0);
+    const auto c = suite.make(sim::GridCase::C, etc, 0);
+    sweeps_a += static_cast<double>(
+        run_heuristic(HeuristicKind::Slrh1, a, Weights::make(0.6, 0.3)).pools_built);
+    sweeps_c += static_cast<double>(
+        run_heuristic(HeuristicKind::Slrh1, c, Weights::make(0.6, 0.3)).pools_built);
+  }
+  EXPECT_LT(sweeps_c, sweeps_a);
+}
+
+TEST(PaperShapes, Table4CaseOrderingHolds) {
+  const workload::ScenarioSuite suite(shape_suite_params());
+  for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
+    const auto ub_a = compute_upper_bound(suite.make(sim::GridCase::A, etc, 0));
+    const auto ub_c = compute_upper_bound(suite.make(sim::GridCase::C, etc, 0));
+    EXPECT_EQ(ub_a.bound, 96u);      // Cases A resource-adequate
+    EXPECT_LT(ub_c.bound, 96u);      // Case C cycle-limited
+    EXPECT_TRUE(ub_c.cycle_limited);
+  }
+}
+
+TEST(PaperShapes, Table3MinRatioBandsHold) {
+  const workload::ScenarioSuite suite(shape_suite_params());
+  for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
+    const auto ratios = min_ratios(suite.make_etc(etc));
+    ASSERT_EQ(ratios.size(), 4u);
+    EXPECT_DOUBLE_EQ(ratios[0], 1.0);
+    EXPECT_GT(ratios[1], 0.1);   // second fast machine well below 1
+    EXPECT_LT(ratios[1], 0.6);
+    EXPECT_GT(ratios[2], 1.0);   // slow machines above 1
+    EXPECT_GT(ratios[3], 1.0);
+  }
+}
+
+TEST(PaperShapes, SecondariesAppearUnderPressureOnly) {
+  // Case A with fixed weights completes with mostly primaries; Case C (a
+  // fast machine lost) forces a markedly larger secondary share.
+  const workload::ScenarioSuite suite(shape_suite_params());
+  const auto a = suite.make(sim::GridCase::A, 0, 0);
+  const auto c = suite.make(sim::GridCase::C, 0, 0);
+  const auto ra = run_heuristic(HeuristicKind::Slrh1, a, Weights::make(0.6, 0.3));
+  const auto rc = run_heuristic(HeuristicKind::Slrh1, c, Weights::make(0.6, 0.3));
+  const double sec_a =
+      static_cast<double>(ra.assigned - ra.t100) / static_cast<double>(ra.assigned);
+  const double sec_c =
+      static_cast<double>(rc.assigned - rc.t100) / static_cast<double>(rc.assigned);
+  EXPECT_GT(sec_c, sec_a);
+}
+
+}  // namespace
+}  // namespace ahg::core

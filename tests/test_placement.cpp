@@ -1,0 +1,158 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::core {
+namespace {
+
+using test::EdgeSpec;
+using test::make_scenario;
+
+// Grid: machines 0,1 fast (8 Mbit/s), 2 slow (4 Mbit/s).
+sim::GridConfig mixed_grid() { return sim::GridConfig::make(2, 1); }
+
+TEST(Placement, RootTaskStartsAtNotBefore) {
+  const auto s = make_scenario(mixed_grid(), 1, {}, {{10.0, 10.0, 100.0}}, 100000);
+  sim::Schedule schedule(s.grid, 1);
+  const auto plan = plan_placement(s, schedule, 0, 0, VersionKind::Primary, 25);
+  EXPECT_EQ(plan.start, 25);
+  EXPECT_EQ(plan.duration, 100);  // 10 s
+  EXPECT_EQ(plan.finish(), 125);
+  EXPECT_DOUBLE_EQ(plan.exec_energy, 1.0);
+  EXPECT_TRUE(plan.comms.empty());
+  EXPECT_EQ(plan.arrival, 0);
+}
+
+TEST(Placement, SameMachineChildStartsAtParentFinish) {
+  const auto s = make_scenario(mixed_grid(), 2, {{0, 1, 5e6}},
+                               {{10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}}, 100000);
+  sim::Schedule schedule(s.grid, 2);
+  commit_placement(s, schedule, plan_placement(s, schedule, 0, 0, VersionKind::Primary, 0));
+  const auto plan = plan_placement(s, schedule, 1, 0, VersionKind::Primary, 0);
+  EXPECT_EQ(plan.start, 100);  // right after the parent, no transfer
+  EXPECT_TRUE(plan.comms.empty());
+  ASSERT_EQ(plan.released_parents.size(), 1u);
+  EXPECT_EQ(plan.released_parents[0], 0);
+}
+
+TEST(Placement, CrossMachineChildWaitsForTransfer) {
+  // 8 Mbit over fast->fast (8 Mbit/s) = 1 s = 10 cycles.
+  const auto s = make_scenario(mixed_grid(), 2, {{0, 1, 8e6}},
+                               {{10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}}, 100000);
+  sim::Schedule schedule(s.grid, 2);
+  commit_placement(s, schedule, plan_placement(s, schedule, 0, 0, VersionKind::Primary, 0));
+  const auto plan = plan_placement(s, schedule, 1, 1, VersionKind::Primary, 0);
+  ASSERT_EQ(plan.comms.size(), 1u);
+  EXPECT_EQ(plan.comms[0].start, 100);     // parent finish
+  EXPECT_EQ(plan.comms[0].duration, 10);   // 1 s
+  EXPECT_DOUBLE_EQ(plan.comms[0].energy, 0.2);  // 1 s * 0.2 u/s from fast sender
+  EXPECT_EQ(plan.arrival, 110);
+  EXPECT_EQ(plan.start, 110);
+}
+
+TEST(Placement, SecondaryParentSendsTenPercent) {
+  const auto s = make_scenario(mixed_grid(), 2, {{0, 1, 8e6}},
+                               {{10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}}, 100000);
+  sim::Schedule schedule(s.grid, 2);
+  commit_placement(s, schedule,
+                   plan_placement(s, schedule, 0, 0, VersionKind::Secondary, 0));
+  const auto plan = plan_placement(s, schedule, 1, 1, VersionKind::Primary, 0);
+  ASSERT_EQ(plan.comms.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.comms[0].bits, 8e5);  // 10 % of the primary output
+  EXPECT_EQ(plan.comms[0].duration, 1);       // 0.1 s
+}
+
+TEST(Placement, TransfersToSameReceiverSerialize) {
+  // Two parents on different machines feeding one child: the child machine's
+  // rx channel admits one transfer at a time.
+  const auto s = make_scenario(
+      mixed_grid(), 3, {{0, 2, 8e6}, {1, 2, 8e6}},
+      {{10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}}, 100000);
+  sim::Schedule schedule(s.grid, 3);
+  commit_placement(s, schedule, plan_placement(s, schedule, 0, 0, VersionKind::Primary, 0));
+  commit_placement(s, schedule, plan_placement(s, schedule, 1, 1, VersionKind::Primary, 0));
+  // Child on machine 2 (slow): each 8 Mbit transfer at min(8,4)=4 Mbit/s = 2 s.
+  const auto plan = plan_placement(s, schedule, 2, 2, VersionKind::Primary, 0);
+  ASSERT_EQ(plan.comms.size(), 2u);
+  EXPECT_EQ(plan.comms[0].start, 100);
+  EXPECT_EQ(plan.comms[0].duration, 20);
+  EXPECT_EQ(plan.comms[1].start, 120);  // serialized on the rx channel
+  EXPECT_EQ(plan.arrival, 140);
+  EXPECT_EQ(plan.start, 140);
+}
+
+TEST(Placement, TransfersFromSameSenderSerialize) {
+  // One parent feeding two children on different machines: the parent's tx
+  // channel admits one transfer at a time.
+  const auto s = make_scenario(
+      mixed_grid(), 3, {{0, 1, 8e6}, {0, 2, 8e6}},
+      {{10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}}, 100000);
+  sim::Schedule schedule(s.grid, 3);
+  commit_placement(s, schedule, plan_placement(s, schedule, 0, 0, VersionKind::Primary, 0));
+  commit_placement(s, schedule, plan_placement(s, schedule, 1, 1, VersionKind::Primary, 0));
+  // Transfer 0->1 occupies tx(0) during [100, 110).
+  const auto plan = plan_placement(s, schedule, 2, 2, VersionKind::Primary, 0);
+  ASSERT_EQ(plan.comms.size(), 1u);
+  EXPECT_EQ(plan.comms[0].start, 110);  // tx(0) busy until 110
+  EXPECT_EQ(plan.comms[0].duration, 20);
+}
+
+TEST(Placement, NotBeforeBlocksBackfillForSlrh) {
+  const auto s = make_scenario(mixed_grid(), 2, {},
+                               {{10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}}, 100000);
+  sim::Schedule schedule(s.grid, 2);
+  // Machine 0 busy [200, 300); a 100-cycle job fits before it only if
+  // backfill is allowed (not_before = 0).
+  schedule.add_assignment(1, 0, VersionKind::Primary, 200, 100, 1.0);
+  const auto backfill = plan_placement(s, schedule, 0, 0, VersionKind::Primary, 0);
+  EXPECT_EQ(backfill.start, 0);  // Max-Max style hole filling
+  const auto clocked = plan_placement(s, schedule, 0, 0, VersionKind::Primary, 150);
+  EXPECT_EQ(clocked.start, 300);  // hole [150,200) too small for 100 cycles
+}
+
+TEST(Placement, CommitChargesAndReserves) {
+  const auto s = make_scenario(mixed_grid(), 2, {{0, 1, 8e6}},
+                               {{10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}}, 100000);
+  sim::Schedule schedule(s.grid, 2);
+  commit_placement(s, schedule, plan_placement(s, schedule, 0, 0, VersionKind::Primary, 0));
+  // Exec energy 1.0 charged; worst-case outgoing reservation: 8 Mbit at
+  // 4 Mbit/s (grid min) = 2 s * 0.2 = 0.4 u.
+  EXPECT_DOUBLE_EQ(schedule.energy().spent(0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.energy().reserved(0), 0.4);
+  EXPECT_TRUE(schedule.energy().has_reservation(sim::edge_key(0, 1)));
+
+  commit_placement(s, schedule, plan_placement(s, schedule, 1, 1, VersionKind::Primary, 0));
+  // Actual transfer fast->fast: 1 s * 0.2 = 0.2 u, settled against the 0.4
+  // reservation; child exec charged on machine 1.
+  EXPECT_DOUBLE_EQ(schedule.energy().reserved(0), 0.0);
+  EXPECT_DOUBLE_EQ(schedule.energy().spent(0), 1.2);
+  EXPECT_DOUBLE_EQ(schedule.energy().spent(1), 1.0);
+}
+
+TEST(Placement, CommitReleasesSameMachineReservation) {
+  const auto s = make_scenario(mixed_grid(), 2, {{0, 1, 8e6}},
+                               {{10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}}, 100000);
+  sim::Schedule schedule(s.grid, 2);
+  commit_placement(s, schedule, plan_placement(s, schedule, 0, 0, VersionKind::Primary, 0));
+  commit_placement(s, schedule, plan_placement(s, schedule, 1, 0, VersionKind::Primary, 0));
+  EXPECT_DOUBLE_EQ(schedule.energy().reserved(0), 0.0);  // released, not charged
+  EXPECT_DOUBLE_EQ(schedule.energy().spent(0), 2.0);     // two executions only
+  EXPECT_TRUE(schedule.comm_events().empty());
+}
+
+TEST(Placement, PlanRejectsAssignedTaskOrUnassignedParent) {
+  const auto s = make_scenario(mixed_grid(), 2, {{0, 1, 1e6}},
+                               {{10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}}, 100000);
+  sim::Schedule schedule(s.grid, 2);
+  EXPECT_THROW(plan_placement(s, schedule, 1, 0, VersionKind::Primary, 0),
+               PreconditionError);  // parent unmapped
+  commit_placement(s, schedule, plan_placement(s, schedule, 0, 0, VersionKind::Primary, 0));
+  EXPECT_THROW(plan_placement(s, schedule, 0, 1, VersionKind::Primary, 0),
+               PreconditionError);  // already assigned
+}
+
+}  // namespace
+}  // namespace ahg::core

@@ -1,0 +1,165 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace ahg {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(DeriveSeed, IsDeterministic) {
+  EXPECT_EQ(derive_seed(7, 3), derive_seed(7, 3));
+}
+
+TEST(DeriveSeed, DistinctStreamsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(derive_seed(123, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, DistinctParentsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t parent = 0; parent < 1000; ++parent) {
+    seeds.insert(derive_seed(parent, 5));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(5);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(5);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsNearHalf) {
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-2.5, 7.25);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.25);
+  }
+}
+
+TEST(Rng, UniformBelowZeroReturnsZero) {
+  Rng rng(4);
+  EXPECT_EQ(rng.uniform_below(0), 0u);
+}
+
+TEST(Rng, UniformBelowStaysBelow) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_below(17), 17u);
+}
+
+TEST(Rng, UniformBelowOneIsAlwaysZero) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformBelowCoversAllResidues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(8);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.uniform_int(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    hit_lo |= (x == -3);
+    hit_hi |= (x == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(9);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_EQ(rng.uniform_int(5, 4), 5);  // hi < lo returns lo
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRateIsNearP) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGeneratorShape) {
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+  Rng rng(13);
+  (void)rng();  // callable
+}
+
+}  // namespace
+}  // namespace ahg

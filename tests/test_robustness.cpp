@@ -1,0 +1,144 @@
+#include "core/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristics.hpp"
+#include "core/validate.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::core {
+namespace {
+
+workload::Scenario scenario(std::size_t num_tasks = 48) {
+  return test::small_suite_scenario(sim::GridCase::A, num_tasks);
+}
+
+MappingResult complete_mapping(const workload::Scenario& s) {
+  const auto result = run_heuristic(HeuristicKind::Slrh1, s, Weights::make(0.6, 0.3));
+  EXPECT_TRUE(result.complete);
+  return result;
+}
+
+TEST(PerturbEtc, ScalesEveryEntryWithinTruncation) {
+  const auto s = scenario();
+  NoiseParams params;
+  params.cv = 0.3;
+  const auto actual = perturb_etc(s, params, 7);
+  for (std::size_t i = 0; i < s.num_tasks(); ++i) {
+    for (std::size_t j = 0; j < s.num_machines(); ++j) {
+      const auto t = static_cast<TaskId>(i);
+      const auto m = static_cast<MachineId>(j);
+      const double factor = actual.etc.seconds(t, m) / s.etc.seconds(t, m);
+      EXPECT_GE(factor, params.min_factor - 1e-9);
+      EXPECT_LE(factor, params.max_factor + 1e-9);
+    }
+  }
+}
+
+TEST(PerturbEtc, DeterministicInSeed) {
+  const auto s = scenario();
+  const auto a = perturb_etc(s, NoiseParams{}, 5);
+  const auto b = perturb_etc(s, NoiseParams{}, 5);
+  EXPECT_DOUBLE_EQ(a.etc.seconds(0, 0), b.etc.seconds(0, 0));
+  const auto c = perturb_etc(s, NoiseParams{}, 6);
+  EXPECT_NE(a.etc.seconds(0, 0), c.etc.seconds(0, 0));
+}
+
+TEST(PerturbEtc, ParamValidation) {
+  const auto s = scenario(8);
+  NoiseParams params;
+  params.cv = 0.0;
+  EXPECT_THROW(perturb_etc(s, params, 1), PreconditionError);
+  params = NoiseParams{};
+  params.min_factor = 5.0;  // > max
+  EXPECT_THROW(perturb_etc(s, params, 1), PreconditionError);
+}
+
+TEST(Replay, ZeroNoiseReproducesFeasibility) {
+  // Replaying against the SAME durations keeps the mapping feasible (starts
+  // may only shift earlier: replay appends without SLRH's clock idle gaps).
+  const auto s = scenario();
+  const auto mapping = complete_mapping(s);
+  const auto replayed = replay_with_actuals(s, s, *mapping.schedule);
+  EXPECT_TRUE(replayed.executed);
+  EXPECT_TRUE(replayed.within_tau);
+  EXPECT_EQ(replayed.completed, s.num_tasks());
+  EXPECT_LE(replayed.aet, mapping.aet);
+  EXPECT_EQ(replayed.planned_aet, mapping.aet);
+}
+
+TEST(Replay, ReplayedScheduleValidatesAgainstActualScenario) {
+  const auto s = scenario();
+  const auto mapping = complete_mapping(s);
+  const auto actual = perturb_etc(s, NoiseParams{}, 11);
+  const auto replayed = replay_with_actuals(s, actual, *mapping.schedule);
+  ValidateOptions options;
+  options.require_complete = replayed.executed;
+  options.require_within_tau = false;
+  const auto report = validate_schedule(actual, *replayed.schedule, options);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(Replay, PreservesMachineAndVersionDecisions) {
+  const auto s = scenario();
+  const auto mapping = complete_mapping(s);
+  const auto actual = perturb_etc(s, NoiseParams{}, 13);
+  const auto replayed = replay_with_actuals(s, actual, *mapping.schedule);
+  if (!replayed.executed) GTEST_SKIP() << "energy death under this noise draw";
+  for (TaskId t = 0; t < static_cast<TaskId>(s.num_tasks()); ++t) {
+    EXPECT_EQ(replayed.schedule->assignment(t).machine,
+              mapping.schedule->assignment(t).machine);
+    EXPECT_EQ(replayed.schedule->assignment(t).version,
+              mapping.schedule->assignment(t).version);
+  }
+}
+
+TEST(Replay, SystematicOverrunStretchesAet) {
+  const auto s = scenario();
+  const auto mapping = complete_mapping(s);
+  NoiseParams params;
+  params.bias = 1.5;  // 50 % systematic underestimation
+  params.cv = 0.05;
+  const auto actual = perturb_etc(s, params, 17);
+  const auto replayed = replay_with_actuals(s, actual, *mapping.schedule);
+  if (!replayed.executed) GTEST_SKIP() << "energy death under this noise draw";
+  EXPECT_GT(replayed.aet, replayed.planned_aet);
+}
+
+TEST(Replay, SystematicSpeedupShrinksAet) {
+  const auto s = scenario();
+  const auto mapping = complete_mapping(s);
+  NoiseParams params;
+  params.bias = 0.6;
+  params.cv = 0.05;
+  const auto actual = perturb_etc(s, params, 19);
+  const auto replayed = replay_with_actuals(s, actual, *mapping.schedule);
+  ASSERT_TRUE(replayed.executed);  // cheaper than planned: energy must fit
+  EXPECT_LT(replayed.aet, replayed.planned_aet);
+  EXPECT_TRUE(replayed.within_tau);
+}
+
+TEST(Replay, RequiresCompleteMapping) {
+  const auto s = scenario();
+  sim::Schedule incomplete(s.grid, s.num_tasks());
+  EXPECT_THROW(replay_with_actuals(s, s, incomplete), PreconditionError);
+}
+
+TEST(Replay, EnergyDeathIsReportedNotThrown) {
+  // Massive systematic overrun: fast machines' batteries cannot pay for the
+  // stretched executions; the replay must stop gracefully.
+  const auto s = scenario();
+  const auto mapping = complete_mapping(s);
+  NoiseParams params;
+  params.bias = 3.5;
+  params.cv = 0.05;
+  params.max_factor = 4.0;
+  const auto actual = perturb_etc(s, params, 23);
+  const auto replayed = replay_with_actuals(s, actual, *mapping.schedule);
+  if (replayed.executed) GTEST_SKIP() << "instance absorbed the overrun";
+  EXPECT_LT(replayed.completed, s.num_tasks());
+  EXPECT_FALSE(replayed.robust());
+}
+
+}  // namespace
+}  // namespace ahg::core

@@ -1,0 +1,157 @@
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contract.hpp"
+
+namespace ahg::workload {
+namespace {
+
+SuiteParams small_params() {
+  SuiteParams p;
+  p.num_tasks = 64;
+  p.num_etc = 2;
+  p.num_dag = 2;
+  p.master_seed = 77;
+  return p;
+}
+
+TEST(SuiteParams, TauScalesWithTasks) {
+  SuiteParams p;
+  p.num_tasks = 1024;
+  EXPECT_EQ(p.tau_cycles(), 340750);  // 34 075 s at 10 cycles/s
+  p.num_tasks = 512;
+  EXPECT_EQ(p.tau_cycles(), 170375);
+}
+
+TEST(ScenarioSuite, CaseAHasFourMachines) {
+  const ScenarioSuite suite(small_params());
+  const Scenario s = suite.make(sim::GridCase::A, 0, 0);
+  EXPECT_EQ(s.num_machines(), 4u);
+  EXPECT_EQ(s.num_tasks(), 64u);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(ScenarioSuite, CaseBDropsOneSlowMachine) {
+  const ScenarioSuite suite(small_params());
+  const Scenario s = suite.make(sim::GridCase::B, 0, 0);
+  EXPECT_EQ(s.num_machines(), 3u);
+  EXPECT_EQ(s.grid.count(sim::MachineClass::Fast), 2u);
+  EXPECT_EQ(s.grid.count(sim::MachineClass::Slow), 1u);
+}
+
+TEST(ScenarioSuite, CaseCDropsOneFastMachine) {
+  const ScenarioSuite suite(small_params());
+  const Scenario s = suite.make(sim::GridCase::C, 0, 0);
+  EXPECT_EQ(s.grid.count(sim::MachineClass::Fast), 1u);
+  EXPECT_EQ(s.grid.count(sim::MachineClass::Slow), 2u);
+}
+
+TEST(ScenarioSuite, DegradedEtcIsColumnDropOfCaseA) {
+  const ScenarioSuite suite(small_params());
+  const Scenario a = suite.make(sim::GridCase::A, 1, 0);
+  const Scenario b = suite.make(sim::GridCase::B, 1, 0);
+  const Scenario c = suite.make(sim::GridCase::C, 1, 0);
+  for (TaskId i = 0; i < 64; ++i) {
+    // Case B drops machine 3: columns {0,1,2} survive.
+    EXPECT_DOUBLE_EQ(b.etc.seconds(i, 0), a.etc.seconds(i, 0));
+    EXPECT_DOUBLE_EQ(b.etc.seconds(i, 1), a.etc.seconds(i, 1));
+    EXPECT_DOUBLE_EQ(b.etc.seconds(i, 2), a.etc.seconds(i, 2));
+    // Case C drops machine 1: columns {0,2,3} survive.
+    EXPECT_DOUBLE_EQ(c.etc.seconds(i, 0), a.etc.seconds(i, 0));
+    EXPECT_DOUBLE_EQ(c.etc.seconds(i, 1), a.etc.seconds(i, 2));
+    EXPECT_DOUBLE_EQ(c.etc.seconds(i, 2), a.etc.seconds(i, 3));
+  }
+}
+
+TEST(ScenarioSuite, DataSizesSharedAcrossCases) {
+  // Paper: g(i,j) values "were not varied across the three configurations".
+  const ScenarioSuite suite(small_params());
+  const Scenario a = suite.make(sim::GridCase::A, 0, 1);
+  const Scenario c = suite.make(sim::GridCase::C, 0, 1);
+  for (std::size_t i = 0; i < a.dag.num_nodes(); ++i) {
+    const auto parent = static_cast<TaskId>(i);
+    for (const TaskId child : a.dag.children(parent)) {
+      EXPECT_DOUBLE_EQ(a.data.bits(parent, child), c.data.bits(parent, child));
+    }
+  }
+}
+
+TEST(ScenarioSuite, IsFullyDeterministic) {
+  const ScenarioSuite s1(small_params());
+  const ScenarioSuite s2(small_params());
+  const Scenario a = s1.make(sim::GridCase::A, 1, 1);
+  const Scenario b = s2.make(sim::GridCase::A, 1, 1);
+  EXPECT_EQ(a.dag.num_edges(), b.dag.num_edges());
+  for (TaskId i = 0; i < 64; ++i) {
+    for (MachineId j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(a.etc.seconds(i, j), b.etc.seconds(i, j));
+    }
+  }
+}
+
+TEST(ScenarioSuite, DifferentEtcIndicesDiffer) {
+  const ScenarioSuite suite(small_params());
+  const Scenario a = suite.make(sim::GridCase::A, 0, 0);
+  const Scenario b = suite.make(sim::GridCase::A, 1, 0);
+  bool differs = false;
+  for (TaskId i = 0; i < 64 && !differs; ++i) {
+    differs = a.etc.seconds(i, 0) != b.etc.seconds(i, 0);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ScenarioSuite, BatteriesScaleWithTasks) {
+  SuiteParams p = small_params();  // 64 tasks = 1/16 of paper scale
+  const ScenarioSuite suite(p);
+  const Scenario s = suite.make(sim::GridCase::A, 0, 0);
+  EXPECT_NEAR(s.grid.machine(0).battery_capacity, 580.0 / 16.0, 1e-9);
+  EXPECT_NEAR(s.grid.machine(2).battery_capacity, 58.0 / 16.0, 1e-9);
+
+  p.scale_batteries_with_tasks = false;
+  const ScenarioSuite unscaled(p);
+  EXPECT_DOUBLE_EQ(unscaled.make(sim::GridCase::A, 0, 0).grid.machine(0).battery_capacity,
+                   580.0);
+}
+
+TEST(ScenarioSuite, PaperScaleKeepsTable2Batteries) {
+  SuiteParams p = small_params();
+  p.num_tasks = 1024;
+  const ScenarioSuite suite(p);
+  const Scenario s = suite.make(sim::GridCase::A, 0, 0);
+  EXPECT_DOUBLE_EQ(s.grid.machine(0).battery_capacity, 580.0);
+}
+
+TEST(ScenarioSuite, IndexBoundsChecked) {
+  const ScenarioSuite suite(small_params());
+  EXPECT_THROW(suite.make(sim::GridCase::A, 2, 0), PreconditionError);
+  EXPECT_THROW(suite.make(sim::GridCase::A, 0, 2), PreconditionError);
+}
+
+TEST(Scenario, EdgeBitsScaleWithParentVersion) {
+  const ScenarioSuite suite(small_params());
+  const Scenario s = suite.make(sim::GridCase::A, 0, 0);
+  // Find any data-carrying edge.
+  for (std::size_t i = 0; i < s.dag.num_nodes(); ++i) {
+    const auto parent = static_cast<TaskId>(i);
+    for (const TaskId child : s.dag.children(parent)) {
+      const double primary = s.edge_bits(parent, child, VersionKind::Primary);
+      const double secondary = s.edge_bits(parent, child, VersionKind::Secondary);
+      EXPECT_NEAR(secondary, 0.1 * primary, 1e-9);
+      return;
+    }
+  }
+  FAIL() << "no edge found";
+}
+
+TEST(Scenario, ExecCyclesDifferByVersion) {
+  const ScenarioSuite suite(small_params());
+  const Scenario s = suite.make(sim::GridCase::A, 0, 0);
+  const Cycles primary = s.exec_cycles(0, 0, VersionKind::Primary);
+  const Cycles secondary = s.exec_cycles(0, 0, VersionKind::Secondary);
+  EXPECT_GT(primary, secondary);
+  EXPECT_GE(secondary, 1);
+}
+
+}  // namespace
+}  // namespace ahg::workload

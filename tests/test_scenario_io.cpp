@@ -1,0 +1,143 @@
+#include "workload/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/contract.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::workload {
+namespace {
+
+Scenario sample() { return test::small_suite_scenario(sim::GridCase::A, 24); }
+
+TEST(ScenarioIo, RoundTripsExactly) {
+  const Scenario original = sample();
+  std::stringstream buffer;
+  write_scenario(buffer, original);
+  const Scenario loaded = read_scenario(buffer);
+
+  EXPECT_EQ(loaded.num_tasks(), original.num_tasks());
+  EXPECT_EQ(loaded.num_machines(), original.num_machines());
+  EXPECT_EQ(loaded.tau, original.tau);
+  EXPECT_DOUBLE_EQ(loaded.versions.secondary_time_factor,
+                   original.versions.secondary_time_factor);
+  for (std::size_t j = 0; j < original.num_machines(); ++j) {
+    const auto m = static_cast<MachineId>(j);
+    EXPECT_EQ(loaded.grid.machine(m).cls, original.grid.machine(m).cls);
+    EXPECT_DOUBLE_EQ(loaded.grid.machine(m).battery_capacity,
+                     original.grid.machine(m).battery_capacity);
+    EXPECT_DOUBLE_EQ(loaded.grid.machine(m).bandwidth_bps,
+                     original.grid.machine(m).bandwidth_bps);
+  }
+  for (std::size_t i = 0; i < original.num_tasks(); ++i) {
+    const auto t = static_cast<TaskId>(i);
+    for (std::size_t j = 0; j < original.num_machines(); ++j) {
+      EXPECT_DOUBLE_EQ(loaded.etc.seconds(t, static_cast<MachineId>(j)),
+                       original.etc.seconds(t, static_cast<MachineId>(j)));
+    }
+    ASSERT_EQ(loaded.dag.children(t).size(), original.dag.children(t).size());
+    for (const TaskId c : original.dag.children(t)) {
+      EXPECT_TRUE(loaded.dag.has_edge(t, c));
+      EXPECT_DOUBLE_EQ(loaded.data.bits(t, c), original.data.bits(t, c));
+    }
+  }
+}
+
+TEST(ScenarioIo, LoadedScenarioValidates) {
+  std::stringstream buffer;
+  write_scenario(buffer, sample());
+  EXPECT_NO_THROW(read_scenario(buffer).validate());
+}
+
+TEST(ScenarioIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer;
+  write_scenario(buffer, sample());
+  const std::string with_noise = "# leading comment\n\n" + buffer.str() + "\n# trailing\n";
+  std::istringstream noisy(with_noise);
+  EXPECT_NO_THROW(read_scenario(noisy));
+}
+
+TEST(ScenarioIo, RejectsMissingHeader) {
+  std::istringstream input("machines 1\n");
+  EXPECT_THROW(read_scenario(input), PreconditionError);
+}
+
+TEST(ScenarioIo, RejectsBadMachineClass) {
+  std::istringstream input(
+      "adhoc-grid-scenario v1\nmachines 1\nmachine quantum 1 1 1 1\n");
+  EXPECT_THROW(read_scenario(input), PreconditionError);
+}
+
+TEST(ScenarioIo, RejectsMissingEtcEntry) {
+  std::istringstream input(
+      "adhoc-grid-scenario v1\n"
+      "machines 1\nmachine fast 580 0.1 0.2 8e6\n"
+      "tasks 2\ntau 100\nversions 0.1 0.1\n"
+      "etc 0 0 10.0\n");  // entry for task 1 missing
+  EXPECT_THROW(read_scenario(input), PreconditionError);
+}
+
+TEST(ScenarioIo, RejectsDuplicateEtcEntry) {
+  std::istringstream input(
+      "adhoc-grid-scenario v1\n"
+      "machines 1\nmachine fast 580 0.1 0.2 8e6\n"
+      "tasks 1\ntau 100\nversions 0.1 0.1\n"
+      "etc 0 0 10.0\netc 0 0 11.0\n");
+  EXPECT_THROW(read_scenario(input), PreconditionError);
+}
+
+TEST(ScenarioIo, RejectsOutOfRangeIndices) {
+  std::istringstream input(
+      "adhoc-grid-scenario v1\n"
+      "machines 1\nmachine fast 580 0.1 0.2 8e6\n"
+      "tasks 1\ntau 100\nversions 0.1 0.1\n"
+      "etc 0 5 10.0\n");
+  EXPECT_THROW(read_scenario(input), PreconditionError);
+}
+
+TEST(ScenarioIo, RejectsCycle) {
+  std::istringstream input(
+      "adhoc-grid-scenario v1\n"
+      "machines 1\nmachine fast 580 0.1 0.2 8e6\n"
+      "tasks 2\ntau 100\nversions 0.1 0.1\n"
+      "etc 0 0 10.0\netc 1 0 10.0\n"
+      "edge 0 1 100\nedge 1 0 100\n");
+  EXPECT_THROW(read_scenario(input), PreconditionError);
+}
+
+TEST(ScenarioIo, RejectsUnknownKeyword) {
+  std::istringstream input(
+      "adhoc-grid-scenario v1\n"
+      "machines 1\nmachine fast 580 0.1 0.2 8e6\n"
+      "tasks 1\ntau 100\nversions 0.1 0.1\n"
+      "etc 0 0 10.0\nfrobnicate 1 2 3\n");
+  EXPECT_THROW(read_scenario(input), PreconditionError);
+}
+
+TEST(ScenarioIo, ErrorMentionsLineNumber) {
+  std::istringstream input("adhoc-grid-scenario v1\nmachines 0\n");
+  try {
+    read_scenario(input);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ScenarioIo, FileRoundTrip) {
+  const Scenario original = sample();
+  const std::string path = ::testing::TempDir() + "/scenario_io_test.scn";
+  save_scenario(path, original);
+  const Scenario loaded = load_scenario(path);
+  EXPECT_EQ(loaded.num_tasks(), original.num_tasks());
+  EXPECT_EQ(loaded.tau, original.tau);
+}
+
+TEST(ScenarioIo, MissingFileThrows) {
+  EXPECT_THROW(load_scenario("/nonexistent/path.scn"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ahg::workload

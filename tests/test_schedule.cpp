@@ -1,0 +1,187 @@
+#include "sim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/trace.hpp"
+#include "support/contract.hpp"
+
+namespace ahg::sim {
+namespace {
+
+Schedule make_schedule() {
+  return Schedule(GridConfig::make_case(GridCase::A), 8);
+}
+
+TEST(Schedule, InitialState) {
+  const Schedule s = make_schedule();
+  EXPECT_EQ(s.num_tasks(), 8u);
+  EXPECT_EQ(s.num_machines(), 4u);
+  EXPECT_EQ(s.num_assigned(), 0u);
+  EXPECT_FALSE(s.complete());
+  EXPECT_EQ(s.t100(), 0u);
+  EXPECT_EQ(s.aet(), 0);
+  EXPECT_DOUBLE_EQ(s.tec(), 0.0);
+  EXPECT_FALSE(s.is_assigned(0));
+  EXPECT_EQ(s.machine_ready(0), 0);
+}
+
+TEST(Schedule, AddAssignmentUpdatesAggregates) {
+  Schedule s = make_schedule();
+  s.add_assignment(3, 1, VersionKind::Primary, 10, 20, 0.2);
+  EXPECT_TRUE(s.is_assigned(3));
+  EXPECT_EQ(s.num_assigned(), 1u);
+  EXPECT_EQ(s.t100(), 1u);
+  EXPECT_EQ(s.aet(), 30);
+  EXPECT_DOUBLE_EQ(s.tec(), 0.2);
+  EXPECT_EQ(s.machine_ready(1), 30);
+
+  const Assignment& a = s.assignment(3);
+  EXPECT_EQ(a.task, 3);
+  EXPECT_EQ(a.machine, 1);
+  EXPECT_EQ(a.start, 10);
+  EXPECT_EQ(a.finish, 30);
+  EXPECT_EQ(a.version, VersionKind::Primary);
+}
+
+TEST(Schedule, SecondaryDoesNotCountTowardT100) {
+  Schedule s = make_schedule();
+  s.add_assignment(0, 0, VersionKind::Secondary, 0, 5, 0.05);
+  EXPECT_EQ(s.t100(), 0u);
+  EXPECT_EQ(s.num_assigned(), 1u);
+}
+
+TEST(Schedule, DoubleAssignmentRejected) {
+  Schedule s = make_schedule();
+  s.add_assignment(0, 0, VersionKind::Primary, 0, 5, 0.05);
+  EXPECT_THROW(s.add_assignment(0, 1, VersionKind::Primary, 10, 5, 0.05),
+               PreconditionError);
+}
+
+TEST(Schedule, OverlappingComputeRejected) {
+  Schedule s = make_schedule();
+  s.add_assignment(0, 0, VersionKind::Primary, 0, 10, 0.1);
+  EXPECT_THROW(s.add_assignment(1, 0, VersionKind::Primary, 5, 10, 0.1),
+               PreconditionError);
+  // Different machine is fine.
+  EXPECT_NO_THROW(s.add_assignment(1, 1, VersionKind::Primary, 5, 10, 0.1));
+}
+
+TEST(Schedule, AssignmentOrderIsRecorded) {
+  Schedule s = make_schedule();
+  s.add_assignment(5, 0, VersionKind::Primary, 0, 5, 0.05);
+  s.add_assignment(2, 1, VersionKind::Primary, 0, 5, 0.05);
+  const auto order = s.assignment_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 5);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(Schedule, AddCommBooksBothChannels) {
+  Schedule s = make_schedule();
+  s.add_comm(0, 1, 0, 2, 10, 5, 4e5, 0.1);
+  EXPECT_FALSE(s.tx_timeline(0).is_free(10, 5));
+  EXPECT_FALSE(s.rx_timeline(2).is_free(10, 5));
+  EXPECT_TRUE(s.rx_timeline(0).is_free(10, 5));  // sender's rx unaffected
+  EXPECT_DOUBLE_EQ(s.tec(), 0.1);                // charged to the sender
+  ASSERT_EQ(s.comm_events().size(), 1u);
+  EXPECT_EQ(s.comm_events()[0].from_task, 0);
+  EXPECT_EQ(s.comm_events()[0].finish, 15);
+}
+
+TEST(Schedule, SameMachineCommRejected) {
+  Schedule s = make_schedule();
+  EXPECT_THROW(s.add_comm(0, 1, 2, 2, 0, 5, 1e5, 0.0), PreconditionError);
+}
+
+TEST(Schedule, CommSettlesExistingReservation) {
+  Schedule s = make_schedule();
+  s.ledger().reserve(0, edge_key(0, 1), 0.5);
+  s.add_comm(0, 1, 0, 2, 0, 5, 4e5, 0.1);
+  EXPECT_DOUBLE_EQ(s.energy().reserved(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.energy().spent(0), 0.1);
+}
+
+TEST(Schedule, OverlappingTxRejected) {
+  Schedule s = make_schedule();
+  s.add_comm(0, 1, 0, 2, 0, 10, 1e5, 0.0);
+  // Same sender, overlapping window, different receiver -> tx conflict.
+  EXPECT_THROW(s.add_comm(0, 2, 0, 3, 5, 10, 1e5, 0.0), PreconditionError);
+  // Same receiver, overlapping window, different sender -> rx conflict.
+  EXPECT_THROW(s.add_comm(3, 1, 1, 2, 5, 10, 1e5, 0.0), PreconditionError);
+}
+
+TEST(Schedule, ComputeAndCommDoNotInterfere) {
+  // Paper assumption (b): communication does not interfere with execution.
+  Schedule s = make_schedule();
+  s.add_assignment(0, 0, VersionKind::Primary, 0, 100, 0.5);
+  EXPECT_NO_THROW(s.add_comm(1, 2, 0, 1, 10, 20, 1e5, 0.1));
+}
+
+TEST(Schedule, EnergyOverdrawViaAssignmentsThrows) {
+  // Slow machine battery (scaled grid, 8 tasks) — use the unscaled grid:
+  // slow battery 58; exec energy 59 must throw.
+  Schedule s = make_schedule();
+  EXPECT_THROW(s.add_assignment(0, 2, VersionKind::Primary, 0, 10, 59.0),
+               InvariantError);
+}
+
+TEST(Schedule, BoundsChecked) {
+  Schedule s = make_schedule();
+  EXPECT_THROW(s.is_assigned(8), PreconditionError);
+  EXPECT_THROW(s.assignment(0), PreconditionError);  // unassigned
+  EXPECT_THROW(s.machine_ready(4), PreconditionError);
+  EXPECT_THROW(s.add_assignment(0, 4, VersionKind::Primary, 0, 5, 0.0),
+               PreconditionError);
+  EXPECT_THROW(s.add_assignment(0, 0, VersionKind::Primary, 0, 0, 0.0),
+               PreconditionError);
+}
+
+// --- trace export -------------------------------------------------------------
+
+TEST(Trace, EmptyScheduleGantt) {
+  const Schedule s = make_schedule();
+  std::ostringstream oss;
+  render_gantt(oss, s);
+  EXPECT_NE(oss.str().find("empty schedule"), std::string::npos);
+}
+
+TEST(Trace, GanttShowsMachineRows) {
+  Schedule s = make_schedule();
+  s.add_assignment(0, 0, VersionKind::Primary, 0, 50, 0.1);
+  s.add_comm(0, 1, 0, 1, 50, 10, 1e5, 0.01);
+  s.add_assignment(1, 1, VersionKind::Primary, 60, 40, 0.1);
+  std::ostringstream oss;
+  render_gantt(oss, s);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("m0 cpu"), std::string::npos);
+  EXPECT_NE(out.find("m3 rx"), std::string::npos);
+  EXPECT_NE(out.find("time horizon: 100 cycles"), std::string::npos);
+}
+
+TEST(Trace, AssignmentCsvHasOneRowPerAssignment) {
+  Schedule s = make_schedule();
+  s.add_assignment(0, 0, VersionKind::Primary, 0, 50, 0.1);
+  s.add_assignment(1, 1, VersionKind::Secondary, 0, 5, 0.01);
+  std::ostringstream oss;
+  write_assignment_csv(oss, s);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("task,machine,version"), std::string::npos);
+  EXPECT_NE(out.find("secondary"), std::string::npos);
+  // header + 2 rows = 3 newlines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Trace, CommCsvHasOneRowPerEvent) {
+  Schedule s = make_schedule();
+  s.add_comm(0, 1, 0, 1, 0, 10, 2e5, 0.2);
+  std::ostringstream oss;
+  write_comm_csv(oss, s);
+  const std::string out = oss.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace ahg::sim

@@ -1,0 +1,109 @@
+#include "core/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/placement.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::core {
+namespace {
+
+using test::make_scenario;
+
+TEST(Scoring, TotalsDeriveFromScenario) {
+  const auto s = test::two_fast_independent(4);
+  const auto totals = objective_totals(s);
+  EXPECT_EQ(totals.num_tasks, 4u);
+  EXPECT_DOUBLE_EQ(totals.tse, 1160.0);
+  EXPECT_EQ(totals.tau, 100000);
+}
+
+TEST(Scoring, AlphaFavorsPrimaryVersion) {
+  const auto s = test::two_fast_independent(4);
+  sim::Schedule schedule(s.grid, 4);
+  const auto totals = objective_totals(s);
+  const Weights w = Weights::make(1.0, 0.0);
+  const double primary =
+      score_candidate(s, schedule, w, totals, 0, 0, VersionKind::Primary, 0);
+  const double secondary =
+      score_candidate(s, schedule, w, totals, 0, 0, VersionKind::Secondary, 0);
+  EXPECT_GT(primary, secondary);
+}
+
+TEST(Scoring, BetaFavorsCheapMachine) {
+  // One fast, one slow machine: the slow machine costs 100x less energy.
+  const auto s = make_scenario(sim::GridConfig::make(1, 1), 2, {},
+                               {{10.0, 100.0}, {10.0, 100.0}}, 1000000);
+  sim::Schedule schedule(s.grid, 2);
+  const auto totals = objective_totals(s);
+  const Weights w = Weights::make(0.0, 1.0);
+  const double on_fast =
+      score_candidate(s, schedule, w, totals, 0, 0, VersionKind::Primary, 0);
+  const double on_slow =
+      score_candidate(s, schedule, w, totals, 0, 1, VersionKind::Primary, 0);
+  EXPECT_GT(on_slow, on_fast);
+}
+
+TEST(Scoring, GammaRewardFavorsLaterFinish) {
+  const auto s = make_scenario(sim::GridConfig::make(1, 1), 2, {},
+                               {{10.0, 100.0}, {10.0, 100.0}}, 1000000);
+  sim::Schedule schedule(s.grid, 2);
+  const auto totals = objective_totals(s);
+  const Weights w = Weights::make(0.0, 0.0);  // pure gamma
+  // Slow machine finishes later -> larger AET term under the + sign.
+  const double on_fast =
+      score_candidate(s, schedule, w, totals, 0, 0, VersionKind::Primary, 0);
+  const double on_slow =
+      score_candidate(s, schedule, w, totals, 0, 1, VersionKind::Primary, 0);
+  EXPECT_GT(on_slow, on_fast);
+  // And the ablation sign flips the preference.
+  EXPECT_LT(score_candidate(s, schedule, w, totals, 0, 1, VersionKind::Primary, 0,
+                            AetSign::Penalize),
+            score_candidate(s, schedule, w, totals, 0, 0, VersionKind::Primary, 0,
+                            AetSign::Penalize));
+}
+
+TEST(Scoring, IncludesIncomingTransferEnergy) {
+  // Parent on machine 0; scoring the child on machine 1 must count the
+  // transfer energy, same machine must not.
+  const auto s = make_scenario(sim::GridConfig::make(2, 0), 2, {{0, 1, 8e6}},
+                               {{10.0, 10.0}, {10.0, 10.0}}, 100000);
+  sim::Schedule schedule(s.grid, 2);
+  commit_placement(s, schedule, plan_placement(s, schedule, 0, 0, VersionKind::Primary, 0));
+  const auto totals = objective_totals(s);
+  const Weights w = Weights::make(0.0, 1.0);  // pure energy penalty
+  const double same =
+      score_candidate(s, schedule, w, totals, 1, 0, VersionKind::Primary, 0);
+  const double cross =
+      score_candidate(s, schedule, w, totals, 1, 1, VersionKind::Primary, 0);
+  // Same exec energy on both (fast machines), but the cross placement pays
+  // 0.2 u transfer -> worse under the energy penalty.
+  EXPECT_GT(same, cross);
+  // The delta is exactly beta * 0.2 / TSE.
+  EXPECT_NEAR(same - cross, 0.2 / totals.tse, 1e-12);
+}
+
+TEST(Scoring, EarliestLowerBoundsFinishEstimate) {
+  const auto s = test::two_fast_independent(2);
+  sim::Schedule schedule(s.grid, 2);
+  const auto totals = objective_totals(s);
+  const Weights w = Weights::make(0.0, 0.0);  // pure gamma: score tracks AET
+  const double at_zero =
+      score_candidate(s, schedule, w, totals, 0, 0, VersionKind::Primary, 0);
+  const double at_thousand =
+      score_candidate(s, schedule, w, totals, 0, 0, VersionKind::Primary, 1000);
+  EXPECT_GT(at_thousand, at_zero);  // later clock -> later estimated finish
+}
+
+TEST(Scoring, RequiresParentsAssigned) {
+  const auto s = make_scenario(sim::GridConfig::make(1, 0), 2, {{0, 1, 1e6}},
+                               {{10.0}, {10.0}}, 100000);
+  sim::Schedule schedule(s.grid, 2);
+  const auto totals = objective_totals(s);
+  EXPECT_THROW(score_candidate(s, schedule, Weights::make(0.5, 0.1), totals, 1, 0,
+                               VersionKind::Primary, 0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace ahg::core

@@ -1,0 +1,199 @@
+#include "core/slrh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/validate.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::core {
+namespace {
+
+SlrhParams default_params(SlrhVariant variant = SlrhVariant::V1) {
+  SlrhParams p;
+  p.variant = variant;
+  p.weights = Weights::make(0.5, 0.1);
+  return p;
+}
+
+TEST(Slrh, MapsIndependentTasksAcrossMachines) {
+  const auto s = test::two_fast_independent(8);
+  const auto result = run_slrh(s, default_params());
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.within_tau);
+  EXPECT_EQ(result.t100, 8u);  // plenty of energy: everything primary
+  // Two machines, four 100-cycle tasks each, clock-driven with dT=10.
+  EXPECT_LE(result.aet, 500);
+  const auto report = validate_schedule(s, *result.schedule);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(Slrh, RespectsPrecedenceChain) {
+  // 0 -> 1 -> 2, all on one machine class.
+  const auto s = test::make_scenario(sim::GridConfig::make(1, 0), 3,
+                                     {{0, 1, 0.0}, {1, 2, 0.0}},
+                                     {{10.0}, {10.0}, {10.0}}, 100000);
+  const auto result = run_slrh(s, default_params());
+  ASSERT_TRUE(result.complete);
+  const auto& a0 = result.schedule->assignment(0);
+  const auto& a1 = result.schedule->assignment(1);
+  const auto& a2 = result.schedule->assignment(2);
+  EXPECT_GE(a1.start, a0.finish);
+  EXPECT_GE(a2.start, a1.finish);
+}
+
+TEST(Slrh, ToStringNamesVariants) {
+  EXPECT_EQ(to_string(SlrhVariant::V1), "SLRH-1");
+  EXPECT_EQ(to_string(SlrhVariant::V2), "SLRH-2");
+  EXPECT_EQ(to_string(SlrhVariant::V3), "SLRH-3");
+}
+
+TEST(Slrh, ParamValidation) {
+  SlrhParams p = default_params();
+  p.dt = 0;
+  EXPECT_THROW(p.validate(), PreconditionError);
+  p = default_params();
+  p.horizon = -1;
+  EXPECT_THROW(p.validate(), PreconditionError);
+}
+
+TEST(Slrh, VariantOneMapsAtMostOneTaskPerMachinePerSweep) {
+  // 6 independent tasks, 1 machine, huge horizon: V1 maps one per sweep, so
+  // with execution time 10 s = 100 cycles >> dT the tasks land sequentially
+  // and the sweep count is at least the number of tasks.
+  const auto s = test::make_scenario(
+      sim::GridConfig::make(1, 0), 6, {},
+      {{10.0}, {10.0}, {10.0}, {10.0}, {10.0}, {10.0}}, 100000);
+  const auto result = run_slrh(s, default_params(SlrhVariant::V1));
+  ASSERT_TRUE(result.complete);
+  EXPECT_GE(result.iterations, 6u);
+}
+
+TEST(Slrh, VariantTwoStacksWithinHorizon) {
+  // Same workload: V2 keeps assigning from the pool while starts fall within
+  // the horizon. With H = 1000 cycles it can stack several tasks in sweep 1.
+  const auto s = test::make_scenario(
+      sim::GridConfig::make(1, 0), 6, {},
+      {{10.0}, {10.0}, {10.0}, {10.0}, {10.0}, {10.0}}, 100000);
+  SlrhParams p = default_params(SlrhVariant::V2);
+  p.horizon = 1000;
+  const auto result = run_slrh(s, p);
+  ASSERT_TRUE(result.complete);
+  EXPECT_LT(result.iterations, 6u);  // stacked: far fewer sweeps than tasks
+  const auto report = validate_schedule(s, *result.schedule);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(Slrh, VariantTwoDoesNotSeeNewChildren) {
+  // Chain 0 -> 1 with zero data: after mapping 0, its child becomes
+  // admissible, but V2 works from the pool built at sweep start (only {0}),
+  // so 1 waits for the next sweep; V3 rebuilds and maps it immediately.
+  const auto s = test::make_scenario(sim::GridConfig::make(1, 0), 2, {{0, 1, 0.0}},
+                                     {{10.0}, {10.0}}, 100000);
+  SlrhParams p2 = default_params(SlrhVariant::V2);
+  p2.horizon = 100000;
+  const auto r2 = run_slrh(s, p2);
+  ASSERT_TRUE(r2.complete);
+  EXPECT_GE(r2.iterations, 2u);
+
+  SlrhParams p3 = default_params(SlrhVariant::V3);
+  p3.horizon = 100000;
+  const auto r3 = run_slrh(s, p3);
+  ASSERT_TRUE(r3.complete);
+  EXPECT_EQ(r3.iterations, 1u);
+}
+
+TEST(Slrh, HorizonLimitsLookahead) {
+  // One machine, task 0 runs [0,100); with H = 10 nothing else can be
+  // scheduled until the machine frees up, so task 1 starts exactly at 100.
+  const auto s = test::make_scenario(sim::GridConfig::make(1, 0), 2, {},
+                                     {{10.0}, {10.0}}, 100000);
+  SlrhParams p = default_params(SlrhVariant::V2);
+  p.horizon = 10;
+  const auto result = run_slrh(s, p);
+  ASSERT_TRUE(result.complete);
+  const auto& a1 = result.schedule->assignment(1);
+  EXPECT_EQ(a1.start, 100);
+}
+
+TEST(Slrh, StopsAtTauWithWorkRemaining) {
+  // tau far too small to finish: the run must terminate, incomplete.
+  const auto s = test::make_scenario(sim::GridConfig::make(1, 0), 4, {},
+                                     {{10.0}, {10.0}, {10.0}, {10.0}}, 150);
+  const auto result = run_slrh(s, default_params());
+  EXPECT_FALSE(result.complete);
+  EXPECT_FALSE(result.feasible());
+  EXPECT_GT(result.assigned, 0u);
+}
+
+TEST(Slrh, FallsBackToSecondaryUnderEnergyPressure) {
+  // One fast machine whose battery only supports one primary (1.0 u each).
+  auto grid = sim::GridConfig::make(1, 0).with_battery_scale(1.3 / 580.0);
+  const auto s = test::make_scenario(std::move(grid), 2, {},
+                                     {{10.0}, {10.0}}, 100000);
+  const auto result = run_slrh(s, default_params());
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.t100, 1u);  // one primary (1.0 u) + one secondary (0.1 u)
+  EXPECT_LE(result.tec, 1.3);
+}
+
+TEST(Slrh, DeterministicAcrossRuns) {
+  const auto s = test::small_suite_scenario();
+  const auto a = run_slrh(s, default_params());
+  const auto b = run_slrh(s, default_params());
+  EXPECT_EQ(a.t100, b.t100);
+  EXPECT_EQ(a.aet, b.aet);
+  EXPECT_DOUBLE_EQ(a.tec, b.tec);
+  EXPECT_EQ(a.assigned, b.assigned);
+}
+
+// Every variant, on several generated scenarios, must produce a schedule the
+// independent validator accepts (whatever its quality).
+class SlrhValidity
+    : public ::testing::TestWithParam<std::tuple<SlrhVariant, std::uint64_t>> {};
+
+TEST_P(SlrhValidity, ProducesValidSchedules) {
+  const auto [variant, seed] = GetParam();
+  const auto s = test::small_suite_scenario(sim::GridCase::A, 48, seed);
+  const auto result = run_slrh(s, default_params(variant));
+  ValidateOptions options;
+  options.require_complete = false;  // quality not required, validity is
+  options.require_within_tau = false;
+  const auto report = validate_schedule(s, *result.schedule, options);
+  EXPECT_TRUE(report.ok()) << to_string(variant) << " seed " << seed << ": "
+                           << report.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, SlrhValidity,
+    ::testing::Combine(::testing::Values(SlrhVariant::V1, SlrhVariant::V2,
+                                         SlrhVariant::V3),
+                       ::testing::Values(1u, 7u, 42u, 20040426u)));
+
+// Weight sweep: whatever the weights, schedules must remain valid and energy
+// accounting intact (the objective only steers, never breaks, feasibility).
+class SlrhWeightSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SlrhWeightSweep, AnyWeightsYieldValidSchedule) {
+  const auto [alpha, beta] = GetParam();
+  const auto s = test::small_suite_scenario(sim::GridCase::A, 32);
+  SlrhParams p = default_params();
+  p.weights = Weights::make(alpha, beta);
+  const auto result = run_slrh(s, p);
+  ValidateOptions options;
+  options.require_complete = false;
+  options.require_within_tau = false;
+  const auto report = validate_schedule(s, *result.schedule, options);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightGrid, SlrhWeightSweep,
+    ::testing::Values(std::make_tuple(0.0, 0.0), std::make_tuple(1.0, 0.0),
+                      std::make_tuple(0.0, 1.0), std::make_tuple(0.5, 0.5),
+                      std::make_tuple(0.7, 0.1), std::make_tuple(0.2, 0.3)));
+
+}  // namespace
+}  // namespace ahg::core

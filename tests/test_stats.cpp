@@ -1,0 +1,121 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace ahg {
+namespace {
+
+TEST(Accumulator, EmptyState) {
+  Accumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);  // sample variance undefined, reported 0
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(Accumulator, KnownSample) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population var 4, sample var 32/7.
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator acc;
+  for (const double x : {-5.0, -1.0, 3.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), -1.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Rng rng(17);
+  Accumulator whole;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator a;
+  Accumulator b;
+  a.add(1.0);
+  a.add(2.0);
+  Accumulator a_copy = a;
+  a.merge(b);  // merging empty changes nothing
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Summarize, FromSpan) {
+  const std::array<double, 4> values = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 63.0), 42.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  const std::vector<double> empty;
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(percentile(empty, 50.0), PreconditionError);
+  EXPECT_THROW(percentile(v, -1.0), PreconditionError);
+  EXPECT_THROW(percentile(v, 101.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ahg

@@ -1,0 +1,178 @@
+// Tests for the report/IO helpers: TextTable, CsvWriter, env knobs, units,
+// contracts, stopwatch.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/contract.hpp"
+#include "support/csv.hpp"
+#include "support/env.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace ahg {
+namespace {
+
+// --- contract macros ---------------------------------------------------------
+
+TEST(Contract, ExpectsThrowsPreconditionError) {
+  EXPECT_THROW(AHG_EXPECTS(1 == 2), PreconditionError);
+  EXPECT_NO_THROW(AHG_EXPECTS(1 == 1));
+}
+
+TEST(Contract, EnsuresThrowsInvariantError) {
+  EXPECT_THROW(AHG_ENSURES(false), InvariantError);
+  EXPECT_NO_THROW(AHG_ENSURES(true));
+}
+
+TEST(Contract, MessageIsIncluded) {
+  try {
+    AHG_EXPECTS_MSG(false, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail"), std::string::npos);
+  }
+}
+
+// --- units -------------------------------------------------------------------
+
+TEST(Units, CyclesFromSecondsRoundsUp) {
+  EXPECT_EQ(cycles_from_seconds(0.0), 0);
+  EXPECT_EQ(cycles_from_seconds(0.1), 1);
+  EXPECT_EQ(cycles_from_seconds(1.0), 10);
+  EXPECT_EQ(cycles_from_seconds(1.01), 11);   // never shrink a duration
+  EXPECT_EQ(cycles_from_seconds(1.0999), 11);
+}
+
+TEST(Units, SecondsFromCyclesInverts) {
+  EXPECT_DOUBLE_EQ(seconds_from_cycles(10), 1.0);
+  EXPECT_DOUBLE_EQ(seconds_from_cycles(34075 * 10), 34075.0);
+}
+
+TEST(Units, RoundTripNeverLosesTime) {
+  for (double secs : {0.05, 0.1, 0.15, 1.23, 131.0, 34075.0}) {
+    EXPECT_GE(seconds_from_cycles(cycles_from_seconds(secs)), secs - 1e-9);
+  }
+}
+
+// --- TextTable ---------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.begin_row();
+  t.cell(std::string("alpha"));
+  t.cell(42LL);
+  const std::string out = t.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("-+-"), std::string::npos);  // header rule
+}
+
+TEST(TextTable, RejectsWrongRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+}
+
+TEST(TextTable, RejectsTooManyCells) {
+  TextTable t({"a"});
+  t.begin_row();
+  t.cell(std::string("x"));
+  EXPECT_THROW(t.cell(std::string("y")), PreconditionError);
+}
+
+TEST(TextTable, FixedPrecisionCells) {
+  TextTable t({"v"});
+  t.begin_row();
+  t.cell(3.14159, 2);
+  EXPECT_NE(t.str().find("3.14"), std::string::npos);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(format_fixed(1.005, 1), "1.0");
+  EXPECT_EQ(format_mean_sd(1.6543, 0.181, 2), "1.65 (0.18)");
+}
+
+// --- CsvWriter ---------------------------------------------------------------
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream oss;
+  CsvWriter csv(oss, {"a", "b"});
+  csv.begin_row();
+  csv.field(1LL);
+  csv.field(std::string("x"));
+  csv.end_row();
+  EXPECT_EQ(oss.str(), "a,b\n1,x\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RejectsRowProtocolViolations) {
+  std::ostringstream oss;
+  CsvWriter csv(oss, {"a", "b"});
+  EXPECT_THROW(csv.field(std::string("no row open")), PreconditionError);
+  csv.begin_row();
+  EXPECT_THROW(csv.begin_row(), PreconditionError);
+  csv.field(1LL);
+  EXPECT_THROW(csv.end_row(), PreconditionError);  // missing field
+  csv.field(2LL);
+  EXPECT_NO_THROW(csv.end_row());
+}
+
+// --- env knobs ---------------------------------------------------------------
+
+TEST(Env, ReproScaleParsing) {
+  ::setenv("REPRO_SCALE", "smoke", 1);
+  EXPECT_EQ(repro_scale_from_env(), ReproScale::Smoke);
+  ::setenv("REPRO_SCALE", "paper", 1);
+  EXPECT_EQ(repro_scale_from_env(), ReproScale::Paper);
+  ::setenv("REPRO_SCALE", "full", 1);
+  EXPECT_EQ(repro_scale_from_env(), ReproScale::Paper);
+  ::setenv("REPRO_SCALE", "garbage", 1);
+  EXPECT_EQ(repro_scale_from_env(), ReproScale::Default);
+  ::unsetenv("REPRO_SCALE");
+  EXPECT_EQ(repro_scale_from_env(), ReproScale::Default);
+}
+
+TEST(Env, ScaleParamsMatchPaperAtPaperScale) {
+  const auto p = scale_params(ReproScale::Paper);
+  EXPECT_EQ(p.num_subtasks, 1024u);
+  EXPECT_EQ(p.num_etc, 10u);
+  EXPECT_EQ(p.num_dag, 10u);
+  EXPECT_DOUBLE_EQ(p.tune_coarse_step, 0.1);
+  EXPECT_DOUBLE_EQ(p.tune_fine_step, 0.02);
+}
+
+TEST(Env, EnvIntParsesAndFallsBack) {
+  ::setenv("AHG_TEST_INT", "123", 1);
+  EXPECT_EQ(env_int("AHG_TEST_INT", 7), 123);
+  ::setenv("AHG_TEST_INT", "not a number", 1);
+  EXPECT_EQ(env_int("AHG_TEST_INT", 7), 7);
+  ::unsetenv("AHG_TEST_INT");
+  EXPECT_EQ(env_int("AHG_TEST_INT", 7), 7);
+}
+
+// --- stopwatch ---------------------------------------------------------------
+
+TEST(Stopwatch, ReportsNonNegativeMonotoneTime) {
+  Stopwatch sw;
+  const double t1 = sw.seconds();
+  const double t2 = sw.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(sw.milliseconds(), t2 * 1e3);  // ms view is consistent with seconds
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ahg

@@ -1,0 +1,118 @@
+#include "sim/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/heuristics.hpp"
+#include "support/contract.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::sim {
+namespace {
+
+Schedule sample_schedule() {
+  Schedule s(GridConfig::make_case(GridCase::A), 4);
+  s.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);
+  s.add_assignment(1, 1, VersionKind::Secondary, 0, 10, 0.1);
+  s.add_comm(0, 2, 0, 1, 100, 20, 8e6, 0.4);
+  s.add_assignment(2, 1, VersionKind::Primary, 120, 100, 1.0);
+  s.add_assignment(3, 2, VersionKind::Primary, 0, 500, 0.05);
+  return s;
+}
+
+TEST(Svg, ProducesWellFormedDocument) {
+  const Schedule s = sample_schedule();
+  std::ostringstream oss;
+  render_svg_gantt(oss, s);
+  const std::string out = oss.str();
+  EXPECT_EQ(out.rfind("<svg", 0), 0u);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+  // Balanced rect elements, one per bar/lane at least.
+  EXPECT_GT(std::count(out.begin(), out.end(), '<'), 10);
+}
+
+TEST(Svg, ContainsEveryTaskTooltip) {
+  const Schedule s = sample_schedule();
+  std::ostringstream oss;
+  render_svg_gantt(oss, s);
+  const std::string out = oss.str();
+  for (const int task : {0, 1, 2, 3}) {
+    EXPECT_NE(out.find("task " + std::to_string(task) + " ("), std::string::npos);
+  }
+  EXPECT_NE(out.find("transfer 0 -&gt; 2"), std::string::npos);
+}
+
+TEST(Svg, VersionsGetDistinctFills) {
+  const Schedule s = sample_schedule();
+  std::ostringstream oss;
+  render_svg_gantt(oss, s);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("#4878a8"), std::string::npos);  // primary
+  EXPECT_NE(out.find("#a8c4dc"), std::string::npos);  // secondary
+  EXPECT_NE(out.find("#c88c28"), std::string::npos);  // transfer
+}
+
+TEST(Svg, HidingCommLanesDropsThem) {
+  const Schedule s = sample_schedule();
+  SvgOptions options;
+  options.show_comm = false;
+  std::ostringstream oss;
+  render_svg_gantt(oss, s, options);
+  const std::string out = oss.str();
+  EXPECT_EQ(out.find("m0 tx"), std::string::npos);
+  EXPECT_NE(out.find("m0 cpu"), std::string::npos);
+}
+
+TEST(Svg, OutagesAreShaded) {
+  const Schedule s = sample_schedule();
+  SvgOptions options;
+  options.outages.push_back({0, 200, 50});
+  std::ostringstream oss;
+  render_svg_gantt(oss, s, options);
+  EXPECT_NE(oss.str().find("link outage"), std::string::npos);
+}
+
+TEST(Svg, TitleIsEscaped) {
+  const Schedule s = sample_schedule();
+  SvgOptions options;
+  options.title = "Case <A> & friends";
+  std::ostringstream oss;
+  render_svg_gantt(oss, s, options);
+  EXPECT_NE(oss.str().find("Case &lt;A&gt; &amp; friends"), std::string::npos);
+}
+
+TEST(Svg, EmptyScheduleStillRenders) {
+  const Schedule s(GridConfig::make_case(GridCase::B), 2);
+  std::ostringstream oss;
+  render_svg_gantt(oss, s);
+  EXPECT_NE(oss.str().find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, RejectsDegenerateGeometry) {
+  const Schedule s = sample_schedule();
+  SvgOptions options;
+  options.width = 10;
+  std::ostringstream oss;
+  EXPECT_THROW(render_svg_gantt(oss, s, options), PreconditionError);
+  options = SvgOptions{};
+  options.lane_height = 2;
+  EXPECT_THROW(render_svg_gantt(oss, s, options), PreconditionError);
+}
+
+TEST(Svg, RendersRealHeuristicOutput) {
+  const auto scenario = ahg::test::small_suite_scenario(GridCase::A, 48);
+  const auto result = core::run_heuristic(core::HeuristicKind::Slrh1, scenario,
+                                          core::Weights::make(0.6, 0.3));
+  SvgOptions options;
+  for (const auto& outage : scenario.link_outages) {
+    options.outages.push_back({outage.machine, outage.start, outage.duration});
+  }
+  std::ostringstream oss;
+  render_svg_gantt(oss, *result.schedule, options);
+  EXPECT_GT(oss.str().size(), 1000u);
+}
+
+}  // namespace
+}  // namespace ahg::sim

@@ -1,0 +1,193 @@
+#include "sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace ahg::sim {
+namespace {
+
+TEST(Timeline, EmptyTimeline) {
+  Timeline tl;
+  EXPECT_TRUE(tl.empty());
+  EXPECT_EQ(tl.ready_time(), 0);
+  EXPECT_TRUE(tl.is_free(0, 100));
+  EXPECT_EQ(tl.earliest_fit(5, 10), 5);
+  EXPECT_EQ(tl.busy_cycles(), 0);
+}
+
+TEST(Timeline, InsertAndQuery) {
+  Timeline tl;
+  tl.insert(10, 5);  // busy [10, 15)
+  EXPECT_FALSE(tl.is_free(10, 1));
+  EXPECT_FALSE(tl.is_free(14, 1));
+  EXPECT_TRUE(tl.is_free(15, 100));
+  EXPECT_TRUE(tl.is_free(0, 10));
+  EXPECT_FALSE(tl.is_free(9, 2));  // straddles the start
+  EXPECT_EQ(tl.ready_time(), 15);
+  EXPECT_EQ(tl.busy_cycles(), 5);
+}
+
+TEST(Timeline, ZeroDurationAlwaysFits) {
+  Timeline tl;
+  tl.insert(0, 10);
+  EXPECT_TRUE(tl.is_free(5, 0));
+  EXPECT_EQ(tl.earliest_fit(5, 0), 5);
+}
+
+TEST(Timeline, RejectsOverlappingInsert) {
+  Timeline tl;
+  tl.insert(10, 10);
+  EXPECT_THROW(tl.insert(15, 1), PreconditionError);
+  EXPECT_THROW(tl.insert(5, 6), PreconditionError);
+  EXPECT_THROW(tl.insert(10, 10), PreconditionError);
+  EXPECT_NO_THROW(tl.insert(20, 1));  // adjacent is fine (half-open)
+  EXPECT_NO_THROW(tl.insert(9, 1));
+}
+
+TEST(Timeline, RejectsInvalidIntervals) {
+  Timeline tl;
+  EXPECT_THROW(tl.insert(-1, 5), PreconditionError);
+  EXPECT_THROW(tl.insert(0, 0), PreconditionError);
+  EXPECT_THROW(tl.insert(0, -3), PreconditionError);
+  EXPECT_THROW(tl.is_free(-1, 1), PreconditionError);
+}
+
+TEST(Timeline, EarliestFitSkipsBusy) {
+  Timeline tl;
+  tl.insert(10, 10);  // [10,20)
+  EXPECT_EQ(tl.earliest_fit(0, 10), 0);   // fits before
+  EXPECT_EQ(tl.earliest_fit(0, 11), 20);  // too big for the gap
+  EXPECT_EQ(tl.earliest_fit(12, 5), 20);  // starts inside busy -> after
+}
+
+TEST(Timeline, EarliestFitFindsInteriorHole) {
+  Timeline tl;
+  tl.insert(0, 10);   // [0,10)
+  tl.insert(25, 10);  // [25,35)
+  EXPECT_EQ(tl.earliest_fit(0, 15), 10);  // the [10,25) hole
+  EXPECT_EQ(tl.earliest_fit(0, 16), 35);  // hole too small
+  EXPECT_EQ(tl.earliest_fit(12, 13), 12); // partial hole from not_before
+  EXPECT_EQ(tl.earliest_fit(12, 14), 35);
+}
+
+TEST(Timeline, InsertionKeepsSortedOrder) {
+  Timeline tl;
+  tl.insert(50, 5);
+  tl.insert(10, 5);
+  tl.insert(30, 5);
+  const auto ivs = tl.intervals();
+  ASSERT_EQ(ivs.size(), 3u);
+  EXPECT_EQ(ivs[0].start, 10);
+  EXPECT_EQ(ivs[1].start, 30);
+  EXPECT_EQ(ivs[2].start, 50);
+  EXPECT_EQ(tl.ready_time(), 55);
+}
+
+TEST(Timeline, EraseExactInterval) {
+  Timeline tl;
+  tl.insert(10, 5);
+  tl.insert(20, 5);
+  tl.erase(10, 5);
+  EXPECT_TRUE(tl.is_free(10, 5));
+  EXPECT_EQ(tl.size(), 1u);
+  EXPECT_THROW(tl.erase(10, 5), PreconditionError);   // already gone
+  EXPECT_THROW(tl.erase(20, 4), PreconditionError);   // wrong duration
+}
+
+TEST(Timeline, PairFitOnEmptyTimelines) {
+  Timeline a;
+  Timeline b;
+  EXPECT_EQ(Timeline::earliest_fit_pair(a, b, 7, 10), 7);
+}
+
+TEST(Timeline, PairFitRespectsBothSides) {
+  Timeline a;
+  Timeline b;
+  a.insert(0, 10);   // a busy [0,10)
+  b.insert(10, 10);  // b busy [10,20)
+  // duration 5: a free from 10 but b busy until 20.
+  EXPECT_EQ(Timeline::earliest_fit_pair(a, b, 0, 5), 20);
+}
+
+TEST(Timeline, PairFitFindsCommonHole) {
+  Timeline a;
+  Timeline b;
+  a.insert(0, 10);
+  a.insert(30, 10);  // a free [10,30)
+  b.insert(0, 15);
+  b.insert(25, 5);   // b free [15,25), [30,...)
+  // Common hole [15,25): duration 10 fits exactly.
+  EXPECT_EQ(Timeline::earliest_fit_pair(a, b, 0, 10), 15);
+  // Duration 11 does not fit in [15,25); next common window: a free from 40,
+  // b free from 30 -> 40.
+  EXPECT_EQ(Timeline::earliest_fit_pair(a, b, 0, 11), 40);
+}
+
+// Property sweep: earliest_fit results are actually free and minimal, under
+// randomized busy patterns.
+class TimelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimelineProperty, EarliestFitIsFreeAndMinimal) {
+  Rng rng(GetParam());
+  Timeline tl;
+  // Build a random busy pattern.
+  Cycles cursor = 0;
+  for (int k = 0; k < 40; ++k) {
+    cursor += rng.uniform_int(0, 20);
+    const Cycles dur = rng.uniform_int(1, 15);
+    tl.insert(cursor, dur);
+    cursor += dur;
+  }
+  for (int q = 0; q < 200; ++q) {
+    const Cycles not_before = rng.uniform_int(0, cursor + 50);
+    const Cycles dur = rng.uniform_int(1, 25);
+    const Cycles fit = tl.earliest_fit(not_before, dur);
+    ASSERT_GE(fit, not_before);
+    ASSERT_TRUE(tl.is_free(fit, dur));
+    // Minimality: no earlier start in [not_before, fit) is free.
+    for (Cycles s = std::max(not_before, fit - 30); s < fit; ++s) {
+      ASSERT_FALSE(tl.is_free(s, dur)) << "earlier fit exists at " << s;
+    }
+  }
+}
+
+TEST_P(TimelineProperty, PairFitIsFreeOnBothAndMinimal) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  Timeline a;
+  Timeline b;
+  Cycles ca = 0;
+  Cycles cb = 0;
+  for (int k = 0; k < 30; ++k) {
+    ca += rng.uniform_int(0, 15);
+    const Cycles da = rng.uniform_int(1, 10);
+    a.insert(ca, da);
+    ca += da;
+    cb += rng.uniform_int(0, 15);
+    const Cycles db = rng.uniform_int(1, 10);
+    b.insert(cb, db);
+    cb += db;
+  }
+  for (int q = 0; q < 100; ++q) {
+    const Cycles not_before = rng.uniform_int(0, std::max(ca, cb));
+    const Cycles dur = rng.uniform_int(1, 12);
+    const Cycles fit = Timeline::earliest_fit_pair(a, b, not_before, dur);
+    ASSERT_GE(fit, not_before);
+    ASSERT_TRUE(a.is_free(fit, dur));
+    ASSERT_TRUE(b.is_free(fit, dur));
+    for (Cycles s = std::max(not_before, fit - 25); s < fit; ++s) {
+      ASSERT_FALSE(a.is_free(s, dur) && b.is_free(s, dur))
+          << "earlier common fit exists at " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace ahg::sim

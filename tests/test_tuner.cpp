@@ -1,0 +1,170 @@
+#include "core/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/heuristics.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::core {
+namespace {
+
+// Synthetic solver: feasible iff alpha >= 0.5, T100 = round(100 * alpha) —
+// a known landscape with its optimum at the largest feasible alpha.
+MappingResult synthetic(const Weights& w) {
+  MappingResult r;
+  r.complete = w.alpha >= 0.5;
+  r.within_tau = true;
+  r.t100 = static_cast<std::size_t>(std::lround(100.0 * w.alpha));
+  r.wall_seconds = 0.001;
+  return r;
+}
+
+TEST(Tuner, FindsKnownOptimum) {
+  TunerParams params;
+  params.fine_step = 0.0;
+  params.parallel = false;
+  const auto outcome = tune_weights(synthetic, params);
+  ASSERT_TRUE(outcome.found);
+  EXPECT_DOUBLE_EQ(outcome.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(outcome.beta, 0.0);
+  EXPECT_EQ(outcome.best.t100, 100u);
+}
+
+TEST(Tuner, CoarseGridHasExpectedSize) {
+  TunerParams params;
+  params.fine_step = 0.0;
+  params.parallel = false;
+  const auto outcome = tune_weights(synthetic, params);
+  // step 0.1 simplex: sum_{ia=0..10} (11-ia) = 66 points.
+  EXPECT_EQ(outcome.evaluated.size(), 66u);
+}
+
+TEST(Tuner, InfeasibleEverywhereReportsNotFound) {
+  const auto never = [](const Weights&) {
+    MappingResult r;
+    r.complete = false;
+    return r;
+  };
+  TunerParams params;
+  params.parallel = false;
+  const auto outcome = tune_weights(never, params);
+  EXPECT_FALSE(outcome.found);
+  EXPECT_EQ(outcome.evaluated.size(), 66u);  // no fine pass without a seed point
+}
+
+TEST(Tuner, FinePassRefinesAroundOptimum) {
+  // Peak at alpha = 0.44: the coarse grid sees 0.4, the fine pass finds 0.44.
+  const auto peaked = [](const Weights& w) {
+    MappingResult r;
+    r.complete = true;
+    r.within_tau = true;
+    const double d = std::abs(w.alpha - 0.44);
+    r.t100 = static_cast<std::size_t>(std::lround(1000.0 * (1.0 - d)));
+    return r;
+  };
+  TunerParams params;
+  params.coarse_step = 0.1;
+  params.fine_step = 0.02;
+  params.parallel = false;
+  const auto outcome = tune_weights(peaked, params);
+  ASSERT_TRUE(outcome.found);
+  EXPECT_NEAR(outcome.alpha, 0.44, 1e-9);
+  EXPECT_EQ(outcome.best.t100, 1000u);
+}
+
+TEST(Tuner, FinePassSkipsAlreadyEvaluatedPoints) {
+  TunerParams params;
+  params.coarse_step = 0.1;
+  params.fine_step = 0.02;
+  params.parallel = false;
+  const auto outcome = tune_weights(synthetic, params);
+  std::set<std::pair<long long, long long>> keys;
+  for (const auto& p : outcome.evaluated) {
+    const auto key = std::make_pair(std::llround(p.alpha * 1e6),
+                                    std::llround(p.beta * 1e6));
+    EXPECT_TRUE(keys.insert(key).second)
+        << "duplicate evaluation at (" << p.alpha << ", " << p.beta << ")";
+  }
+}
+
+TEST(Tuner, TieBreaksTowardSmallerAlphaThenBeta) {
+  // Flat feasible landscape: everything ties at T100 = 5.
+  const auto flat = [](const Weights&) {
+    MappingResult r;
+    r.complete = true;
+    r.within_tau = true;
+    r.t100 = 5;
+    return r;
+  };
+  TunerParams params;
+  params.fine_step = 0.0;
+  params.parallel = false;
+  const auto outcome = tune_weights(flat, params);
+  ASSERT_TRUE(outcome.found);
+  EXPECT_DOUBLE_EQ(outcome.alpha, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.beta, 0.0);
+}
+
+TEST(Tuner, ParallelMatchesSerial) {
+  TunerParams serial;
+  serial.parallel = false;
+  TunerParams parallel;
+  parallel.parallel = true;
+  const auto a = tune_weights(synthetic, serial);
+  const auto b = tune_weights(synthetic, parallel);
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_DOUBLE_EQ(a.alpha, b.alpha);
+  EXPECT_DOUBLE_EQ(a.beta, b.beta);
+  EXPECT_EQ(a.best.t100, b.best.t100);
+  EXPECT_EQ(a.evaluated.size(), b.evaluated.size());
+}
+
+TEST(Tuner, RangesCoverOptimalRegion) {
+  // Feasible everywhere, T100 maximal on a band alpha in {0.3..0.5}.
+  const auto banded = [](const Weights& w) {
+    MappingResult r;
+    r.complete = true;
+    r.within_tau = true;
+    r.t100 = (w.alpha > 0.29 && w.alpha < 0.51) ? 10u : 5u;
+    return r;
+  };
+  TunerParams params;
+  params.fine_step = 0.0;
+  params.parallel = false;
+  const auto outcome = tune_weights(banded, params);
+  const auto ar = outcome.alpha_range();
+  EXPECT_NEAR(ar.min, 0.3, 1e-9);
+  EXPECT_NEAR(ar.max, 0.5, 1e-9);
+  EXPECT_GT(ar.mean, ar.min);
+  EXPECT_LT(ar.mean, ar.max);
+}
+
+TEST(Tuner, RejectsBadParams) {
+  TunerParams params;
+  params.coarse_step = 0.0;
+  EXPECT_THROW(tune_weights(synthetic, params), PreconditionError);
+  params = TunerParams{};
+  params.fine_step = -0.1;
+  EXPECT_THROW(tune_weights(synthetic, params), PreconditionError);
+}
+
+TEST(Tuner, RealHeuristicEndToEnd) {
+  const auto s = test::small_suite_scenario(sim::GridCase::A, 32);
+  const WeightedSolver solver = [&](const Weights& w) {
+    return run_heuristic(HeuristicKind::Slrh1, s, w);
+  };
+  TunerParams params;
+  params.coarse_step = 0.2;  // small grid to keep the test fast
+  params.fine_step = 0.0;
+  params.parallel = false;
+  const auto outcome = tune_weights(solver, params);
+  EXPECT_TRUE(outcome.found);
+  EXPECT_GT(outcome.best.t100, 0u);
+  EXPECT_TRUE(outcome.best.feasible());
+}
+
+}  // namespace
+}  // namespace ahg::core

@@ -1,0 +1,127 @@
+#include "core/upper_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/heuristics.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::core {
+namespace {
+
+TEST(MinRatios, ReferenceMachineIsOne) {
+  workload::EtcMatrix etc(3, 2);
+  etc.set_seconds(0, 0, 10.0);
+  etc.set_seconds(0, 1, 20.0);
+  etc.set_seconds(1, 0, 10.0);
+  etc.set_seconds(1, 1, 15.0);
+  etc.set_seconds(2, 0, 10.0);
+  etc.set_seconds(2, 1, 40.0);
+  const auto ratios = min_ratios(etc);
+  ASSERT_EQ(ratios.size(), 2u);
+  EXPECT_DOUBLE_EQ(ratios[0], 1.0);
+  EXPECT_DOUBLE_EQ(ratios[1], 1.5);  // min of {2.0, 1.5, 4.0}
+}
+
+TEST(MinRatios, CanBeBelowOne) {
+  workload::EtcMatrix etc(2, 2);
+  etc.set_seconds(0, 0, 10.0);
+  etc.set_seconds(0, 1, 5.0);
+  etc.set_seconds(1, 0, 10.0);
+  etc.set_seconds(1, 1, 30.0);
+  EXPECT_DOUBLE_EQ(min_ratios(etc)[1], 0.5);
+}
+
+TEST(UpperBound, UnconstrainedScenarioReachesAllTasks) {
+  const auto s = test::two_fast_independent(8);
+  const auto ub = compute_upper_bound(s);
+  EXPECT_EQ(ub.bound, 8u);
+  EXPECT_FALSE(ub.cycle_limited);
+  EXPECT_FALSE(ub.energy_limited);
+  EXPECT_GT(ub.tecc_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(ub.tse, 1160.0);
+}
+
+TEST(UpperBound, CycleLimitedWhenTauIsTight) {
+  // One machine, 10 s tasks, tau = 25 s: at most 2 fit.
+  const auto s = test::make_scenario(sim::GridConfig::make(1, 0), 4, {},
+                                     {{10.0}, {10.0}, {10.0}, {10.0}}, 250);
+  const auto ub = compute_upper_bound(s);
+  EXPECT_EQ(ub.bound, 2u);
+  EXPECT_TRUE(ub.cycle_limited);
+  EXPECT_FALSE(ub.energy_limited);
+}
+
+TEST(UpperBound, EnergyLimitedWhenBatteryIsTight) {
+  // Battery pays for 2.5 primaries (1 u each).
+  auto grid = sim::GridConfig::make(1, 0).with_battery_scale(2.5 / 580.0);
+  const auto s = test::make_scenario(std::move(grid), 4, {},
+                                     {{10.0}, {10.0}, {10.0}, {10.0}}, 100000);
+  const auto ub = compute_upper_bound(s);
+  EXPECT_EQ(ub.bound, 2u);
+  EXPECT_TRUE(ub.energy_limited);
+  EXPECT_FALSE(ub.cycle_limited);
+}
+
+TEST(UpperBound, GreedyPrefersEnergyCheapMachines) {
+  // Fast and slow machine: slow execution is 10x longer but 100x lower
+  // power, so the greedy charges every task at the slow machine's price.
+  const auto s = test::make_scenario(sim::GridConfig::make(1, 1), 2, {},
+                                     {{10.0, 100.0}, {10.0, 100.0}}, 1000000);
+  const auto ub = compute_upper_bound(s);
+  EXPECT_EQ(ub.bound, 2u);
+  // Energy used: 2 * 100 s * 0.001 u/s = 0.2 u.
+  EXPECT_NEAR(ub.energy_used, 0.2, 1e-9);
+}
+
+TEST(UpperBound, IgnoresPrecedence) {
+  // The bound deliberately ignores the DAG: a long chain bounds the same as
+  // independent tasks.
+  const auto chain = test::make_scenario(sim::GridConfig::make(2, 0), 3,
+                                         {{0, 1, 1e6}, {1, 2, 1e6}},
+                                         {{10.0, 10.0}, {10.0, 10.0}, {10.0, 10.0}},
+                                         100000);
+  const auto indep = test::make_scenario(sim::GridConfig::make(2, 0), 3, {},
+                                         {{10.0, 10.0}, {10.0, 10.0}, {10.0, 10.0}},
+                                         100000);
+  EXPECT_EQ(compute_upper_bound(chain).bound, compute_upper_bound(indep).bound);
+}
+
+// THE invariant: no heuristic may beat the upper bound, on any scenario.
+class BoundDominance
+    : public ::testing::TestWithParam<std::tuple<HeuristicKind, sim::GridCase,
+                                                 std::uint64_t>> {};
+
+TEST_P(BoundDominance, HeuristicNeverExceedsBound) {
+  const auto [kind, grid_case, seed] = GetParam();
+  const auto s = test::small_suite_scenario(grid_case, 48, seed);
+  const auto ub = compute_upper_bound(s);
+  const auto result = run_heuristic(kind, s, Weights::make(0.7, 0.2));
+  EXPECT_LE(result.t100, ub.bound)
+      << to_string(kind) << " " << to_string(grid_case) << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllHeuristicsCasesSeeds, BoundDominance,
+    ::testing::Combine(::testing::Values(HeuristicKind::Slrh1, HeuristicKind::Slrh2,
+                                         HeuristicKind::Slrh3, HeuristicKind::MaxMax),
+                       ::testing::Values(sim::GridCase::A, sim::GridCase::B,
+                                         sim::GridCase::C),
+                       ::testing::Values(3u, 11u)));
+
+TEST(UpperBound, SuiteCaseAIsResourceAdequate) {
+  // Reproduces the Table-4 shape at small scale: Case A admits all subtasks.
+  const auto s = test::small_suite_scenario(sim::GridCase::A, 64);
+  EXPECT_EQ(compute_upper_bound(s).bound, 64u);
+}
+
+TEST(UpperBound, SuiteCaseCIsCycleLimited) {
+  const auto s = test::small_suite_scenario(sim::GridCase::C, 64);
+  const auto ub = compute_upper_bound(s);
+  EXPECT_LT(ub.bound, 64u);
+  EXPECT_TRUE(ub.cycle_limited);
+}
+
+}  // namespace
+}  // namespace ahg::core

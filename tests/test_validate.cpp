@@ -1,0 +1,170 @@
+// The validator is the test suite's oracle — these tests prove it actually
+// catches each class of violation (a validator that always says "valid"
+// would silently green-light broken heuristics).
+
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/comm.hpp"
+#include "tests/scenario_fixtures.hpp"
+
+namespace ahg::core {
+namespace {
+
+using test::make_scenario;
+
+// 3 tasks: 0 -> 2 with 8 Mbit; 1 independent. Two fast + one slow machine.
+workload::Scenario fixture() {
+  return make_scenario(
+      sim::GridConfig::make(2, 1), 3, {{0, 2, 8e6}},
+      {{10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}, {10.0, 10.0, 100.0}}, 100000);
+}
+
+bool mentions(const ValidationReport& report, const std::string& needle) {
+  for (const auto& v : report.violations) {
+    if (v.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(Validate, AcceptsCorrectCompleteSchedule) {
+  const auto s = fixture();
+  sim::Schedule sched(s.grid, 3);
+  sched.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_assignment(1, 1, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_comm(0, 2, 0, 1, 100, 10, 8e6, 0.2);
+  sched.add_assignment(2, 1, VersionKind::Primary, 110, 100, 1.0);
+  const auto report = validate_schedule(s, sched);
+  EXPECT_TRUE(report.ok()) << report.str();
+  EXPECT_EQ(report.str(), "valid");
+}
+
+TEST(Validate, FlagsIncompleteWhenRequired) {
+  const auto s = fixture();
+  sim::Schedule sched(s.grid, 3);
+  sched.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);
+  const auto strict = validate_schedule(s, sched);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_TRUE(mentions(strict, "unassigned"));
+  ValidateOptions lax;
+  lax.require_complete = false;
+  EXPECT_TRUE(validate_schedule(s, sched, lax).ok());
+}
+
+TEST(Validate, FlagsWrongDuration) {
+  const auto s = fixture();
+  sim::Schedule sched(s.grid, 3);
+  sched.add_assignment(0, 0, VersionKind::Primary, 0, 90, 0.9);  // should be 100
+  ValidateOptions lax;
+  lax.require_complete = false;
+  const auto report = validate_schedule(s, sched, lax);
+  EXPECT_TRUE(mentions(report, "duration"));
+}
+
+TEST(Validate, FlagsChildBeforeParentSameMachine) {
+  const auto s = make_scenario(sim::GridConfig::make(2, 0), 2, {{0, 1, 0.0}},
+                               {{10.0, 10.0}, {10.0, 10.0}}, 100000);
+  sim::Schedule sched(s.grid, 2);
+  sched.add_assignment(1, 0, VersionKind::Primary, 0, 100, 1.0);   // child first!
+  sched.add_assignment(0, 0, VersionKind::Primary, 100, 100, 1.0); // parent after
+  const auto report = validate_schedule(s, sched);
+  EXPECT_TRUE(mentions(report, "child starts before parent finishes"));
+}
+
+TEST(Validate, FlagsMissingTransfer) {
+  const auto s = fixture();
+  sim::Schedule sched(s.grid, 3);
+  sched.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_assignment(1, 1, VersionKind::Primary, 0, 100, 1.0);
+  // Child of 0 on a different machine with NO transfer recorded.
+  sched.add_assignment(2, 1, VersionKind::Primary, 110, 100, 1.0);
+  const auto report = validate_schedule(s, sched);
+  EXPECT_TRUE(mentions(report, "no transfer recorded"));
+}
+
+TEST(Validate, FlagsLateDataArrival) {
+  const auto s = fixture();
+  sim::Schedule sched(s.grid, 3);
+  sched.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_assignment(1, 1, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_assignment(2, 1, VersionKind::Primary, 105, 100, 1.0);
+  sched.add_comm(0, 2, 0, 1, 100, 10, 8e6, 0.2);  // arrives at 110 > start 105
+  const auto report = validate_schedule(s, sched);
+  EXPECT_TRUE(mentions(report, "data arrives after child starts"));
+}
+
+TEST(Validate, FlagsTransferBeforeParentFinish) {
+  const auto s = fixture();
+  sim::Schedule sched(s.grid, 3);
+  sched.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_assignment(1, 1, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_comm(0, 2, 0, 1, 50, 10, 8e6, 0.2);  // parent still running
+  sched.add_assignment(2, 1, VersionKind::Primary, 110, 100, 1.0);
+  const auto report = validate_schedule(s, sched);
+  EXPECT_TRUE(mentions(report, "transfer starts before parent finishes"));
+}
+
+TEST(Validate, FlagsWrongBitVolume) {
+  const auto s = fixture();
+  sim::Schedule sched(s.grid, 3);
+  sched.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_assignment(1, 1, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_comm(0, 2, 0, 1, 100, 10, 4e6, 0.2);  // half the bits
+  sched.add_assignment(2, 1, VersionKind::Primary, 110, 100, 1.0);
+  const auto report = validate_schedule(s, sched);
+  EXPECT_TRUE(mentions(report, "bit volume mismatch"));
+}
+
+TEST(Validate, FlagsWrongTransferEndpoints) {
+  const auto s = fixture();
+  sim::Schedule sched(s.grid, 3);
+  sched.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_assignment(1, 1, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_comm(0, 2, 1, 2, 100, 20, 8e6, 0.2);  // wrong source machine
+  sched.add_assignment(2, 1, VersionKind::Primary, 120, 100, 1.0);
+  const auto report = validate_schedule(s, sched);
+  EXPECT_TRUE(mentions(report, "endpoints"));
+}
+
+TEST(Validate, FlagsSpuriousTransferOnSameMachineEdge) {
+  const auto s = fixture();
+  sim::Schedule sched(s.grid, 3);
+  sched.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_assignment(1, 1, VersionKind::Primary, 0, 100, 1.0);
+  sched.add_comm(0, 2, 0, 1, 100, 10, 8e6, 0.2);
+  // Child ends up on machine 0 — same machine as the parent, so the recorded
+  // transfer is wrong.
+  sched.add_assignment(2, 0, VersionKind::Primary, 110, 100, 1.0);
+  const auto report = validate_schedule(s, sched);
+  EXPECT_TRUE(mentions(report, "needs no transfer"));
+}
+
+TEST(Validate, FlagsAetBeyondTau) {
+  const auto s = make_scenario(sim::GridConfig::make(1, 0), 1, {}, {{10.0}}, 50);
+  sim::Schedule sched(s.grid, 1);
+  sched.add_assignment(0, 0, VersionKind::Primary, 0, 100, 1.0);  // finish 100 > 50
+  const auto report = validate_schedule(s, sched);
+  EXPECT_TRUE(mentions(report, "exceeds tau"));
+  ValidateOptions lax;
+  lax.require_within_tau = false;
+  EXPECT_TRUE(validate_schedule(s, sched, lax).ok());
+}
+
+TEST(Validate, ReportStrListsViolations) {
+  const auto s = fixture();
+  sim::Schedule sched(s.grid, 3);
+  const auto report = validate_schedule(s, sched);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.str().find("violation(s)"), std::string::npos);
+}
+
+TEST(Validate, ShapeMismatchIsFatal) {
+  const auto s = fixture();
+  sim::Schedule wrong(s.grid, 5);  // wrong task count
+  const auto report = validate_schedule(s, wrong);
+  EXPECT_TRUE(mentions(report, "shape mismatch"));
+}
+
+}  // namespace
+}  // namespace ahg::core
