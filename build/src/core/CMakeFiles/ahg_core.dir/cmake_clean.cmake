@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahg_core.dir/adaptive.cpp.o"
+  "CMakeFiles/ahg_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/baselines.cpp.o"
+  "CMakeFiles/ahg_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/feasibility.cpp.o"
+  "CMakeFiles/ahg_core.dir/feasibility.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/heuristics.cpp.o"
+  "CMakeFiles/ahg_core.dir/heuristics.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/lagrangian.cpp.o"
+  "CMakeFiles/ahg_core.dir/lagrangian.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/maxmax.cpp.o"
+  "CMakeFiles/ahg_core.dir/maxmax.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/objective.cpp.o"
+  "CMakeFiles/ahg_core.dir/objective.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/placement.cpp.o"
+  "CMakeFiles/ahg_core.dir/placement.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/robustness.cpp.o"
+  "CMakeFiles/ahg_core.dir/robustness.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/runner.cpp.o"
+  "CMakeFiles/ahg_core.dir/runner.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/scoring.cpp.o"
+  "CMakeFiles/ahg_core.dir/scoring.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/slrh.cpp.o"
+  "CMakeFiles/ahg_core.dir/slrh.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/tuner.cpp.o"
+  "CMakeFiles/ahg_core.dir/tuner.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/upper_bound.cpp.o"
+  "CMakeFiles/ahg_core.dir/upper_bound.cpp.o.d"
+  "CMakeFiles/ahg_core.dir/validate.cpp.o"
+  "CMakeFiles/ahg_core.dir/validate.cpp.o.d"
+  "libahg_core.a"
+  "libahg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
