@@ -1,11 +1,20 @@
 #pragma once
 // Shared plumbing for the table/figure reproduction benches: scale
-// resolution (REPRO_SCALE env), suite construction, and header printing.
+// resolution (REPRO_SCALE env), suite construction, header printing, and the
+// BenchReport timing helper every bench routes its wall-clock measurements
+// through.
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "support/env.hpp"
+#include "support/jsonl.hpp"
+#include "support/metrics.hpp"
+#include "support/profile.hpp"
+#include "support/stopwatch.hpp"
 #include "workload/scenario.hpp"
 
 namespace ahg::bench {
@@ -34,5 +43,53 @@ inline BenchContext make_context(const std::string& bench_name) {
             << " DAG, seed " << ctx.suite_params.master_seed << "\n\n";
   return ctx;
 }
+
+/// Central timing sink for one bench run. Every measured section goes
+/// through timed_section() (or arrives pre-aggregated via merge() from the
+/// runner's per-case phase metrics), so a single write_json() call dumps the
+/// bench's complete, stably-named phase-time breakdown as BENCH_<name>.json
+/// — counters plus "bench.<section>_seconds" / "slrh.*_seconds" /
+/// "maxmax.*_seconds" / "tuner.*_seconds" histograms.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Run `fn` and record its wall time into the histogram
+  /// "bench.<section>_seconds". Returns fn's result.
+  template <typename F>
+  auto timed_section(const std::string& section, F&& fn) {
+    obs::Histogram* hist =
+        obs::phase_histogram(&metrics_, "bench." + section + "_seconds");
+    const Stopwatch timer;
+    if constexpr (std::is_void_v<std::invoke_result_t<F&>>) {
+      fn();
+      hist->observe(timer.seconds());
+    } else {
+      auto result = fn();
+      hist->observe(timer.seconds());
+      return result;
+    }
+  }
+
+  /// Fold externally collected metrics in (e.g. a CaseHeuristicSummary's
+  /// phase snapshot).
+  void merge(const obs::MetricsSnapshot& snapshot) { metrics_.merge(snapshot); }
+
+  /// Write BENCH_<name>.json into the working directory and return the path.
+  std::string write_json() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    os << "{\"bench\":\"" << obs::JsonWriter::escape(name_) << "\",\"metrics\":";
+    metrics_.snapshot().write_json(os);
+    os << "}\n";
+    return path;
+  }
+
+ private:
+  std::string name_;
+  obs::MetricsRegistry metrics_;
+};
 
 }  // namespace ahg::bench

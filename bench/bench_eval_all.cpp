@@ -10,7 +10,8 @@
 int main() {
   using namespace ahg;
   const auto ctx = bench::make_context("Figures 3-7 combined (single tuned pass)");
-  const auto matrix = bench::run_matrix(ctx, /*verbose=*/true);
+  bench::BenchReport report("eval_all");
+  const auto matrix = bench::run_matrix(ctx, /*verbose=*/true, &report);
 
   std::cout << "\n--- Figure 3: optimal weights (mean [min, max]) ---\n";
   for (const char param : {'a', 'b'}) {
@@ -48,5 +49,6 @@ int main() {
   std::cout << "\n--- Figure 7: T100 per execution second ---\n";
   bench::print_case_by_heuristic(std::cout, matrix, "T100/s",
                                  [](const auto& c) { return c.value_metric.mean(); }, 0);
+  std::cout << "\nphase times -> " << report.write_json() << "\n";
   return 0;
 }

@@ -27,16 +27,27 @@ inline std::vector<sim::GridCase> all_cases() {
   return {sim::GridCase::A, sim::GridCase::B, sim::GridCase::C};
 }
 
+/// Tune the full (case x heuristic x scenario) grid. With a report attached,
+/// the whole pass is timed into "bench.matrix_seconds" and every cell's
+/// phase-time metrics (tuner sweeps, SLRH pool build / scoring / placement,
+/// Max-Max selection) are merged into it for the BENCH_*.json dump.
 inline core::EvaluationMatrix run_matrix(const BenchContext& ctx,
-                                         bool verbose = false) {
+                                         bool verbose = false,
+                                         BenchReport* report = nullptr) {
   const workload::ScenarioSuite suite(ctx.suite_params);
   const auto heuristics = core::reported_heuristics();
   std::cout << "tuning " << heuristics.size() << " heuristics x 3 cases x "
             << ctx.suite_params.num_etc * ctx.suite_params.num_dag
             << " scenarios (coarse step " << ctx.params.tune_coarse_step
             << ", fine step " << ctx.params.tune_fine_step << ") ...\n";
-  return core::evaluate_matrix(suite, all_cases(), heuristics,
-                               eval_params(ctx, verbose));
+  const auto run = [&] {
+    return core::evaluate_matrix(suite, all_cases(), heuristics,
+                                 eval_params(ctx, verbose));
+  };
+  if (report == nullptr) return run();
+  auto matrix = report->timed_section("matrix", run);
+  for (const auto& cell : matrix.cells) report->merge(cell.phases);
+  return matrix;
 }
 
 /// One row per case, one column per heuristic, values via `extract`.

@@ -10,12 +10,15 @@
 
 #include "bench/bench_common.hpp"
 #include "core/slrh.hpp"
+#include "support/event_log.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace ahg;
   const auto ctx = bench::make_context("Figure 2: impact of dT on SLRH-1");
   const workload::ScenarioSuite suite(ctx.suite_params);
+  bench::BenchReport report("fig2_delta_t");
+  obs::ForwardSink phase_sink(&report.metrics(), nullptr);
 
   const std::vector<Cycles> dts = {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000};
   const std::size_t num_dags = std::min<std::size_t>(2, suite.num_dag());
@@ -37,7 +40,9 @@ int main() {
       params.weights = core::Weights::make(0.7, 0.25);
       params.dt = dt;
       params.horizon = std::max<Cycles>(100, dt);
-      const auto result = core::run_slrh(scenario, params);
+      params.sink = &phase_sink;
+      const auto result = report.timed_section(
+          "slrh_run", [&] { return core::run_slrh(scenario, params); });
       table.cell(static_cast<long long>(result.t100));
       table.cell(result.wall_seconds * 1e3, 2);
     }
@@ -45,6 +50,7 @@ int main() {
   table.render(std::cout);
   std::cout << "\npaper shape: T100 insensitive to dT over mid-range values; "
                "execution time strongly dependent for small dT\n"
-            << "(paper selected dT = 10 cycles, H = 100 cycles)\n";
+            << "(paper selected dT = 10 cycles, H = 100 cycles)\n"
+            << "phase times -> " << report.write_json() << "\n";
   return 0;
 }

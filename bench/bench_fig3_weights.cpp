@@ -14,7 +14,8 @@
 int main() {
   using namespace ahg;
   const auto ctx = bench::make_context("Figure 3: optimal objective-function weights");
-  const auto matrix = bench::run_matrix(ctx);
+  bench::BenchReport report("fig3_weights");
+  const auto matrix = bench::run_matrix(ctx, /*verbose=*/false, &report);
 
   for (const char param : {'a', 'b'}) {
     std::cout << "\noptimal " << (param == 'a' ? "alpha" : "beta")
@@ -41,6 +42,7 @@ int main() {
 
   std::cout << "\npaper shape: SLRH optima cluster tightly (alpha shifts and "
                "tightens in Case C; beta nearly constant);\n"
-               "Max-Max optima spread widely with no ETC/DAG correlation\n";
+               "Max-Max optima spread widely with no ETC/DAG correlation\n"
+            << "phase times -> " << report.write_json() << "\n";
   return 0;
 }

@@ -13,13 +13,15 @@
 int main() {
   using namespace ahg;
   const auto ctx = bench::make_context("Figure 4: T100 per heuristic per case");
-  const auto matrix = bench::run_matrix(ctx);
+  bench::BenchReport report("fig4_t100");
+  const auto matrix = bench::run_matrix(ctx, /*verbose=*/false, &report);
   std::cout << '\n';
   bench::print_case_by_heuristic(
       std::cout, matrix, "T100",
       [](const core::CaseHeuristicSummary& cell) { return cell.t100.mean(); }, 1);
   std::cout << "\n(of |T| = " << ctx.suite_params.num_tasks << " subtasks)\n"
             << "paper shape: SLRH-1 ~ Max-Max >> SLRH-3 in Case A; both "
-               "leaders drop on machine loss, SLRH-1 faster\n";
+               "leaders drop on machine loss, SLRH-1 faster\n"
+            << "phase times -> " << report.write_json() << "\n";
   return 0;
 }

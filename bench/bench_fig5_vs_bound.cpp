@@ -14,13 +14,15 @@ int main() {
   using namespace ahg;
   const auto ctx =
       bench::make_context("Figure 5: T100 relative to the upper bound");
-  const auto matrix = bench::run_matrix(ctx);
+  bench::BenchReport report("fig5_vs_bound");
+  const auto matrix = bench::run_matrix(ctx, /*verbose=*/false, &report);
   std::cout << '\n';
   bench::print_case_by_heuristic(
       std::cout, matrix, "T100 / upper bound",
       [](const core::CaseHeuristicSummary& cell) { return cell.vs_bound.mean(); }, 3);
   std::cout << "\npaper shape: SLRH-1 > 0.60 in Case A, slightly ahead of "
                "Max-Max; both drop on machine loss independent of machine "
-               "type; SLRH-3 low but loss-insensitive\n";
+               "type; SLRH-3 low but loss-insensitive\n"
+            << "phase times -> " << report.write_json() << "\n";
   return 0;
 }

@@ -14,7 +14,8 @@
 int main() {
   using namespace ahg;
   const auto ctx = bench::make_context("Figure 6: heuristic execution time");
-  const auto matrix = bench::run_matrix(ctx);
+  bench::BenchReport report("fig6_exec_time");
+  const auto matrix = bench::run_matrix(ctx, /*verbose=*/false, &report);
   std::cout << '\n';
   bench::print_case_by_heuristic(
       std::cout, matrix, "heuristic execution time [ms]",
@@ -24,6 +25,7 @@ int main() {
       3);
   std::cout << "\npaper shape: Max-Max flat across cases; SLRH-3 rises on "
                "machine loss; SLRH-1 smallest, dropping when a fast machine "
-               "is lost\n";
+               "is lost\n"
+            << "phase times -> " << report.write_json() << "\n";
   return 0;
 }

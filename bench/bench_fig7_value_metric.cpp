@@ -13,13 +13,15 @@ int main() {
   using namespace ahg;
   const auto ctx =
       bench::make_context("Figure 7: T100 per second of heuristic execution time");
-  const auto matrix = bench::run_matrix(ctx);
+  bench::BenchReport report("fig7_value_metric");
+  const auto matrix = bench::run_matrix(ctx, /*verbose=*/false, &report);
   std::cout << '\n';
   bench::print_case_by_heuristic(
       std::cout, matrix, "T100 / heuristic execution seconds",
       [](const core::CaseHeuristicSummary& cell) { return cell.value_metric.mean(); },
       0);
   std::cout << "\npaper shape: SLRH-1 >> SLRH-3 everywhere; SLRH-1 ~ Max-Max "
-               "in Case A, ahead on machine loss (execution-speed advantage)\n";
+               "in Case A, ahead on machine loss (execution-speed advantage)\n"
+            << "phase times -> " << report.write_json() << "\n";
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "core/feasibility.hpp"
 #include "core/placement.hpp"
 #include "core/scoring.hpp"
+#include "core/slrh.hpp"
 #include "sim/timeline.hpp"
 #include "support/rng.hpp"
 #include "workload/scenario.hpp"
@@ -104,6 +105,28 @@ void BM_PlanPlacement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlanPlacement);
+
+// Telemetry-overhead guard for the SLRH inner loop: arg 0 runs the null-sink
+// fast path (the contract: same instructions as before the observability
+// layer existed), arg 1 attaches a metrics-only sink (phase histograms, no
+// events). Comparing the two rates bounds the cost of enabling phase timing;
+// the null-sink run itself is what the <2 % inner-loop overhead budget is
+// measured against.
+void BM_SlrhInnerLoop(benchmark::State& state) {
+  const auto scenario = bench_scenario(256);
+  const bool with_metrics = state.range(0) != 0;
+  obs::MetricsRegistry metrics;
+  obs::ForwardSink sink(&metrics, nullptr);
+  core::SlrhParams params;
+  params.weights = core::Weights::make(0.7, 0.25);
+  params.sink = with_metrics ? &sink : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_slrh(scenario, params));
+  }
+  state.SetLabel(with_metrics ? "metrics_sink" : "null_sink");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_SlrhInnerLoop)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -7,7 +7,9 @@
 //   slrh_cli --heuristic lagrangian --tasks 128 --case C
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "core/baselines.hpp"
 #include "core/heuristics.hpp"
@@ -15,6 +17,7 @@
 #include "core/upper_bound.hpp"
 #include "core/validate.hpp"
 #include "support/args.hpp"
+#include "support/event_log.hpp"
 #include "workload/scenario.hpp"
 #include "workload/dynamics.hpp"
 #include "workload/scenario_io.hpp"
@@ -51,6 +54,13 @@ int main(int argc, char** argv) {
   args.add_string("scenario-out", "", "save the scenario to this file");
   args.add_flag("validate", "run the independent schedule validator");
   args.add_flag("bound", "also compute the T100 upper bound");
+  args.add_string("trace-jsonl", "",
+                  "write a per-decision JSONL trace (run/pool/map/stall events) "
+                  "to this file; slrh1-3 and maxmax only — inspect with "
+                  "trace_inspect");
+  args.add_string("metrics", "",
+                  "write counters and phase-time histograms as JSON to this "
+                  "file after the run");
   if (!args.parse(argc, argv)) return args.error() ? EXIT_FAILURE : EXIT_SUCCESS;
 
   // --- scenario -----------------------------------------------------------
@@ -123,15 +133,45 @@ int main(int argc, char** argv) {
   clock.dt = args.get_int("dt");
   clock.horizon = args.get_int("horizon");
 
+  // --- observability --------------------------------------------------------
+  const std::string trace_path = args.get_string("trace-jsonl");
+  const std::string metrics_path = args.get_string("metrics");
+  obs::MetricsRegistry metrics;
+  std::ofstream trace_stream;
+  std::unique_ptr<obs::Sink> sink_holder;
+  obs::Sink* sink = nullptr;
+  if (!trace_path.empty()) {
+    trace_stream.open(trace_path);
+    if (!trace_stream) return fail("cannot open trace file " + trace_path);
+    sink_holder = std::make_unique<obs::JsonlSink>(trace_stream, &metrics);
+    sink = sink_holder.get();
+  } else if (!metrics_path.empty()) {
+    // Metrics without a decision trace: a forwarding sink with no downstream
+    // collects phase histograms but skips event assembly entirely.
+    sink_holder = std::make_unique<obs::ForwardSink>(&metrics, nullptr);
+    sink = sink_holder.get();
+  }
+  const auto aet_sign = core::AetSign::Reward;
+  if (sink != nullptr && name != "slrh1" && name != "slrh2" && name != "slrh3" &&
+      name != "maxmax") {
+    std::cerr << "slrh_cli: note: --trace-jsonl/--metrics instrument only "
+                 "slrh1-3 and maxmax; '"
+              << name << "' emits no telemetry\n";
+  }
+
   core::MappingResult result;
   if (name == "slrh1") {
-    result = core::run_heuristic(core::HeuristicKind::Slrh1, *scenario, weights, clock);
+    result = core::run_heuristic(core::HeuristicKind::Slrh1, *scenario, weights,
+                                 clock, aet_sign, sink);
   } else if (name == "slrh2") {
-    result = core::run_heuristic(core::HeuristicKind::Slrh2, *scenario, weights, clock);
+    result = core::run_heuristic(core::HeuristicKind::Slrh2, *scenario, weights,
+                                 clock, aet_sign, sink);
   } else if (name == "slrh3") {
-    result = core::run_heuristic(core::HeuristicKind::Slrh3, *scenario, weights, clock);
+    result = core::run_heuristic(core::HeuristicKind::Slrh3, *scenario, weights,
+                                 clock, aet_sign, sink);
   } else if (name == "maxmax") {
-    result = core::run_heuristic(core::HeuristicKind::MaxMax, *scenario, weights, clock);
+    result = core::run_heuristic(core::HeuristicKind::MaxMax, *scenario, weights,
+                                 clock, aet_sign, sink);
   } else if (name == "minmin") {
     result = core::run_minmin(*scenario);
   } else if (name == "olb") {
@@ -157,6 +197,19 @@ int main(int argc, char** argv) {
             << ", T100=" << result.t100 << ", AET " << seconds_from_cycles(result.aet)
             << " s (tau " << (result.within_tau ? "met" : "VIOLATED") << "), TEC "
             << result.tec << ", heuristic " << result.wall_seconds * 1e3 << " ms\n";
+
+  if (!trace_path.empty()) {
+    const auto* jsonl = static_cast<const obs::JsonlSink*>(sink);
+    std::cout << "trace: " << jsonl->events_written() << " events -> " << trace_path
+              << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_stream(metrics_path);
+    if (!metrics_stream) return fail("cannot open metrics file " + metrics_path);
+    metrics.snapshot().write_json(metrics_stream);
+    metrics_stream << "\n";
+    std::cout << "metrics -> " << metrics_path << "\n";
+  }
 
   if (args.get_flag("validate")) {
     core::ValidateOptions options;

@@ -1,29 +1,48 @@
 // Trace export: run two heuristics on the same scenario and dump complete
-// schedule traces — assignment CSV, communication CSV, and an ASCII Gantt —
-// for offline analysis or plotting. Demonstrates the introspection surface
-// of the schedule substrate.
+// schedule traces — assignment CSV/JSONL, communication CSV, an ASCII/SVG
+// Gantt, and (opt-in) the per-decision JSONL telemetry stream the heuristics
+// emit while running. Demonstrates the introspection surface of the schedule
+// substrate and the observability layer together.
 //
-// Usage: trace_export [num_subtasks] [output_dir]
+//   trace_export --tasks 96 --out-dir traces
+//   trace_export --trace-jsonl traces/decisions.jsonl --metrics traces/metrics.json
 
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "core/heuristics.hpp"
 #include "core/validate.hpp"
 #include "sim/svg.hpp"
 #include "sim/trace.hpp"
+#include "support/args.hpp"
+#include "support/event_log.hpp"
 #include "workload/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace ahg;
 
+  ArgParser args("trace_export",
+                 "run SLRH-1 and Max-Max on one scenario and export schedule "
+                 "traces (CSV, JSONL, SVG)");
+  args.add_int("tasks", 96, "number of subtasks |T|");
+  args.add_string("out-dir", "traces", "directory for the exported trace files");
+  args.add_string("trace-jsonl", "",
+                  "also write the heuristics' per-decision JSONL telemetry "
+                  "(run/pool/map/stall events, both heuristics in one stream; "
+                  "inspect with trace_inspect)");
+  args.add_string("metrics", "",
+                  "write counters and phase-time histograms as JSON to this "
+                  "file after both runs");
+  if (!args.parse(argc, argv)) return args.error() ? EXIT_FAILURE : EXIT_SUCCESS;
+
   workload::SuiteParams suite_params;
-  suite_params.num_tasks = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 96;
+  suite_params.num_tasks = static_cast<std::size_t>(args.get_int("tasks"));
   suite_params.num_etc = 1;
   suite_params.num_dag = 1;
-  const std::filesystem::path out_dir = argc > 2 ? argv[2] : "traces";
+  const std::filesystem::path out_dir = args.get_string("out-dir");
 
   const workload::ScenarioSuite suite(suite_params);
   const auto scenario = suite.make(sim::GridCase::A, 0, 0);
@@ -31,15 +50,41 @@ int main(int argc, char** argv) {
 
   std::filesystem::create_directories(out_dir);
 
+  const std::string trace_path = args.get_string("trace-jsonl");
+  const std::string metrics_path = args.get_string("metrics");
+  obs::MetricsRegistry metrics;
+  std::ofstream trace_stream;
+  std::unique_ptr<obs::Sink> sink_holder;
+  obs::Sink* sink = nullptr;
+  if (!trace_path.empty()) {
+    trace_stream.open(trace_path);
+    if (!trace_stream) {
+      std::cerr << "trace_export: cannot open " << trace_path << "\n";
+      return EXIT_FAILURE;
+    }
+    sink_holder = std::make_unique<obs::JsonlSink>(trace_stream, &metrics);
+    sink = sink_holder.get();
+  } else if (!metrics_path.empty()) {
+    sink_holder = std::make_unique<obs::ForwardSink>(&metrics, nullptr);
+    sink = sink_holder.get();
+  }
+
   for (const auto kind : {core::HeuristicKind::Slrh1, core::HeuristicKind::MaxMax}) {
-    const auto result = core::run_heuristic(kind, scenario, weights);
+    const auto result = core::run_heuristic(kind, scenario, weights, {},
+                                            core::AetSign::Reward, sink);
     const std::string stem = to_string(kind);
 
     const auto assignments_path = out_dir / (stem + "_assignments.csv");
+    const auto assignments_jsonl_path = out_dir / (stem + "_assignments.jsonl");
     const auto comms_path = out_dir / (stem + "_comms.csv");
     {
       std::ofstream f(assignments_path);
       sim::write_assignment_csv(f, *result.schedule);
+    }
+    {
+      std::ofstream f(assignments_jsonl_path);
+      sim::write_assignment_jsonl(f, *result.schedule);
+      sim::write_comm_jsonl(f, *result.schedule);
     }
     {
       std::ofstream f(comms_path);
@@ -58,12 +103,29 @@ int main(int argc, char** argv) {
               << ", T100=" << result.t100 << ", AET "
               << seconds_from_cycles(result.aet) << " s, TEC " << result.tec << "\n"
               << "wrote " << assignments_path.string() << ", "
-              << comms_path.string() << " and " << svg_path.string() << "\n";
+              << assignments_jsonl_path.string() << ", " << comms_path.string()
+              << " and " << svg_path.string() << "\n";
     sim::GanttOptions gantt;
     gantt.width = 96;
     gantt.show_comm = false;
     sim::render_gantt(std::cout, *result.schedule, gantt);
     std::cout << "\n";
+  }
+
+  if (!trace_path.empty()) {
+    const auto* jsonl = static_cast<const obs::JsonlSink*>(sink);
+    std::cout << "decision trace: " << jsonl->events_written() << " events -> "
+              << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_stream(metrics_path);
+    if (!metrics_stream) {
+      std::cerr << "trace_export: cannot open " << metrics_path << "\n";
+      return EXIT_FAILURE;
+    }
+    metrics.snapshot().write_json(metrics_stream);
+    metrics_stream << "\n";
+    std::cout << "metrics -> " << metrics_path << "\n";
   }
   return EXIT_SUCCESS;
 }

@@ -50,4 +50,27 @@ bool slrh_pool_admissible(const workload::Scenario& scenario,
          version_fits_energy(scenario, schedule, task, machine, VersionKind::Secondary);
 }
 
+const char* to_string(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::Admissible: return "admissible";
+    case AdmissionOutcome::AlreadyAssigned: return "already_assigned";
+    case AdmissionOutcome::ParentsUnassigned: return "parents_unassigned";
+    case AdmissionOutcome::EnergyInfeasible: return "energy_infeasible";
+  }
+  return "?";
+}
+
+AdmissionOutcome classify_slrh_admission(const workload::Scenario& scenario,
+                                         const sim::Schedule& schedule, TaskId task,
+                                         MachineId machine) {
+  if (schedule.is_assigned(task)) return AdmissionOutcome::AlreadyAssigned;
+  if (!parents_assigned(scenario, schedule, task)) {
+    return AdmissionOutcome::ParentsUnassigned;
+  }
+  if (!version_fits_energy(scenario, schedule, task, machine, VersionKind::Secondary)) {
+    return AdmissionOutcome::EnergyInfeasible;
+  }
+  return AdmissionOutcome::Admissible;
+}
+
 }  // namespace ahg::core

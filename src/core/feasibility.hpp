@@ -42,4 +42,21 @@ bool slrh_pool_admissible(const workload::Scenario& scenario,
                           const sim::Schedule& schedule, TaskId task,
                           MachineId machine);
 
+/// Why a subtask was (or was not) admitted to an SLRH candidate pool — the
+/// rejection reasons the decision trace records. The checks run in the same
+/// order slrh_pool_admissible short-circuits them, so the first failing rule
+/// is the reported reason.
+enum class AdmissionOutcome : std::uint8_t {
+  Admissible,
+  AlreadyAssigned,
+  ParentsUnassigned,
+  EnergyInfeasible,  ///< secondary version + worst-case comms exceed budget
+};
+
+const char* to_string(AdmissionOutcome outcome);
+
+AdmissionOutcome classify_slrh_admission(const workload::Scenario& scenario,
+                                         const sim::Schedule& schedule, TaskId task,
+                                         MachineId machine);
+
 }  // namespace ahg::core

@@ -23,7 +23,7 @@ std::vector<HeuristicKind> all_heuristics() {
 
 MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenario,
                             const Weights& weights, const SlrhClock& clock,
-                            AetSign aet_sign) {
+                            AetSign aet_sign, obs::Sink* sink) {
   switch (kind) {
     case HeuristicKind::Slrh1:
     case HeuristicKind::Slrh2:
@@ -36,12 +36,14 @@ MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenar
       params.dt = clock.dt;
       params.horizon = clock.horizon;
       params.aet_sign = aet_sign;
+      params.sink = sink;
       return run_slrh(scenario, params);
     }
     case HeuristicKind::MaxMax: {
       MaxMaxParams params;
       params.weights = weights;
       params.aet_sign = aet_sign;
+      params.sink = sink;
       return run_maxmax(scenario, params);
     }
   }

@@ -32,8 +32,11 @@ struct SlrhClock {
 };
 
 /// Run any heuristic on a scenario with the given objective weights.
+/// `sink` (not owned, may be null) receives the run's decision events and
+/// feeds phase metrics — see SlrhParams::sink for the null-sink contract.
 MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenario,
                             const Weights& weights, const SlrhClock& clock = {},
-                            AetSign aet_sign = AetSign::Reward);
+                            AetSign aet_sign = AetSign::Reward,
+                            obs::Sink* sink = nullptr);
 
 }  // namespace ahg::core

@@ -9,6 +9,7 @@
 #include "core/feasibility.hpp"
 #include "core/placement.hpp"
 #include "core/scoring.hpp"
+#include "support/profile.hpp"
 #include "support/stopwatch.hpp"
 
 namespace ahg::core {
@@ -50,6 +51,31 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
   const ObjectiveTotals totals = objective_totals(scenario);
   const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
   const auto num_machines = static_cast<MachineId>(scenario.num_machines());
+
+  // Telemetry handles, all null when no sink is attached (see SlrhParams for
+  // the null-sink contract). Resolved once, outside the selection loop.
+  obs::MetricsRegistry* metrics =
+      params.sink != nullptr ? params.sink->metrics() : nullptr;
+  obs::Histogram* select_hist = obs::phase_histogram(metrics, "maxmax.select_seconds");
+  obs::Counter* rounds_counter =
+      metrics != nullptr ? &metrics->counter("maxmax.rounds") : nullptr;
+  obs::Counter* maps_counter =
+      metrics != nullptr ? &metrics->counter("maxmax.map_decisions") : nullptr;
+  const bool trace_maps =
+      params.sink != nullptr && params.sink->wants(obs::EventKind::MapDecision);
+
+  if (params.sink != nullptr && params.sink->wants(obs::EventKind::RunBegin)) {
+    obs::Event event;
+    event.kind = obs::EventKind::RunBegin;
+    event.heuristic = "Max-Max";
+    event.alpha = params.weights.alpha;
+    event.beta = params.weights.beta;
+    event.gamma = params.weights.gamma;
+    event.note = "|T|=" + std::to_string(scenario.num_tasks()) +
+                 ", machines=" + std::to_string(scenario.num_machines()) +
+                 ", tau=" + std::to_string(scenario.tau);
+    params.sink->emit(event);
+  }
 
   MappingResult result;
 
@@ -97,9 +123,12 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
   while (!schedule->complete()) {
     ++result.iterations;
     ++result.pools_built;
+    if (rounds_counter != nullptr) rounds_counter->add();
 
     Triplet best;
     PlacementPlan best_plan;
+    {
+    obs::ProfileScope select_scope(select_hist);
     for (;;) {
       best = Triplet{};
       for (const TaskId task : frontier) {
@@ -146,8 +175,43 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
       // triplet and re-select.
       excluded.insert({best.task, best.machine, best.version});
     }
+    }  // select_scope
 
-    if (!best.valid()) break;  // no feasible pair remains: stuck
+    if (!best.valid()) {  // no feasible pair remains: stuck
+      if (params.sink != nullptr && params.sink->wants(obs::EventKind::Stall)) {
+        obs::Event event;
+        event.kind = obs::EventKind::Stall;
+        event.heuristic = "Max-Max";
+        event.note = std::to_string(scenario.num_tasks() -
+                                    static_cast<std::size_t>(
+                                        schedule->num_assigned())) +
+                     " subtasks unmapped, no feasible pair remains";
+        params.sink->emit(event);
+      }
+      break;
+    }
+
+    if (maps_counter != nullptr) maps_counter->add();
+    if (trace_maps) {
+      // Term breakdown against the PRE-commit schedule, evaluated at the
+      // same finish estimate the selection scored.
+      const ObjectiveTerms terms = score_candidate_terms_with_finish(
+          scenario, *schedule, params.weights, totals, best.task, best.machine,
+          best.version, best.finish_est, params.aet_sign);
+      obs::Event event;
+      event.kind = obs::EventKind::MapDecision;
+      event.heuristic = "Max-Max";
+      event.clock = static_cast<Cycles>(result.iterations);  // selection round
+      event.machine = best.machine;
+      event.task = best.task;
+      event.version = best.version;
+      event.score = best.score;
+      event.terms = {terms.t100, terms.tec, terms.aet, terms.value};
+      event.start = best_plan.start;
+      event.finish = best_plan.finish();
+      event.pool_size = frontier.size();
+      params.sink->emit(event);
+    }
 
     commit_placement(scenario, *schedule, best_plan);
     excluded.clear();
@@ -170,6 +234,21 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
   result.tec = schedule->tec();
   result.within_tau = schedule->aet() <= scenario.tau;
   result.schedule = std::move(schedule);
+
+  if (params.sink != nullptr && params.sink->wants(obs::EventKind::RunEnd)) {
+    obs::Event event;
+    event.kind = obs::EventKind::RunEnd;
+    event.heuristic = "Max-Max";
+    event.alpha = params.weights.alpha;
+    event.beta = params.weights.beta;
+    event.gamma = params.weights.gamma;
+    event.t100 = result.t100;
+    event.assigned = result.assigned;
+    event.aet = result.aet;
+    event.feasible = result.feasible();
+    event.wall_seconds = result.wall_seconds;
+    params.sink->emit(event);
+  }
   return result;
 }
 

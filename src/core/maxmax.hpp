@@ -18,6 +18,7 @@
 
 #include "core/objective.hpp"
 #include "core/result.hpp"
+#include "support/event_log.hpp"
 #include "workload/scenario.hpp"
 
 namespace ahg::core {
@@ -34,6 +35,15 @@ struct MaxMaxParams {
   /// all-secondary mappings (see DESIGN.md §4). Disable for the ablation
   /// bench that demonstrates exactly that failure mode.
   bool enforce_tau = true;
+
+  /// Optional observability sink (not owned). Null — the default — takes the
+  /// exact pre-telemetry code path (no events, no clock reads, bit-identical
+  /// schedules). With a sink attached the run emits run_begin/run_end, one
+  /// map-decision event per committed triplet (objective-term breakdown
+  /// included), and a stall event when the heuristic gets stuck with
+  /// subtasks still unmapped; selection-round time feeds
+  /// "maxmax.select_seconds" in sink->metrics() when present.
+  obs::Sink* sink = nullptr;
 
   void validate() const { weights.validate(); }
 };

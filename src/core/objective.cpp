@@ -24,4 +24,16 @@ double objective_value(const Weights& weights, const ObjectiveState& state,
          static_cast<double>(static_cast<int>(aet_sign)) * weights.gamma * aet_term;
 }
 
+ObjectiveTerms objective_terms(const Weights& weights, const ObjectiveState& state,
+                               const ObjectiveTotals& totals, AetSign aet_sign) {
+  ObjectiveTerms terms;
+  terms.t100 = weights.alpha * (static_cast<double>(state.t100) /
+                                static_cast<double>(totals.num_tasks));
+  terms.tec = weights.beta * (state.tec / totals.tse);
+  terms.aet = static_cast<double>(static_cast<int>(aet_sign)) * weights.gamma *
+              (static_cast<double>(state.aet) / static_cast<double>(totals.tau));
+  terms.value = objective_value(weights, state, totals, aet_sign);
+  return terms;
+}
+
 }  // namespace ahg::core

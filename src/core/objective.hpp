@@ -67,4 +67,19 @@ double objective_value(const Weights& weights, const ObjectiveState& state,
                        const ObjectiveTotals& totals,
                        AetSign aet_sign = AetSign::Reward);
 
+/// The three weighted objective terms, individually — what the decision
+/// trace records so a mapping choice can be explained after the fact
+/// (ISSUE: observability). `value` is computed with the exact expression
+/// objective_value uses, so the two never disagree.
+struct ObjectiveTerms {
+  double t100 = 0.0;  ///< alpha * T100/|T|
+  double tec = 0.0;   ///< beta * TEC/TSE (enters the objective negatively)
+  double aet = 0.0;   ///< gamma * AET/tau, sign applied
+  double value = 0.0; ///< t100 - tec + aet
+};
+
+ObjectiveTerms objective_terms(const Weights& weights, const ObjectiveState& state,
+                               const ObjectiveTotals& totals,
+                               AetSign aet_sign = AetSign::Reward);
+
 }  // namespace ahg::core

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/contract.hpp"
+#include "support/profile.hpp"
 
 namespace ahg::core {
 
@@ -12,6 +13,16 @@ CaseHeuristicSummary evaluate_case(const workload::ScenarioSuite& suite,
   CaseHeuristicSummary summary;
   summary.grid_case = grid_case;
   summary.heuristic = heuristic;
+
+  // Per-case phase metrics always collect into a local registry; decision
+  // events only flow when the caller attached a sink (ForwardSink::wants
+  // returns false otherwise, so the heuristics skip event assembly — the
+  // null-sink fast path applies to the event side even here).
+  obs::MetricsRegistry case_metrics;
+  obs::ForwardSink fwd(&case_metrics, params.sink);
+  obs::Histogram* tune_hist = obs::phase_histogram(&case_metrics, "runner.tune_seconds");
+  TunerParams tuner_params = params.tuner;
+  tuner_params.sink = &fwd;
 
   // The upper bound depends only on (grid case, ETC); cache per ETC index.
   std::vector<std::optional<std::size_t>> bound_cache(suite.num_etc());
@@ -25,13 +36,17 @@ CaseHeuristicSummary evaluate_case(const workload::ScenarioSuite& suite,
       }
 
       const WeightedSolver solver = [&](const Weights& w) {
-        return run_heuristic(heuristic, scenario, w, params.clock);
+        return run_heuristic(heuristic, scenario, w, params.clock,
+                             AetSign::Reward, &fwd);
       };
       ScenarioEvaluation eval;
       eval.etc_index = etc;
       eval.dag_index = dag;
       eval.upper_bound = *bound_cache[etc];
-      eval.tune = tune_weights(solver, params.tuner);
+      {
+        obs::ProfileScope tune_scope(tune_hist);
+        eval.tune = tune_weights(solver, tuner_params);
+      }
 
       if (eval.tune.found) {
         ++summary.feasible_count;
@@ -64,6 +79,12 @@ CaseHeuristicSummary evaluate_case(const workload::ScenarioSuite& suite,
 
       summary.scenarios.push_back(std::move(eval));
     }
+  }
+
+  summary.phases = case_metrics.snapshot();
+  if (params.sink != nullptr && params.sink->metrics() != nullptr &&
+      params.sink->metrics() != &case_metrics) {
+    params.sink->metrics()->merge(summary.phases);
   }
   return summary;
 }

@@ -16,6 +16,8 @@
 #include "core/heuristics.hpp"
 #include "core/tuner.hpp"
 #include "core/upper_bound.hpp"
+#include "support/event_log.hpp"
+#include "support/metrics.hpp"
 #include "support/stats.hpp"
 #include "workload/scenario.hpp"
 
@@ -40,6 +42,16 @@ struct CaseHeuristicSummary {
   Accumulator value_metric;        ///< T100 / execution time (Fig. 7)
   Accumulator alpha;               ///< optimal alpha (Fig. 3)
   Accumulator beta;                ///< optimal beta (Fig. 3)
+
+  /// Phase-time breakdown for this cell: the merged metrics of every
+  /// heuristic run the tuner probed (histograms "slrh.pool_build_seconds",
+  /// "slrh.scoring_seconds", "slrh.placement_seconds",
+  /// "slrh.earliest_start_seconds", "maxmax.select_seconds",
+  /// "tuner.sweep_seconds", "runner.tune_seconds", plus decision counters).
+  /// Always collected — no sink needs to be attached — because the registry
+  /// shards keep the cost off the hot path; benches dump it into
+  /// BENCH_*.json.
+  obs::MetricsSnapshot phases;
 };
 
 struct EvaluationParams {
@@ -47,6 +59,12 @@ struct EvaluationParams {
   SlrhClock clock;
   /// Called after each scenario finishes (benches print progress with it).
   std::function<void(const std::string&)> progress;
+  /// Optional observability sink (not owned). Decision events from every
+  /// tuner-probed run are forwarded here, and the per-case phase metrics are
+  /// merged into sink->metrics() when present. Null simply skips the
+  /// forwarding — the per-case phase metrics in CaseHeuristicSummary::phases
+  /// are collected either way.
+  obs::Sink* sink = nullptr;
 };
 
 /// Evaluate one heuristic on one grid case across the suite's full

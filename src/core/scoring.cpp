@@ -25,12 +25,15 @@ double score_candidate(const workload::Scenario& scenario,
                                      machine, version, finish_est, aet_sign);
 }
 
-double score_candidate_with_finish(const workload::Scenario& scenario,
-                                   const sim::Schedule& schedule,
-                                   const Weights& weights,
-                                   const ObjectiveTotals& totals, TaskId task,
-                                   MachineId machine, VersionKind version,
-                                   Cycles finish_est, AetSign aet_sign) {
+namespace {
+
+/// The global state the schedule WOULD have if (task, version) were mapped
+/// to machine finishing at finish_est — the quantity both the scalar score
+/// and the traced term breakdown evaluate the objective on.
+ObjectiveState hypothetical_state(const workload::Scenario& scenario,
+                                  const sim::Schedule& schedule, TaskId task,
+                                  MachineId machine, VersionKind version,
+                                  Cycles finish_est) {
   double tec_delta = exec_energy(scenario, task, machine, version);
   for (const TaskId parent : scenario.dag.parents(task)) {
     AHG_EXPECTS_MSG(schedule.is_assigned(parent), "scoring with unassigned parent");
@@ -47,7 +50,43 @@ double score_candidate_with_finish(const workload::Scenario& scenario,
   state.t100 = schedule.t100() + (version == VersionKind::Primary ? 1 : 0);
   state.tec = schedule.tec() + tec_delta;
   state.aet = std::max(schedule.aet(), finish_est);
+  return state;
+}
+
+}  // namespace
+
+double score_candidate_with_finish(const workload::Scenario& scenario,
+                                   const sim::Schedule& schedule,
+                                   const Weights& weights,
+                                   const ObjectiveTotals& totals, TaskId task,
+                                   MachineId machine, VersionKind version,
+                                   Cycles finish_est, AetSign aet_sign) {
+  const ObjectiveState state =
+      hypothetical_state(scenario, schedule, task, machine, version, finish_est);
   return objective_value(weights, state, totals, aet_sign);
+}
+
+ObjectiveTerms score_candidate_terms(const workload::Scenario& scenario,
+                                     const sim::Schedule& schedule,
+                                     const Weights& weights,
+                                     const ObjectiveTotals& totals, TaskId task,
+                                     MachineId machine, VersionKind version,
+                                     Cycles earliest, AetSign aet_sign) {
+  const Cycles duration = scenario.exec_cycles(task, machine, version);
+  const Cycles finish_est =
+      std::max(earliest, schedule.machine_ready(machine)) + duration;
+  return score_candidate_terms_with_finish(scenario, schedule, weights, totals,
+                                           task, machine, version, finish_est,
+                                           aet_sign);
+}
+
+ObjectiveTerms score_candidate_terms_with_finish(
+    const workload::Scenario& scenario, const sim::Schedule& schedule,
+    const Weights& weights, const ObjectiveTotals& totals, TaskId task,
+    MachineId machine, VersionKind version, Cycles finish_est, AetSign aet_sign) {
+  const ObjectiveState state =
+      hypothetical_state(scenario, schedule, task, machine, version, finish_est);
+  return objective_terms(weights, state, totals, aet_sign);
 }
 
 }  // namespace ahg::core

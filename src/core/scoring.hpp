@@ -44,4 +44,21 @@ double score_candidate_with_finish(const workload::Scenario& scenario,
                                    Cycles finish_est,
                                    AetSign aet_sign = AetSign::Reward);
 
+/// Decision-trace variants: the same hypothetical objective, decomposed into
+/// its weighted terms. Used only on the telemetry path (a sink is attached);
+/// the comparison/ordering path keeps the scalar functions above.
+ObjectiveTerms score_candidate_terms(const workload::Scenario& scenario,
+                                     const sim::Schedule& schedule,
+                                     const Weights& weights,
+                                     const ObjectiveTotals& totals, TaskId task,
+                                     MachineId machine, VersionKind version,
+                                     Cycles earliest,
+                                     AetSign aet_sign = AetSign::Reward);
+
+ObjectiveTerms score_candidate_terms_with_finish(
+    const workload::Scenario& scenario, const sim::Schedule& schedule,
+    const Weights& weights, const ObjectiveTotals& totals, TaskId task,
+    MachineId machine, VersionKind version, Cycles finish_est,
+    AetSign aet_sign = AetSign::Reward);
+
 }  // namespace ahg::core

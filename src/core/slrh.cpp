@@ -1,11 +1,13 @@
 #include "core/slrh.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "core/feasibility.hpp"
 #include "core/placement.hpp"
 #include "core/scoring.hpp"
+#include "support/profile.hpp"
 #include "support/stopwatch.hpp"
 
 namespace ahg::core {
@@ -27,39 +29,139 @@ struct Candidate {
   double score = 0.0;
 };
 
+/// Telemetry handles for one drive_slrh window, all nullable. Resolved once
+/// per call so the inner loop never touches the registry's name map. With
+/// params.sink == nullptr every member stays null and each instrumentation
+/// point reduces to a single predictable branch.
+struct SlrhTelemetry {
+  obs::Sink* sink = nullptr;
+  obs::Histogram* pool_build = nullptr;      ///< build_pool wall time
+  obs::Histogram* scoring = nullptr;         ///< scoring share of a pool build
+  obs::Histogram* placement = nullptr;       ///< map_first_startable wall time
+  obs::Histogram* earliest_start = nullptr;  ///< plan_placement share of placement
+  obs::Counter* pools = nullptr;
+  obs::Counter* maps = nullptr;
+  obs::Counter* timesteps = nullptr;
+
+  bool tracing(obs::EventKind kind) const noexcept {
+    return sink != nullptr && sink->wants(kind);
+  }
+
+  static SlrhTelemetry resolve(obs::Sink* sink) {
+    SlrhTelemetry t;
+    t.sink = sink;
+    obs::MetricsRegistry* metrics = sink != nullptr ? sink->metrics() : nullptr;
+    if (metrics != nullptr) {
+      t.pool_build = obs::phase_histogram(metrics, "slrh.pool_build_seconds");
+      t.scoring = obs::phase_histogram(metrics, "slrh.scoring_seconds");
+      t.placement = obs::phase_histogram(metrics, "slrh.placement_seconds");
+      t.earliest_start = obs::phase_histogram(metrics, "slrh.earliest_start_seconds");
+      t.pools = &metrics->counter("slrh.pools_built");
+      t.maps = &metrics->counter("slrh.map_decisions");
+      t.timesteps = &metrics->counter("slrh.timesteps");
+    }
+    return t;
+  }
+};
+
+/// Accumulates sub-phase time across many small sections within one scope
+/// (per-candidate scoring, per-candidate placement planning) and reports the
+/// total as a single histogram observation. Null histogram = no clock reads.
+class SubPhaseAccumulator {
+ public:
+  explicit SubPhaseAccumulator(obs::Histogram* histogram) noexcept
+      : histogram_(histogram) {}
+
+  ~SubPhaseAccumulator() {
+    if (histogram_ != nullptr && seconds_ > 0.0) histogram_->observe(seconds_);
+  }
+
+  template <typename F>
+  auto time(F&& fn) {
+    if (histogram_ == nullptr) return fn();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = fn();
+    seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return result;
+  }
+
+ private:
+  obs::Histogram* histogram_;
+  double seconds_ = 0.0;
+};
+
+/// Pool-admission rejection tally for one build_pool call (telemetry only).
+struct PoolRejects {
+  std::size_t unreleased = 0;
+  std::size_t assigned = 0;
+  std::size_t parents = 0;
+  std::size_t energy = 0;
+
+  bool any() const noexcept {
+    return unreleased + assigned + parents + energy > 0;
+  }
+};
+
 /// Build and order the candidate pool U for one machine at the current
 /// clock: admissible subtasks with their objective-maximising version,
 /// sorted by score descending (ties: smaller task id, for determinism).
+/// `rejects` is the telemetry path: when non-null the admission predicate is
+/// evaluated through classify_slrh_admission (same checks, same order) and
+/// the failure reasons are tallied.
 std::vector<Candidate> build_pool(const workload::Scenario& scenario,
                                   const sim::Schedule& schedule,
                                   const SlrhParams& params,
                                   const ObjectiveTotals& totals, MachineId machine,
-                                  Cycles clock) {
+                                  Cycles clock, const SlrhTelemetry& telemetry,
+                                  PoolRejects* rejects) {
+  SubPhaseAccumulator scoring_time(telemetry.scoring);
   std::vector<Candidate> pool;
   const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
   for (TaskId task = 0; task < num_tasks; ++task) {
     // A subtask that has not arrived yet is invisible to the dynamic
     // heuristic (unlike the clairvoyant static baselines, which see the
     // whole application and only respect the release as a start bound).
-    if (scenario.release(task) > clock) continue;
-    if (!slrh_pool_admissible(scenario, schedule, task, machine)) continue;
+    if (scenario.release(task) > clock) {
+      if (rejects != nullptr) ++rejects->unreleased;
+      continue;
+    }
+    if (rejects == nullptr) {
+      if (!slrh_pool_admissible(scenario, schedule, task, machine)) continue;
+    } else {
+      const AdmissionOutcome outcome =
+          classify_slrh_admission(scenario, schedule, task, machine);
+      if (outcome != AdmissionOutcome::Admissible) {
+        switch (outcome) {
+          case AdmissionOutcome::AlreadyAssigned: ++rejects->assigned; break;
+          case AdmissionOutcome::ParentsUnassigned: ++rejects->parents; break;
+          case AdmissionOutcome::EnergyInfeasible: ++rejects->energy; break;
+          case AdmissionOutcome::Admissible: break;
+        }
+        continue;
+      }
+    }
 
     // The pool admission guarantees the secondary version fits; the primary
     // version is only offered to the objective if its own worst-case energy
     // fits too.
-    const double secondary_score =
-        score_candidate(scenario, schedule, params.weights, totals, task, machine,
-                        VersionKind::Secondary, clock, params.aet_sign);
-    Candidate cand{task, VersionKind::Secondary, secondary_score};
-    if (version_fits_energy(scenario, schedule, task, machine, VersionKind::Primary)) {
-      const double primary_score =
+    const Candidate cand = scoring_time.time([&] {
+      const double secondary_score =
           score_candidate(scenario, schedule, params.weights, totals, task, machine,
-                          VersionKind::Primary, clock, params.aet_sign);
-      if (primary_score >= secondary_score) {
-        cand.version = VersionKind::Primary;
-        cand.score = primary_score;
+                          VersionKind::Secondary, clock, params.aet_sign);
+      Candidate c{task, VersionKind::Secondary, secondary_score};
+      if (version_fits_energy(scenario, schedule, task, machine,
+                              VersionKind::Primary)) {
+        const double primary_score =
+            score_candidate(scenario, schedule, params.weights, totals, task,
+                            machine, VersionKind::Primary, clock, params.aet_sign);
+        if (primary_score >= secondary_score) {
+          c.version = VersionKind::Primary;
+          c.score = primary_score;
+        }
       }
-    }
+      return c;
+    });
     pool.push_back(cand);
   }
   std::sort(pool.begin(), pool.end(), [](const Candidate& a, const Candidate& b) {
@@ -69,16 +171,39 @@ std::vector<Candidate> build_pool(const workload::Scenario& scenario,
   return pool;
 }
 
+/// What a traced map_first_startable call saw: every candidate it examined
+/// (with the rejection reason for the passed-over ones) and, when a commit
+/// happened, the committed placement with its objective-term breakdown.
+struct MapTrace {
+  std::vector<obs::CandidateTrace> candidates;
+  ObjectiveTerms terms;
+  VersionKind version = VersionKind::Secondary;
+  Cycles start = 0;
+  Cycles finish = 0;
+};
+
 /// Walk the ordered pool and commit the first candidate whose exact
 /// earliest start (communication included) falls within the horizon.
 /// Returns the index into `pool` of the mapped candidate, or npos.
+/// `trace` non-null records the decision (telemetry path only).
 std::size_t map_first_startable(const workload::Scenario& scenario,
                                 sim::Schedule& schedule, const SlrhParams& params,
+                                const ObjectiveTotals& totals,
                                 const std::vector<Candidate>& pool, MachineId machine,
-                                Cycles clock, std::size_t skip_before = 0) {
+                                Cycles clock, const SlrhTelemetry& telemetry,
+                                std::size_t skip_before = 0,
+                                MapTrace* trace = nullptr) {
+  obs::ProfileScope placement_scope(telemetry.placement);
+  SubPhaseAccumulator earliest_time(telemetry.earliest_start);
   for (std::size_t k = skip_before; k < pool.size(); ++k) {
     const Candidate& cand = pool[k];
-    if (schedule.is_assigned(cand.task)) continue;
+    if (schedule.is_assigned(cand.task)) {
+      if (trace != nullptr) {
+        trace->candidates.push_back(
+            {cand.task, cand.version, cand.score, "already_assigned"});
+      }
+      continue;
+    }
     // Re-check energy: earlier commits in this timestep (variants 2/3) may
     // have consumed what the pool admission saw.
     VersionKind version = cand.version;
@@ -88,11 +213,16 @@ std::size_t map_first_startable(const workload::Scenario& scenario,
                               VersionKind::Secondary)) {
         version = VersionKind::Secondary;
       } else {
+        if (trace != nullptr) {
+          trace->candidates.push_back(
+              {cand.task, cand.version, cand.score, "energy_exhausted"});
+        }
         continue;
       }
     }
-    const PlacementPlan plan =
-        plan_placement(scenario, schedule, cand.task, machine, version, clock);
+    const PlacementPlan plan = earliest_time.time([&] {
+      return plan_placement(scenario, schedule, cand.task, machine, version, clock);
+    });
     // The horizon test uses the earliest possible start "given precedence
     // and communication requirements" (paper §IV) — i.e. data readiness on
     // this machine, NOT the machine's queue. For variant 1 the two coincide
@@ -102,8 +232,23 @@ std::size_t map_first_startable(const workload::Scenario& scenario,
     // rarely meets the constraints (paper §VII).
     const Cycles data_ready = std::max(clock, plan.arrival);
     if (data_ready <= clock + params.horizon) {
+      if (trace != nullptr) {
+        // Capture the decision against the PRE-commit schedule state: the
+        // breakdown of the hypothetical objective this choice maximised.
+        trace->terms = score_candidate_terms(scenario, schedule, params.weights,
+                                             totals, cand.task, machine, version,
+                                             clock, params.aet_sign);
+        trace->version = version;
+        trace->start = plan.start;
+        trace->finish = plan.finish();
+        trace->candidates.push_back({cand.task, version, cand.score, ""});
+      }
       commit_placement(scenario, schedule, plan);
       return k;
+    }
+    if (trace != nullptr) {
+      trace->candidates.push_back(
+          {cand.task, cand.version, cand.score, "beyond_horizon"});
     }
   }
   return static_cast<std::size_t>(-1);
@@ -119,33 +264,100 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
   const ObjectiveTotals totals = objective_totals(scenario);
   constexpr auto npos = static_cast<std::size_t>(-1);
   const auto num_machines = static_cast<MachineId>(scenario.num_machines());
+
+  const SlrhTelemetry telemetry = SlrhTelemetry::resolve(params.sink);
+  const bool trace_pools = telemetry.tracing(obs::EventKind::PoolBuilt);
+  const bool trace_maps = telemetry.tracing(obs::EventKind::MapDecision);
+  const bool trace_stalls = telemetry.tracing(obs::EventKind::Stall);
+  const std::string heuristic_name =
+      params.sink != nullptr ? to_string(params.variant) : std::string();
+
+  // One build_pool call, with telemetry when enabled.
+  const auto make_pool = [&](MachineId machine, Cycles clock) {
+    PoolRejects rejects;
+    std::vector<Candidate> pool;
+    {
+      obs::ProfileScope scope(telemetry.pool_build);
+      pool = build_pool(scenario, schedule, params, totals, machine, clock,
+                        telemetry, trace_pools ? &rejects : nullptr);
+    }
+    ++result.pools_built;
+    if (telemetry.pools != nullptr) telemetry.pools->add();
+    if (trace_pools && (!pool.empty() || rejects.any())) {
+      obs::Event event;
+      event.kind = obs::EventKind::PoolBuilt;
+      event.heuristic = heuristic_name;
+      event.clock = clock;
+      event.machine = machine;
+      event.pool_size = pool.size();
+      event.rejected_unreleased = rejects.unreleased;
+      event.rejected_assigned = rejects.assigned;
+      event.rejected_parents = rejects.parents;
+      event.rejected_energy = rejects.energy;
+      params.sink->emit(event);
+    }
+    return pool;
+  };
+
+  // One map attempt; emits a map event on commit, a stall event otherwise.
+  const auto try_map = [&](const std::vector<Candidate>& pool, MachineId machine,
+                           Cycles clock, std::size_t skip_before) {
+    const bool tracing = trace_maps || trace_stalls;
+    MapTrace trace;
+    const std::size_t mapped =
+        map_first_startable(scenario, schedule, params, totals, pool, machine,
+                            clock, telemetry, skip_before,
+                            tracing ? &trace : nullptr);
+    if (mapped != npos && telemetry.maps != nullptr) telemetry.maps->add();
+    if (tracing && (mapped != npos ? trace_maps : trace_stalls) &&
+        !(mapped == npos && pool.size() == skip_before)) {
+      obs::Event event;
+      event.heuristic = heuristic_name;
+      event.clock = clock;
+      event.machine = machine;
+      event.pool_size = pool.size();
+      event.candidates = std::move(trace.candidates);
+      if (mapped != npos) {
+        event.kind = obs::EventKind::MapDecision;
+        event.task = pool[mapped].task;
+        event.version = trace.version;
+        event.score = trace.terms.value;
+        event.terms = {trace.terms.t100, trace.terms.tec, trace.terms.aet,
+                       trace.terms.value};
+        event.start = trace.start;
+        event.finish = trace.finish;
+      } else {
+        event.kind = obs::EventKind::Stall;
+        event.note = "no pool candidate startable within horizon";
+      }
+      params.sink->emit(event);
+    }
+    return mapped;
+  };
+
   for (Cycles clock = start_clock;
        !schedule.complete() && clock <= scenario.tau && clock < end_clock;
        clock += params.dt) {
     ++result.iterations;
+    if (telemetry.timesteps != nullptr) telemetry.timesteps->add();
     for (MachineId machine = 0; machine < num_machines; ++machine) {
       if (schedule.complete()) break;
       if (schedule.machine_ready(machine) > clock) continue;  // not available
 
       switch (params.variant) {
         case SlrhVariant::V1: {
-          const auto pool =
-              build_pool(scenario, schedule, params, totals, machine, clock);
-          ++result.pools_built;
+          const auto pool = make_pool(machine, clock);
           if (pool.empty()) break;
-          map_first_startable(scenario, schedule, params, pool, machine, clock);
+          try_map(pool, machine, clock, 0);
           break;
         }
         case SlrhVariant::V2: {
           // One pool per (machine, timestep); keep assigning pairs from it in
           // score order until exhausted or nothing starts within the horizon.
-          const auto pool =
-              build_pool(scenario, schedule, params, totals, machine, clock);
-          ++result.pools_built;
+          const auto pool = make_pool(machine, clock);
           std::size_t next = 0;
           while (next < pool.size()) {
-            const std::size_t mapped = map_first_startable(
-                scenario, schedule, params, pool, machine, clock, next);
+            const std::size_t mapped = try_map(pool, machine, clock, next);
             if (mapped == npos) break;
             next = mapped + 1;
           }
@@ -155,12 +367,9 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
           // Rebuild and re-score the pool after every assignment; children of
           // the subtask just mapped become admissible immediately.
           for (;;) {
-            const auto pool =
-                build_pool(scenario, schedule, params, totals, machine, clock);
-            ++result.pools_built;
+            const auto pool = make_pool(machine, clock);
             if (pool.empty()) break;
-            const std::size_t mapped =
-                map_first_startable(scenario, schedule, params, pool, machine, clock);
+            const std::size_t mapped = try_map(pool, machine, clock, 0);
             if (mapped == npos) break;
           }
           break;
@@ -175,6 +384,19 @@ MappingResult run_slrh(const workload::Scenario& scenario, const SlrhParams& par
   scenario.validate();
   const Stopwatch timer;
 
+  if (params.sink != nullptr && params.sink->wants(obs::EventKind::RunBegin)) {
+    obs::Event event;
+    event.kind = obs::EventKind::RunBegin;
+    event.heuristic = to_string(params.variant);
+    event.alpha = params.weights.alpha;
+    event.beta = params.weights.beta;
+    event.gamma = params.weights.gamma;
+    event.note = "|T|=" + std::to_string(scenario.num_tasks()) +
+                 ", machines=" + std::to_string(scenario.num_machines()) +
+                 ", tau=" + std::to_string(scenario.tau);
+    params.sink->emit(event);
+  }
+
   auto schedule = make_schedule(scenario);
   MappingResult result;
   drive_slrh(scenario, params, *schedule, /*start_clock=*/0,
@@ -188,6 +410,21 @@ MappingResult run_slrh(const workload::Scenario& scenario, const SlrhParams& par
   result.tec = schedule->tec();
   result.within_tau = schedule->aet() <= scenario.tau;
   result.schedule = std::move(schedule);
+
+  if (params.sink != nullptr && params.sink->wants(obs::EventKind::RunEnd)) {
+    obs::Event event;
+    event.kind = obs::EventKind::RunEnd;
+    event.heuristic = to_string(params.variant);
+    event.alpha = params.weights.alpha;
+    event.beta = params.weights.beta;
+    event.gamma = params.weights.gamma;
+    event.t100 = result.t100;
+    event.assigned = result.assigned;
+    event.aet = result.aet;
+    event.feasible = result.feasible();
+    event.wall_seconds = result.wall_seconds;
+    params.sink->emit(event);
+  }
   return result;
 }
 

@@ -23,6 +23,7 @@
 
 #include "core/objective.hpp"
 #include "core/result.hpp"
+#include "support/event_log.hpp"
 #include "workload/scenario.hpp"
 
 namespace ahg::core {
@@ -37,6 +38,15 @@ struct SlrhParams {
   Cycles dt = 10;       ///< timestep in clock cycles (paper: 10)
   Cycles horizon = 100; ///< receding horizon H in clock cycles (paper: 100)
   AetSign aet_sign = AetSign::Reward;
+
+  /// Optional observability sink (not owned). Null — the default — takes the
+  /// exact pre-telemetry code path: no events, no clock reads, bit-identical
+  /// schedules (see DESIGN.md "Observability" for the contract). With a sink
+  /// attached the run emits run_begin/run_end, per-pool, per-map-decision
+  /// (with the weighted objective-term breakdown and skipped-candidate
+  /// rejection reasons), and stall events, and feeds phase histograms into
+  /// sink->metrics() when present.
+  obs::Sink* sink = nullptr;
 
   void validate() const {
     weights.validate();

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "support/contract.hpp"
+#include "support/profile.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ahg::core {
@@ -117,12 +118,37 @@ TuneOutcome tune_weights(const WeightedSolver& solver, const TunerParams& params
   TuneOutcome outcome;
   std::set<std::pair<long long, long long>> seen;
 
+  obs::MetricsRegistry* metrics =
+      params.sink != nullptr ? params.sink->metrics() : nullptr;
+  obs::Histogram* sweep_hist = obs::phase_histogram(metrics, "tuner.sweep_seconds");
+  obs::Counter* points_counter =
+      metrics != nullptr ? &metrics->counter("tuner.points") : nullptr;
+  const bool trace_points =
+      params.sink != nullptr && params.sink->wants(obs::EventKind::TunerPoint);
+
+  // Recording runs sequentially after each (possibly parallel) sweep, so the
+  // tuner_point events come out in deterministic grid order.
   auto record = [&](const std::vector<Evaluation>& evals) {
     const Evaluation* best = nullptr;
     for (const auto& e : evals) {
       outcome.evaluated.push_back(TunedPoint{e.point.alpha, e.point.beta,
                                              e.result.t100, e.result.feasible(),
                                              e.result.wall_seconds});
+      if (points_counter != nullptr) points_counter->add();
+      if (trace_points) {
+        obs::Event event;
+        event.kind = obs::EventKind::TunerPoint;
+        event.heuristic = "tuner";
+        event.alpha = e.point.alpha;
+        event.beta = e.point.beta;
+        event.gamma = 1.0 - e.point.alpha - e.point.beta;
+        event.t100 = e.result.t100;
+        event.assigned = e.result.assigned;
+        event.aet = e.result.aet;
+        event.feasible = e.result.feasible();
+        event.wall_seconds = e.result.wall_seconds;
+        params.sink->emit(event);
+      }
       if (!e.result.feasible()) continue;
       if (best == nullptr || better(e, *best)) best = &e;
     }
@@ -140,13 +166,35 @@ TuneOutcome tune_weights(const WeightedSolver& solver, const TunerParams& params
 
   auto coarse = coarse_grid(params.coarse_step);
   for (const auto& p : coarse) seen.insert({snap(p.alpha), snap(p.beta)});
-  record(evaluate(solver, coarse, params.parallel));
+  {
+    obs::ProfileScope sweep(sweep_hist);
+    record(evaluate(solver, coarse, params.parallel));
+  }
 
   if (outcome.found && params.fine_step > 0.0 &&
       params.fine_step < params.coarse_step) {
     const auto fine = fine_grid(outcome.alpha, outcome.beta, params.coarse_step,
                                 params.fine_step, seen);
+    obs::ProfileScope sweep(sweep_hist);
     record(evaluate(solver, fine, params.parallel));
+  }
+
+  if (params.sink != nullptr && params.sink->wants(obs::EventKind::TunerBest)) {
+    obs::Event event;
+    event.kind = obs::EventKind::TunerBest;
+    event.heuristic = "tuner";
+    event.alpha = outcome.alpha;
+    event.beta = outcome.beta;
+    event.gamma = outcome.found ? 1.0 - outcome.alpha - outcome.beta : 0.0;
+    event.t100 = outcome.best.t100;
+    event.assigned = outcome.best.assigned;
+    event.aet = outcome.best.aet;
+    event.feasible = outcome.found;
+    event.note = outcome.found
+                     ? std::string()
+                     : "no feasible grid point: every probed weight pair left "
+                       "subtasks unmapped or overshot the constraints";
+    params.sink->emit(event);
   }
   return outcome;
 }

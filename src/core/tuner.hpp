@@ -12,6 +12,7 @@
 
 #include "core/objective.hpp"
 #include "core/result.hpp"
+#include "support/event_log.hpp"
 
 namespace ahg::core {
 
@@ -21,6 +22,16 @@ struct TunerParams {
   double fine_step = 0.02;
   /// Evaluate grid points on the global thread pool.
   bool parallel = true;
+  /// Optional observability sink (not owned). Null = no telemetry, exact
+  /// pre-telemetry path. With a sink attached, every grid point produces one
+  /// tuner_point event and the search ends with a tuner_best event; events
+  /// are emitted from the sequential recording pass, so their order is
+  /// deterministic even with parallel evaluation. Sweep wall time feeds
+  /// "tuner.sweep_seconds" in sink->metrics() when present. The sink is NOT
+  /// handed to the solver — attach it there yourself if per-run decision
+  /// traces are wanted (beware the volume: the tuner probes ~66 coarse
+  /// points).
+  obs::Sink* sink = nullptr;
 };
 
 struct TunedPoint {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "support/csv.hpp"
+#include "support/jsonl.hpp"
 
 namespace ahg::sim {
 
@@ -116,6 +117,41 @@ void write_comm_csv(std::ostream& os, const Schedule& schedule) {
     csv.field(ev.bits);
     csv.field(ev.energy);
     csv.end_row();
+  }
+}
+
+void write_assignment_jsonl(std::ostream& os, const Schedule& schedule) {
+  for (const TaskId task : schedule.assignment_order()) {
+    const auto& a = schedule.assignment(task);
+    obs::JsonWriter json;
+    json.begin_object();
+    json.field("type", "assignment");
+    json.field("task", static_cast<std::int64_t>(a.task));
+    json.field("machine", static_cast<std::int64_t>(a.machine));
+    json.field("version", to_string(a.version));
+    json.field("start_cycles", static_cast<std::int64_t>(a.start));
+    json.field("finish_cycles", static_cast<std::int64_t>(a.finish));
+    json.field("energy", a.energy);
+    json.end_object();
+    os << json.str() << '\n';
+  }
+}
+
+void write_comm_jsonl(std::ostream& os, const Schedule& schedule) {
+  for (const auto& ev : schedule.comm_events()) {
+    obs::JsonWriter json;
+    json.begin_object();
+    json.field("type", "comm");
+    json.field("from_task", static_cast<std::int64_t>(ev.from_task));
+    json.field("to_task", static_cast<std::int64_t>(ev.to_task));
+    json.field("from_machine", static_cast<std::int64_t>(ev.from_machine));
+    json.field("to_machine", static_cast<std::int64_t>(ev.to_machine));
+    json.field("start_cycles", static_cast<std::int64_t>(ev.start));
+    json.field("finish_cycles", static_cast<std::int64_t>(ev.finish));
+    json.field("bits", ev.bits);
+    json.field("energy", ev.energy);
+    json.end_object();
+    os << json.str() << '\n';
   }
 }
 

@@ -31,4 +31,13 @@ void write_assignment_csv(std::ostream& os, const Schedule& schedule);
 /// to_machine, start_cycles, finish_cycles, bits, energy.
 void write_comm_csv(std::ostream& os, const Schedule& schedule);
 
+/// Dump all assignments as JSONL, one object per line with the same fields
+/// as write_assignment_csv plus "type":"assignment" — the schedule-side
+/// companion of the obs decision trace, so a single JSONL stream can hold
+/// both decisions and the resulting placements.
+void write_assignment_jsonl(std::ostream& os, const Schedule& schedule);
+
+/// Dump all communication events as JSONL ("type":"comm").
+void write_comm_jsonl(std::ostream& os, const Schedule& schedule);
+
 }  // namespace ahg::sim

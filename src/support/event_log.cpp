@@ -1,0 +1,146 @@
+#include "support/event_log.hpp"
+
+#include <ostream>
+
+#include "support/jsonl.hpp"
+
+namespace ahg::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::RunBegin: return "run_begin";
+    case EventKind::RunEnd: return "run_end";
+    case EventKind::PoolBuilt: return "pool";
+    case EventKind::MapDecision: return "map";
+    case EventKind::Stall: return "stall";
+    case EventKind::TunerPoint: return "tuner_point";
+    case EventKind::TunerBest: return "tuner_best";
+  }
+  return "?";
+}
+
+namespace {
+
+void write_terms(JsonWriter& json, const TermBreakdown& terms) {
+  json.key("terms").begin_object();
+  json.field("t100", terms.t100)
+      .field("tec", terms.tec)
+      .field("aet", terms.aet)
+      .field("value", terms.value);
+  json.end_object();
+}
+
+void write_weights(JsonWriter& json, const Event& event) {
+  json.field("alpha", event.alpha)
+      .field("beta", event.beta)
+      .field("gamma", event.gamma);
+}
+
+}  // namespace
+
+void Event::write_json(JsonWriter& json) const {
+  json.begin_object();
+  json.field("type", to_string(kind));
+  if (!heuristic.empty()) json.field("heuristic", heuristic);
+
+  switch (kind) {
+    case EventKind::RunBegin:
+      write_weights(json, *this);
+      break;
+
+    case EventKind::RunEnd:
+      write_weights(json, *this);
+      json.field("t100", t100)
+          .field("assigned", assigned)
+          .field("aet_cycles", static_cast<std::int64_t>(aet))
+          .field("feasible", feasible)
+          .field("wall_seconds", wall_seconds);
+      break;
+
+    case EventKind::PoolBuilt:
+      json.field("clock", static_cast<std::int64_t>(clock))
+          .field("machine", static_cast<std::int64_t>(machine))
+          .field("pool_size", pool_size);
+      if (rejected_unreleased > 0) json.field("rejected_unreleased", rejected_unreleased);
+      if (rejected_assigned > 0) json.field("rejected_assigned", rejected_assigned);
+      if (rejected_parents > 0) json.field("rejected_parents", rejected_parents);
+      if (rejected_energy > 0) json.field("rejected_energy", rejected_energy);
+      break;
+
+    case EventKind::MapDecision:
+    case EventKind::Stall:
+      json.field("clock", static_cast<std::int64_t>(clock))
+          .field("machine", static_cast<std::int64_t>(machine))
+          .field("pool_size", pool_size);
+      if (kind == EventKind::MapDecision) {
+        json.field("task", static_cast<std::int64_t>(task))
+            .field("version", ahg::to_string(version))
+            .field("score", score)
+            .field("start_cycles", static_cast<std::int64_t>(start))
+            .field("finish_cycles", static_cast<std::int64_t>(finish));
+        write_terms(json, terms);
+      }
+      if (!candidates.empty()) {
+        json.key("candidates").begin_array();
+        for (const auto& cand : candidates) {
+          json.begin_object();
+          json.field("task", static_cast<std::int64_t>(cand.task))
+              .field("version", ahg::to_string(cand.version))
+              .field("score", cand.score);
+          if (!cand.reject.empty()) json.field("reject", cand.reject);
+          json.end_object();
+        }
+        json.end_array();
+      }
+      break;
+
+    case EventKind::TunerPoint:
+      write_weights(json, *this);
+      json.field("t100", t100)
+          .field("feasible", feasible)
+          .field("wall_seconds", wall_seconds);
+      break;
+
+    case EventKind::TunerBest:
+      write_weights(json, *this);
+      json.field("t100", t100).field("feasible", feasible);
+      break;
+  }
+
+  if (!note.empty()) json.field("note", note);
+  json.end_object();
+}
+
+void JsonlSink::emit(const Event& event) {
+  JsonWriter json;
+  event.write_json(json);
+  std::lock_guard lock(mutex_);
+  os_ << json.str() << '\n';
+  ++count_;
+}
+
+std::size_t JsonlSink::events_written() const noexcept {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+void CollectSink::emit(const Event& event) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<Event> CollectSink::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::size_t CollectSink::count(EventKind kind) const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace ahg::obs
