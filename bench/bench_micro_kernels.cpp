@@ -6,8 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "bench/bench_common.hpp"
 #include "core/feasibility.hpp"
+#include "core/frontier.hpp"
 #include "core/placement.hpp"
+#include "core/scenario_cache.hpp"
 #include "core/scoring.hpp"
 #include "core/slrh.hpp"
 #include "sim/timeline.hpp"
@@ -77,6 +82,81 @@ void BM_PoolAdmissionScan(benchmark::State& state) {
 }
 BENCHMARK(BM_PoolAdmissionScan)->Arg(256)->Arg(1024);
 
+// --- pool construction: scan vs frontier ----------------------------------
+//
+// Same pool, two constructions. The scan walks all |T| subtasks re-deriving
+// admission energies; the frontier walks only the ready set (for a fresh
+// schedule: the DAG roots) against the precomputed tables. Both are measured
+// from the state drive_slrh sees at clock 0 on machine 0, so the ratio is
+// the per-pool-build speedup of the fast path.
+
+void BM_BuildPool_Scan(benchmark::State& state) {
+  const auto scenario = bench_scenario(static_cast<std::size_t>(state.range(0)));
+  sim::Schedule schedule(scenario.grid, scenario.num_tasks());
+  core::SlrhParams params;
+  params.weights = core::Weights::make(0.6, 0.3);
+  const auto totals = core::objective_totals(scenario);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_slrh_pool_scan(
+        scenario, schedule, params, totals, /*machine=*/0, /*clock=*/0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BuildPool_Scan)->Arg(256)->Arg(1024);
+
+void BM_BuildPool_Frontier(benchmark::State& state) {
+  const auto scenario = bench_scenario(static_cast<std::size_t>(state.range(0)));
+  sim::Schedule schedule(scenario.grid, scenario.num_tasks());
+  core::SlrhParams params;
+  params.weights = core::Weights::make(0.6, 0.3);
+  const auto totals = core::objective_totals(scenario);
+  const core::ScenarioCache cache(scenario);
+  core::ReadyFrontier frontier(scenario, schedule);
+  frontier.advance_to(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_slrh_pool_frontier(
+        scenario, cache, frontier, schedule, params, totals, /*machine=*/0,
+        /*clock=*/0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BuildPool_Frontier)->Arg(256)->Arg(1024);
+
+// --- admission energy: derived vs table lookup ----------------------------
+//
+// The admission "energy need" (secondary execution + worst-case outgoing
+// communication) is pure scenario data. Computed re-walks the children and
+// the grid's worst link per query; Cached reads the |T|x|M|x2 table.
+
+void BM_EnergyNeed_Computed(benchmark::State& state) {
+  const auto scenario = bench_scenario(256);
+  sim::Schedule schedule(scenario.grid, scenario.num_tasks());
+  const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
+  TaskId task = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::version_fits_energy(
+        scenario, schedule, task, /*machine=*/0, VersionKind::Secondary));
+    task = static_cast<TaskId>((task + 1) % num_tasks);
+  }
+}
+BENCHMARK(BM_EnergyNeed_Computed);
+
+void BM_EnergyNeed_Cached(benchmark::State& state) {
+  const auto scenario = bench_scenario(256);
+  sim::Schedule schedule(scenario.grid, scenario.num_tasks());
+  const core::ScenarioCache cache(scenario);
+  const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
+  TaskId task = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::version_fits_energy(
+        cache, schedule, task, /*machine=*/0, VersionKind::Secondary));
+    task = static_cast<TaskId>((task + 1) % num_tasks);
+  }
+}
+BENCHMARK(BM_EnergyNeed_Cached);
+
 void BM_ScoreCandidate(benchmark::State& state) {
   const auto scenario = bench_scenario(256);
   sim::Schedule schedule(scenario.grid, scenario.num_tasks());
@@ -128,6 +208,52 @@ void BM_SlrhInnerLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_SlrhInnerLoop)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// End-to-end before/after record for the fast path: run each SLRH variant
+// over the same scenario with legacy_scan (the original scan-everything
+// execution) and with the default cache + frontier + memo path, and dump the
+// wall times as BENCH_inner_loop.json. Counters record that the schedules
+// agree (t100/aet match — the bit-identity contract, asserted properly by
+// tests/test_determinism.cpp).
+void write_inner_loop_report() {
+  bench::BenchReport report("inner_loop");
+  const auto scenario = bench_scenario(1024);
+  for (const auto variant :
+       {core::SlrhVariant::V1, core::SlrhVariant::V2, core::SlrhVariant::V3}) {
+    core::SlrhParams params;
+    params.variant = variant;
+    params.weights = core::Weights::make(0.7, 0.25);
+    const std::string name = core::to_string(variant);
+
+    params.legacy_scan = true;
+    const auto legacy = report.timed_section(
+        name + "_legacy", [&] { return core::run_slrh(scenario, params); });
+
+    params.legacy_scan = false;
+    const auto fast = report.timed_section(
+        name + "_fast", [&] { return core::run_slrh(scenario, params); });
+
+    report.metrics()
+        .counter("bench." + name + "_schedules_identical")
+        .add(legacy.t100 == fast.t100 && legacy.aet == fast.aet &&
+                     legacy.tec == fast.tec
+                 ? 1
+                 : 0);
+    std::cout << name << ": legacy " << legacy.wall_seconds << " s, fast "
+              << fast.wall_seconds << " s ("
+              << (fast.wall_seconds > 0.0 ? legacy.wall_seconds / fast.wall_seconds
+                                          : 0.0)
+              << "x)\n";
+  }
+  std::cout << "wrote " << report.write_json() << "\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_inner_loop_report();
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/feasibility.hpp"
 
+#include "core/scenario_cache.hpp"
 #include "sim/comm.hpp"
 
 namespace ahg::core {
@@ -35,6 +36,12 @@ bool version_fits_energy(const workload::Scenario& scenario,
   return need <= schedule.energy().available(machine) + kEps;
 }
 
+bool version_fits_energy(const ScenarioCache& cache, const sim::Schedule& schedule,
+                         TaskId task, MachineId machine, VersionKind version) {
+  return cache.energy_need(task, machine, version) <=
+         schedule.energy().available(machine) + kEps;
+}
+
 bool parents_assigned(const workload::Scenario& scenario, const sim::Schedule& schedule,
                       TaskId task) {
   for (const TaskId parent : scenario.dag.parents(task)) {
@@ -46,8 +53,8 @@ bool parents_assigned(const workload::Scenario& scenario, const sim::Schedule& s
 bool slrh_pool_admissible(const workload::Scenario& scenario,
                           const sim::Schedule& schedule, TaskId task,
                           MachineId machine) {
-  return !schedule.is_assigned(task) && parents_assigned(scenario, schedule, task) &&
-         version_fits_energy(scenario, schedule, task, machine, VersionKind::Secondary);
+  return classify_slrh_admission(scenario, schedule, task, machine) ==
+         AdmissionOutcome::Admissible;
 }
 
 const char* to_string(AdmissionOutcome outcome) {

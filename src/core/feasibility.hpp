@@ -16,6 +16,8 @@
 
 namespace ahg::core {
 
+class ScenarioCache;
+
 /// Worst-case energy the target machine would need to send all of the
 /// subtask's output data items, assuming every child is mapped across the
 /// grid's lowest-bandwidth link.
@@ -33,11 +35,20 @@ bool version_fits_energy(const workload::Scenario& scenario,
                          const sim::Schedule& schedule, TaskId task,
                          MachineId machine, VersionKind version);
 
+/// Cache-aware form: the energy need is read from the precomputed table
+/// instead of re-derived from the DAG. Bit-identical verdicts (the table is
+/// built by the exact uncached expression).
+bool version_fits_energy(const ScenarioCache& cache, const sim::Schedule& schedule,
+                         TaskId task, MachineId machine, VersionKind version);
+
 /// True iff every parent of `task` is already assigned in `schedule`.
 bool parents_assigned(const workload::Scenario& scenario, const sim::Schedule& schedule,
                       TaskId task);
 
 /// SLRH pool admission: parents assigned AND the secondary version fits.
+/// Defined as classify_slrh_admission(...) == Admissible — the classifying
+/// form is the single source of truth, so the boolean and telemetry paths
+/// can never drift.
 bool slrh_pool_admissible(const workload::Scenario& scenario,
                           const sim::Schedule& schedule, TaskId task,
                           MachineId machine);

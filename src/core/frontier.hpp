@@ -1,0 +1,75 @@
+#pragma once
+// Incremental ready-task frontier for the clock-driven SLRH driver.
+//
+// The machine-independent part of SLRH pool admission — released, not yet
+// assigned, every parent assigned — changes only when the clock advances past
+// a release time or a placement commits. Instead of re-probing all |T|
+// subtasks per (machine, timestep), a ReadyFrontier maintains that set
+// incrementally: a release-time-sorted cursor advanced with the clock, a
+// per-task unassigned-parent count decremented on commit, and a ready list
+// kept sorted by task id (the scan order of the original full pass, so pools
+// built from it are bit-identical to scan-built pools).
+//
+// The frontier also keeps the admission tallies the decision trace reports
+// (unreleased / already-assigned / parents-unassigned) as running counters,
+// so the telemetry path needs no per-task probes either.
+//
+// Invariants (asserted by tests/test_frontier.cpp against brute force):
+//   ready() == { t : release(t) <= clock, !assigned(t), parents assigned }
+//   num_unreleased() == |{ t : release(t) > clock }|
+//   num_assigned_released() == |{ t : release(t) <= clock, assigned(t) }|
+//   num_parents_blocked() == |{ t : release(t) <= clock, !assigned(t),
+//                                  some parent unassigned }|
+
+#include <span>
+#include <vector>
+
+#include "sim/schedule.hpp"
+#include "support/units.hpp"
+#include "workload/scenario.hpp"
+
+namespace ahg::core {
+
+class ReadyFrontier {
+ public:
+  /// Initialise from the schedule's CURRENT state (the driver may resume an
+  /// existing, partially filled schedule — the machine-loss extension does).
+  /// No task is released until advance_to() is called.
+  ReadyFrontier(const workload::Scenario& scenario, const sim::Schedule& schedule);
+
+  /// Release every task with release(t) <= clock. Monotone: the clock never
+  /// moves backwards, so calls with a smaller clock are no-ops.
+  void advance_to(Cycles clock);
+
+  /// Record a committed placement: the task leaves the ready list and each
+  /// child's unassigned-parent count drops (children whose count reaches
+  /// zero join the ready list if already released). Must be called for every
+  /// commit the driver makes, immediately after it.
+  void on_commit(TaskId task);
+
+  /// Released, unassigned tasks whose parents are all assigned, sorted by
+  /// ascending task id.
+  std::span<const TaskId> ready() const noexcept { return ready_; }
+
+  std::size_t num_unreleased() const noexcept {
+    return release_order_.size() - cursor_;
+  }
+  std::size_t num_assigned_released() const noexcept { return assigned_released_; }
+  std::size_t num_parents_blocked() const noexcept {
+    return cursor_ - assigned_released_ - ready_.size();
+  }
+
+ private:
+  void insert_ready(TaskId task);
+
+  const workload::Scenario* scenario_;
+  std::vector<TaskId> release_order_;  ///< all tasks, sorted by (release, id)
+  std::size_t cursor_ = 0;             ///< first index not yet released
+  std::vector<std::uint32_t> unassigned_parents_;
+  std::vector<std::uint8_t> released_;
+  std::vector<std::uint8_t> assigned_;
+  std::vector<TaskId> ready_;
+  std::size_t assigned_released_ = 0;
+};
+
+}  // namespace ahg::core

@@ -23,7 +23,8 @@ std::vector<HeuristicKind> all_heuristics() {
 
 MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenario,
                             const Weights& weights, const SlrhClock& clock,
-                            AetSign aet_sign, obs::Sink* sink) {
+                            AetSign aet_sign, obs::Sink* sink,
+                            const ScenarioCache* cache) {
   switch (kind) {
     case HeuristicKind::Slrh1:
     case HeuristicKind::Slrh2:
@@ -37,6 +38,7 @@ MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenar
       params.horizon = clock.horizon;
       params.aet_sign = aet_sign;
       params.sink = sink;
+      params.cache = cache;
       return run_slrh(scenario, params);
     }
     case HeuristicKind::MaxMax: {
@@ -44,6 +46,7 @@ MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenar
       params.weights = weights;
       params.aet_sign = aet_sign;
       params.sink = sink;
+      params.cache = cache;
       return run_maxmax(scenario, params);
     }
   }

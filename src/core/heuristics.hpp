@@ -34,9 +34,15 @@ struct SlrhClock {
 /// Run any heuristic on a scenario with the given objective weights.
 /// `sink` (not owned, may be null) receives the run's decision events and
 /// feeds phase metrics — see SlrhParams::sink for the null-sink contract.
+/// `cache` (not owned, may be null) supplies shared precomputed
+/// pure-scenario tables; null makes each run build its own. Supply one when
+/// running the same scenario many times (the tuner, the Lagrangian loop) —
+/// it must have been built from `scenario` and is read-only here, so one
+/// instance may serve concurrent callers.
 MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenario,
                             const Weights& weights, const SlrhClock& clock = {},
                             AetSign aet_sign = AetSign::Reward,
-                            obs::Sink* sink = nullptr);
+                            obs::Sink* sink = nullptr,
+                            const ScenarioCache* cache = nullptr);
 
 }  // namespace ahg::core

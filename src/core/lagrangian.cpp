@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/scenario_cache.hpp"
 #include "support/contract.hpp"
 
 namespace ahg::core {
@@ -36,11 +37,16 @@ LagrangianOutcome run_lagrangian_iteration(const workload::Scenario& scenario,
   double lambda_time = params.lambda_time0;
   const double tse = scenario.grid.total_system_energy();
 
+  // Pure-scenario tables shared by every inner run — the multiplier updates
+  // change only the weights, never the scenario.
+  const ScenarioCache cache(scenario);
+
   for (std::size_t k = 0; k < params.max_iterations; ++k) {
     const Weights weights = weights_from_multipliers(lambda_energy, lambda_time);
     // The time multiplier prices LATENESS: the gamma term must penalize.
-    const MappingResult run = run_heuristic(params.inner, scenario, weights,
-                                            params.clock, AetSign::Penalize);
+    const MappingResult run =
+        run_heuristic(params.inner, scenario, weights, params.clock,
+                      AetSign::Penalize, /*sink=*/nullptr, &cache);
     ++outcome.runs;
 
     LagrangianIterate iterate;

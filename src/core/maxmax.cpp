@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <set>
 #include <tuple>
 #include <vector>
 
 #include "core/feasibility.hpp"
 #include "core/placement.hpp"
+#include "core/scenario_cache.hpp"
 #include "core/scoring.hpp"
 #include "support/profile.hpp"
 #include "support/stopwatch.hpp"
@@ -49,6 +51,20 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
 
   auto schedule = make_schedule(scenario);
   const ObjectiveTotals totals = objective_totals(scenario);
+
+  // Precomputed pure-scenario tables (admission energies, execution cycles,
+  // per-task minimum execution cycles). Built by the exact uncached
+  // expressions, so reading them changes no decision; legacy_scan forces the
+  // original on-demand derivations for diff tests.
+  std::optional<ScenarioCache> local_cache;
+  const ScenarioCache* cache = nullptr;
+  if (!params.legacy_scan) {
+    cache = params.cache;
+    if (cache == nullptr) {
+      local_cache.emplace(scenario);
+      cache = &*local_cache;
+    }
+  }
   const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
   const auto num_machines = static_cast<MachineId>(scenario.num_machines());
 
@@ -103,8 +119,12 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       const TaskId t = *it;
       Cycles min_exec = std::numeric_limits<Cycles>::max();
-      for (MachineId j = 0; j < num_machines; ++j) {
-        min_exec = std::min(min_exec, scenario.exec_cycles(t, j, VersionKind::Secondary));
+      if (cache != nullptr) {
+        min_exec = cache->min_exec_cycles(t, VersionKind::Secondary);
+      } else {
+        for (MachineId j = 0; j < num_machines; ++j) {
+          min_exec = std::min(min_exec, scenario.exec_cycles(t, j, VersionKind::Secondary));
+        }
       }
       for (const TaskId parent : scenario.dag.parents(t)) {
         tail[static_cast<std::size_t>(parent)] =
@@ -136,14 +156,19 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
           for (const VersionKind version :
                {VersionKind::Primary, VersionKind::Secondary}) {
             if (excluded.contains({task, machine, version})) continue;
-            if (!version_fits_energy(scenario, *schedule, task, machine, version)) {
-              continue;
-            }
+            const bool fits =
+                cache != nullptr
+                    ? version_fits_energy(*cache, *schedule, task, machine, version)
+                    : version_fits_energy(scenario, *schedule, task, machine,
+                                          version);
+            if (!fits) continue;
             // Hole-aware finish estimate: earliest-fit from the latest
             // parent finish (data arrival lower bound) — Max-Max backfills,
             // so an append-style "ready + exec" estimate would misprice
             // every candidate once any machine has a late booking.
-            const Cycles exec = scenario.exec_cycles(task, machine, version);
+            const Cycles exec = cache != nullptr
+                                    ? cache->exec_cycles(task, machine, version)
+                                    : scenario.exec_cycles(task, machine, version);
             Cycles arrival_lb = scenario.release(task);
             for (const TaskId parent : scenario.dag.parents(task)) {
               arrival_lb = std::max(arrival_lb, schedule->assignment(parent).finish);
@@ -155,9 +180,16 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
                 finish_est + tail[static_cast<std::size_t>(task)] > scenario.tau) {
               continue;
             }
-            const double score = score_candidate_with_finish(
-                scenario, *schedule, params.weights, totals, task, machine, version,
-                finish_est, params.aet_sign);
+            const double score =
+                cache != nullptr
+                    ? score_candidate_with_finish(*cache, scenario, *schedule,
+                                                  params.weights, totals, task,
+                                                  machine, version, finish_est,
+                                                  params.aet_sign)
+                    : score_candidate_with_finish(scenario, *schedule,
+                                                  params.weights, totals, task,
+                                                  machine, version, finish_est,
+                                                  params.aet_sign);
             const Triplet triplet{task, machine, version, score, finish_est};
             if (triplet.better_than(best)) best = triplet;
           }

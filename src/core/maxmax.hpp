@@ -23,6 +23,8 @@
 
 namespace ahg::core {
 
+class ScenarioCache;
+
 struct MaxMaxParams {
   Weights weights = Weights::make(0.5, 0.1);
   AetSign aet_sign = AetSign::Reward;
@@ -44,6 +46,18 @@ struct MaxMaxParams {
   /// subtasks still unmapped; selection-round time feeds
   /// "maxmax.select_seconds" in sink->metrics() when present.
   obs::Sink* sink = nullptr;
+
+  /// Optional precomputed pure-scenario tables (not owned). Null — the
+  /// default — makes the run build its own; supply one to amortise the
+  /// build across many runs on the same scenario (the tuner does). Ignored
+  /// when legacy_scan is set.
+  const ScenarioCache* cache = nullptr;
+
+  /// Diff baseline for tests: re-derive admission energies, execution
+  /// cycles, and critical-path tails on demand instead of reading the
+  /// tables. Bit-identical schedules either way (asserted by
+  /// tests/test_determinism.cpp).
+  bool legacy_scan = false;
 
   void validate() const { weights.validate(); }
 };

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/scenario_cache.hpp"
 #include "support/contract.hpp"
 #include "support/profile.hpp"
 
@@ -31,13 +32,18 @@ CaseHeuristicSummary evaluate_case(const workload::ScenarioSuite& suite,
     for (std::size_t dag = 0; dag < suite.num_dag(); ++dag) {
       const workload::Scenario scenario = suite.make(grid_case, etc, dag);
 
+      // Build the pure-scenario tables once; the tuner's weight sweep then
+      // shares them read-only across all of its (possibly parallel) solver
+      // invocations, and the upper bound reads the same energy products.
+      const ScenarioCache cache(scenario);
+
       if (!bound_cache[etc].has_value()) {
-        bound_cache[etc] = compute_upper_bound(scenario).bound;
+        bound_cache[etc] = compute_upper_bound(scenario, &cache).bound;
       }
 
       const WeightedSolver solver = [&](const Weights& w) {
         return run_heuristic(heuristic, scenario, w, params.clock,
-                             AetSign::Reward, &fwd);
+                             AetSign::Reward, &fwd, &cache);
       };
       ScenarioEvaluation eval;
       eval.etc_index = etc;

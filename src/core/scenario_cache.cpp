@@ -1,0 +1,46 @@
+#include "core/scenario_cache.hpp"
+
+#include <limits>
+
+#include "core/feasibility.hpp"
+
+namespace ahg::core {
+
+ScenarioCache::ScenarioCache(const workload::Scenario& scenario)
+    : num_tasks_(scenario.num_tasks()), num_machines_(scenario.num_machines()) {
+  const std::size_t cells = num_tasks_ * num_machines_ * 2;
+  exec_cycles_.resize(cells);
+  exec_energy_.resize(cells);
+  energy_need_.resize(cells);
+  min_exec_cycles_.resize(num_tasks_ * 2);
+  primary_compute_energy_.resize(num_tasks_ * num_machines_);
+
+  const auto num_tasks = static_cast<TaskId>(num_tasks_);
+  const auto num_machines = static_cast<MachineId>(num_machines_);
+  for (TaskId task = 0; task < num_tasks; ++task) {
+    for (const VersionKind version : {VersionKind::Primary, VersionKind::Secondary}) {
+      Cycles min_cycles = std::numeric_limits<Cycles>::max();
+      for (MachineId machine = 0; machine < num_machines; ++machine) {
+        const std::size_t i = index(task, machine, version);
+        // Each entry uses the exact expression (and operation order) of the
+        // uncached path so lookups are bit-identical to recomputation.
+        exec_cycles_[i] = scenario.exec_cycles(task, machine, version);
+        exec_energy_[i] = core::exec_energy(scenario, task, machine, version);
+        energy_need_[i] =
+            exec_energy_[i] +
+            worst_case_outgoing_energy(scenario, task, machine, version);
+        min_cycles = std::min(min_cycles, exec_cycles_[i]);
+      }
+      min_exec_cycles_[static_cast<std::size_t>(task) * 2 +
+                       (version == VersionKind::Primary ? 0 : 1)] = min_cycles;
+    }
+    for (MachineId machine = 0; machine < num_machines; ++machine) {
+      primary_compute_energy_[static_cast<std::size_t>(task) * num_machines_ +
+                              static_cast<std::size_t>(machine)] =
+          scenario.grid.machine(machine).compute_power *
+          scenario.etc.seconds(task, machine);
+    }
+  }
+}
+
+}  // namespace ahg::core

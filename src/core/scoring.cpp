@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/feasibility.hpp"
+#include "core/scenario_cache.hpp"
 #include "sim/comm.hpp"
 #include "support/contract.hpp"
 
@@ -29,12 +30,14 @@ namespace {
 
 /// The global state the schedule WOULD have if (task, version) were mapped
 /// to machine finishing at finish_est — the quantity both the scalar score
-/// and the traced term breakdown evaluate the objective on.
+/// and the traced term breakdown evaluate the objective on. `task_exec_energy`
+/// is exec_energy(scenario, task, machine, version), supplied by the caller
+/// so the cached overloads can feed the precomputed (bit-identical) value.
 ObjectiveState hypothetical_state(const workload::Scenario& scenario,
                                   const sim::Schedule& schedule, TaskId task,
                                   MachineId machine, VersionKind version,
-                                  Cycles finish_est) {
-  double tec_delta = exec_energy(scenario, task, machine, version);
+                                  Cycles finish_est, double task_exec_energy) {
+  double tec_delta = task_exec_energy;
   for (const TaskId parent : scenario.dag.parents(task)) {
     AHG_EXPECTS_MSG(schedule.is_assigned(parent), "scoring with unassigned parent");
     const auto& pa = schedule.assignment(parent);
@@ -55,6 +58,19 @@ ObjectiveState hypothetical_state(const workload::Scenario& scenario,
 
 }  // namespace
 
+double score_candidate(const ScenarioCache& cache,
+                       const workload::Scenario& scenario,
+                       const sim::Schedule& schedule, const Weights& weights,
+                       const ObjectiveTotals& totals, TaskId task,
+                       MachineId machine, VersionKind version, Cycles earliest,
+                       AetSign aet_sign) {
+  const Cycles duration = cache.exec_cycles(task, machine, version);
+  const Cycles finish_est =
+      std::max(earliest, schedule.machine_ready(machine)) + duration;
+  return score_candidate_with_finish(cache, scenario, schedule, weights, totals,
+                                     task, machine, version, finish_est, aet_sign);
+}
+
 double score_candidate_with_finish(const workload::Scenario& scenario,
                                    const sim::Schedule& schedule,
                                    const Weights& weights,
@@ -62,7 +78,21 @@ double score_candidate_with_finish(const workload::Scenario& scenario,
                                    MachineId machine, VersionKind version,
                                    Cycles finish_est, AetSign aet_sign) {
   const ObjectiveState state =
-      hypothetical_state(scenario, schedule, task, machine, version, finish_est);
+      hypothetical_state(scenario, schedule, task, machine, version, finish_est,
+                         exec_energy(scenario, task, machine, version));
+  return objective_value(weights, state, totals, aet_sign);
+}
+
+double score_candidate_with_finish(const ScenarioCache& cache,
+                                   const workload::Scenario& scenario,
+                                   const sim::Schedule& schedule,
+                                   const Weights& weights,
+                                   const ObjectiveTotals& totals, TaskId task,
+                                   MachineId machine, VersionKind version,
+                                   Cycles finish_est, AetSign aet_sign) {
+  const ObjectiveState state =
+      hypothetical_state(scenario, schedule, task, machine, version, finish_est,
+                         cache.exec_energy(task, machine, version));
   return objective_value(weights, state, totals, aet_sign);
 }
 
@@ -85,7 +115,8 @@ ObjectiveTerms score_candidate_terms_with_finish(
     const Weights& weights, const ObjectiveTotals& totals, TaskId task,
     MachineId machine, VersionKind version, Cycles finish_est, AetSign aet_sign) {
   const ObjectiveState state =
-      hypothetical_state(scenario, schedule, task, machine, version, finish_est);
+      hypothetical_state(scenario, schedule, task, machine, version, finish_est,
+                         exec_energy(scenario, task, machine, version));
   return objective_terms(weights, state, totals, aet_sign);
 }
 

@@ -18,6 +18,8 @@
 
 namespace ahg::core {
 
+class ScenarioCache;
+
 /// Objective-normalisation constants for a scenario.
 ObjectiveTotals objective_totals(const workload::Scenario& scenario);
 
@@ -32,11 +34,30 @@ double score_candidate(const workload::Scenario& scenario,
                        MachineId machine, VersionKind version, Cycles earliest,
                        AetSign aet_sign = AetSign::Reward);
 
+/// Cache-aware form: duration and execution energy come from the precomputed
+/// tables (bit-identical values); the incoming-transfer walk — which depends
+/// on where parents actually landed — stays exact.
+double score_candidate(const ScenarioCache& cache,
+                       const workload::Scenario& scenario,
+                       const sim::Schedule& schedule, const Weights& weights,
+                       const ObjectiveTotals& totals, TaskId task,
+                       MachineId machine, VersionKind version, Cycles earliest,
+                       AetSign aet_sign = AetSign::Reward);
+
 /// Same hypothetical-objective computation, but with the finish time
 /// supplied by the caller. Max-Max uses this with a hole-aware earliest-fit
 /// estimate (its placements backfill schedule holes, so the append-style
 /// estimate of score_candidate would misprice every backfilled candidate).
 double score_candidate_with_finish(const workload::Scenario& scenario,
+                                   const sim::Schedule& schedule,
+                                   const Weights& weights,
+                                   const ObjectiveTotals& totals, TaskId task,
+                                   MachineId machine, VersionKind version,
+                                   Cycles finish_est,
+                                   AetSign aet_sign = AetSign::Reward);
+
+double score_candidate_with_finish(const ScenarioCache& cache,
+                                   const workload::Scenario& scenario,
                                    const sim::Schedule& schedule,
                                    const Weights& weights,
                                    const ObjectiveTotals& totals, TaskId task,

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <vector>
 
 #include "core/feasibility.hpp"
+#include "core/frontier.hpp"
 #include "core/placement.hpp"
+#include "core/scenario_cache.hpp"
 #include "core/scoring.hpp"
 #include "support/profile.hpp"
 #include "support/stopwatch.hpp"
@@ -22,12 +25,6 @@ std::string to_string(SlrhVariant variant) {
 }
 
 namespace {
-
-struct Candidate {
-  TaskId task = kInvalidTask;
-  VersionKind version = VersionKind::Primary;
-  double score = 0.0;
-};
 
 /// Telemetry handles for one drive_slrh window, all nullable. Resolved once
 /// per call so the inner loop never touches the registry's name map. With
@@ -91,32 +88,155 @@ class SubPhaseAccumulator {
   double seconds_ = 0.0;
 };
 
-/// Pool-admission rejection tally for one build_pool call (telemetry only).
-struct PoolRejects {
-  std::size_t unreleased = 0;
-  std::size_t assigned = 0;
-  std::size_t parents = 0;
-  std::size_t energy = 0;
+/// Order the candidate pool by score descending (ties: smaller task id, for
+/// determinism). Scores are distinct per task, so the result is independent
+/// of the insertion order — scan- and frontier-built pools sort identically.
+void sort_pool(std::vector<SlrhPoolCandidate>& pool) {
+  std::sort(pool.begin(), pool.end(),
+            [](const SlrhPoolCandidate& a, const SlrhPoolCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.task < b.task;
+            });
+}
 
-  bool any() const noexcept {
-    return unreleased + assigned + parents + energy > 0;
+/// Per-(machine, clock) memo of candidates whose exact placement was proven
+/// beyond the horizon. Within one such scope a commit can only ADD channel
+/// bookings and never reassigns a candidate's (already mapped) parents, so
+/// plan_placement's arrival is monotonically non-decreasing across the
+/// variant-2/3 re-walks — a candidate once beyond the horizon at this clock
+/// stays beyond it, and re-planning it is pure waste. The arrival is also
+/// version-independent (incoming edge volumes depend on the PARENTS'
+/// committed versions), so one bit per task suffices. Generation stamping
+/// makes scope resets O(1).
+class BeyondHorizonMemo {
+ public:
+  explicit BeyondHorizonMemo(std::size_t num_tasks) : stamp_(num_tasks, 0) {}
+
+  void begin_scope() noexcept { ++generation_; }
+
+  bool contains(TaskId task) const noexcept {
+    return stamp_[static_cast<std::size_t>(task)] == generation_;
   }
+
+  void insert(TaskId task) noexcept {
+    stamp_[static_cast<std::size_t>(task)] = generation_;
+  }
+
+ private:
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t generation_ = 1;
 };
 
-/// Build and order the candidate pool U for one machine at the current
-/// clock: admissible subtasks with their objective-maximising version,
-/// sorted by score descending (ties: smaller task id, for determinism).
-/// `rejects` is the telemetry path: when non-null the admission predicate is
-/// evaluated through classify_slrh_admission (same checks, same order) and
-/// the failure reasons are tallied.
-std::vector<Candidate> build_pool(const workload::Scenario& scenario,
-                                  const sim::Schedule& schedule,
-                                  const SlrhParams& params,
-                                  const ObjectiveTotals& totals, MachineId machine,
-                                  Cycles clock, const SlrhTelemetry& telemetry,
-                                  PoolRejects* rejects) {
-  SubPhaseAccumulator scoring_time(telemetry.scoring);
-  std::vector<Candidate> pool;
+/// What a traced map_first_startable call saw: every candidate it examined
+/// (with the rejection reason for the passed-over ones) and, when a commit
+/// happened, the committed placement with its objective-term breakdown.
+struct MapTrace {
+  std::vector<obs::CandidateTrace> candidates;
+  ObjectiveTerms terms;
+  VersionKind version = VersionKind::Secondary;
+  Cycles start = 0;
+  Cycles finish = 0;
+};
+
+/// Walk the ordered pool and commit the first candidate whose exact
+/// earliest start (communication included) falls within the horizon.
+/// Returns the index into `pool` of the mapped candidate, or npos.
+/// `cache` non-null reads admission energies from the precomputed tables.
+/// `memo` non-null skips re-planning candidates already proven
+/// beyond-horizon in this (machine, clock) scope.
+/// `trace` non-null records the decision (telemetry path only).
+std::size_t map_first_startable(const workload::Scenario& scenario,
+                                sim::Schedule& schedule, const SlrhParams& params,
+                                const ObjectiveTotals& totals,
+                                const std::vector<SlrhPoolCandidate>& pool,
+                                MachineId machine, Cycles clock,
+                                const SlrhTelemetry& telemetry,
+                                const ScenarioCache* cache, BeyondHorizonMemo* memo,
+                                std::size_t skip_before = 0,
+                                MapTrace* trace = nullptr) {
+  obs::ProfileScope placement_scope(telemetry.placement);
+  SubPhaseAccumulator earliest_time(telemetry.earliest_start);
+  const auto fits = [&](TaskId task, VersionKind version) {
+    return cache != nullptr
+               ? version_fits_energy(*cache, schedule, task, machine, version)
+               : version_fits_energy(scenario, schedule, task, machine, version);
+  };
+  for (std::size_t k = skip_before; k < pool.size(); ++k) {
+    const SlrhPoolCandidate& cand = pool[k];
+    if (schedule.is_assigned(cand.task)) {
+      if (trace != nullptr) {
+        trace->candidates.push_back(
+            {cand.task, cand.version, cand.score, "already_assigned"});
+      }
+      continue;
+    }
+    // Re-check energy: earlier commits in this timestep (variants 2/3) may
+    // have consumed what the pool admission saw.
+    VersionKind version = cand.version;
+    if (!fits(cand.task, version)) {
+      if (version == VersionKind::Primary &&
+          fits(cand.task, VersionKind::Secondary)) {
+        version = VersionKind::Secondary;
+      } else {
+        if (trace != nullptr) {
+          trace->candidates.push_back(
+              {cand.task, cand.version, cand.score, "energy_exhausted"});
+        }
+        continue;
+      }
+    }
+    if (memo != nullptr && memo->contains(cand.task)) {
+      // Proven beyond-horizon earlier in this (machine, clock) scope; the
+      // arrival can only have moved later since. Same decision, no re-plan.
+      if (trace != nullptr) {
+        trace->candidates.push_back(
+            {cand.task, cand.version, cand.score, "beyond_horizon"});
+      }
+      continue;
+    }
+    const PlacementPlan plan = earliest_time.time([&] {
+      return plan_placement(scenario, schedule, cand.task, machine, version, clock);
+    });
+    // The horizon test uses the earliest possible start "given precedence
+    // and communication requirements" (paper §IV) — i.e. data readiness on
+    // this machine, NOT the machine's queue. For variant 1 the two coincide
+    // (the machine is idle at the clock); for variants 2/3 this is what lets
+    // them stack a queue of data-ready subtasks onto one machine within a
+    // single timestep — and is exactly why SLRH-2 overloads machines and
+    // rarely meets the constraints (paper §VII).
+    const Cycles data_ready = std::max(clock, plan.arrival);
+    if (data_ready <= clock + params.horizon) {
+      if (trace != nullptr) {
+        // Capture the decision against the PRE-commit schedule state: the
+        // breakdown of the hypothetical objective this choice maximised.
+        trace->terms = score_candidate_terms(scenario, schedule, params.weights,
+                                             totals, cand.task, machine, version,
+                                             clock, params.aet_sign);
+        trace->version = version;
+        trace->start = plan.start;
+        trace->finish = plan.finish();
+        trace->candidates.push_back({cand.task, version, cand.score, ""});
+      }
+      commit_placement(scenario, schedule, plan);
+      return k;
+    }
+    if (memo != nullptr) memo->insert(cand.task);
+    if (trace != nullptr) {
+      trace->candidates.push_back(
+          {cand.task, cand.version, cand.score, "beyond_horizon"});
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+std::vector<SlrhPoolCandidate> build_slrh_pool_scan(
+    const workload::Scenario& scenario, const sim::Schedule& schedule,
+    const SlrhParams& params, const ObjectiveTotals& totals, MachineId machine,
+    Cycles clock, SlrhPoolRejects* rejects, obs::Histogram* scoring_histogram) {
+  SubPhaseAccumulator scoring_time(scoring_histogram);
+  std::vector<SlrhPoolCandidate> pool;
   const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
   for (TaskId task = 0; task < num_tasks; ++task) {
     // A subtask that has not arrived yet is invisible to the dynamic
@@ -145,11 +265,11 @@ std::vector<Candidate> build_pool(const workload::Scenario& scenario,
     // The pool admission guarantees the secondary version fits; the primary
     // version is only offered to the objective if its own worst-case energy
     // fits too.
-    const Candidate cand = scoring_time.time([&] {
+    const SlrhPoolCandidate cand = scoring_time.time([&] {
       const double secondary_score =
           score_candidate(scenario, schedule, params.weights, totals, task, machine,
                           VersionKind::Secondary, clock, params.aet_sign);
-      Candidate c{task, VersionKind::Secondary, secondary_score};
+      SlrhPoolCandidate c{task, VersionKind::Secondary, secondary_score};
       if (version_fits_energy(scenario, schedule, task, machine,
                               VersionKind::Primary)) {
         const double primary_score =
@@ -164,97 +284,52 @@ std::vector<Candidate> build_pool(const workload::Scenario& scenario,
     });
     pool.push_back(cand);
   }
-  std::sort(pool.begin(), pool.end(), [](const Candidate& a, const Candidate& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.task < b.task;
-  });
+  sort_pool(pool);
   return pool;
 }
 
-/// What a traced map_first_startable call saw: every candidate it examined
-/// (with the rejection reason for the passed-over ones) and, when a commit
-/// happened, the committed placement with its objective-term breakdown.
-struct MapTrace {
-  std::vector<obs::CandidateTrace> candidates;
-  ObjectiveTerms terms;
-  VersionKind version = VersionKind::Secondary;
-  Cycles start = 0;
-  Cycles finish = 0;
-};
-
-/// Walk the ordered pool and commit the first candidate whose exact
-/// earliest start (communication included) falls within the horizon.
-/// Returns the index into `pool` of the mapped candidate, or npos.
-/// `trace` non-null records the decision (telemetry path only).
-std::size_t map_first_startable(const workload::Scenario& scenario,
-                                sim::Schedule& schedule, const SlrhParams& params,
-                                const ObjectiveTotals& totals,
-                                const std::vector<Candidate>& pool, MachineId machine,
-                                Cycles clock, const SlrhTelemetry& telemetry,
-                                std::size_t skip_before = 0,
-                                MapTrace* trace = nullptr) {
-  obs::ProfileScope placement_scope(telemetry.placement);
-  SubPhaseAccumulator earliest_time(telemetry.earliest_start);
-  for (std::size_t k = skip_before; k < pool.size(); ++k) {
-    const Candidate& cand = pool[k];
-    if (schedule.is_assigned(cand.task)) {
-      if (trace != nullptr) {
-        trace->candidates.push_back(
-            {cand.task, cand.version, cand.score, "already_assigned"});
-      }
+std::vector<SlrhPoolCandidate> build_slrh_pool_frontier(
+    const workload::Scenario& scenario, const ScenarioCache& cache,
+    const ReadyFrontier& frontier, const sim::Schedule& schedule,
+    const SlrhParams& params, const ObjectiveTotals& totals, MachineId machine,
+    Cycles clock, SlrhPoolRejects* rejects, obs::Histogram* scoring_histogram) {
+  SubPhaseAccumulator scoring_time(scoring_histogram);
+  if (rejects != nullptr) {
+    // The machine-independent tallies fall out of the frontier bookkeeping;
+    // only the per-machine energy rejections need per-task evaluation.
+    rejects->unreleased = frontier.num_unreleased();
+    rejects->assigned = frontier.num_assigned_released();
+    rejects->parents = frontier.num_parents_blocked();
+  }
+  std::vector<SlrhPoolCandidate> pool;
+  for (const TaskId task : frontier.ready()) {
+    if (!version_fits_energy(cache, schedule, task, machine,
+                             VersionKind::Secondary)) {
+      if (rejects != nullptr) ++rejects->energy;
       continue;
     }
-    // Re-check energy: earlier commits in this timestep (variants 2/3) may
-    // have consumed what the pool admission saw.
-    VersionKind version = cand.version;
-    if (!version_fits_energy(scenario, schedule, cand.task, machine, version)) {
-      if (version == VersionKind::Primary &&
-          version_fits_energy(scenario, schedule, cand.task, machine,
-                              VersionKind::Secondary)) {
-        version = VersionKind::Secondary;
-      } else {
-        if (trace != nullptr) {
-          trace->candidates.push_back(
-              {cand.task, cand.version, cand.score, "energy_exhausted"});
+    const SlrhPoolCandidate cand = scoring_time.time([&] {
+      const double secondary_score =
+          score_candidate(cache, scenario, schedule, params.weights, totals, task,
+                          machine, VersionKind::Secondary, clock, params.aet_sign);
+      SlrhPoolCandidate c{task, VersionKind::Secondary, secondary_score};
+      if (version_fits_energy(cache, schedule, task, machine,
+                              VersionKind::Primary)) {
+        const double primary_score = score_candidate(
+            cache, scenario, schedule, params.weights, totals, task, machine,
+            VersionKind::Primary, clock, params.aet_sign);
+        if (primary_score >= secondary_score) {
+          c.version = VersionKind::Primary;
+          c.score = primary_score;
         }
-        continue;
       }
-    }
-    const PlacementPlan plan = earliest_time.time([&] {
-      return plan_placement(scenario, schedule, cand.task, machine, version, clock);
+      return c;
     });
-    // The horizon test uses the earliest possible start "given precedence
-    // and communication requirements" (paper §IV) — i.e. data readiness on
-    // this machine, NOT the machine's queue. For variant 1 the two coincide
-    // (the machine is idle at the clock); for variants 2/3 this is what lets
-    // them stack a queue of data-ready subtasks onto one machine within a
-    // single timestep — and is exactly why SLRH-2 overloads machines and
-    // rarely meets the constraints (paper §VII).
-    const Cycles data_ready = std::max(clock, plan.arrival);
-    if (data_ready <= clock + params.horizon) {
-      if (trace != nullptr) {
-        // Capture the decision against the PRE-commit schedule state: the
-        // breakdown of the hypothetical objective this choice maximised.
-        trace->terms = score_candidate_terms(scenario, schedule, params.weights,
-                                             totals, cand.task, machine, version,
-                                             clock, params.aet_sign);
-        trace->version = version;
-        trace->start = plan.start;
-        trace->finish = plan.finish();
-        trace->candidates.push_back({cand.task, version, cand.score, ""});
-      }
-      commit_placement(scenario, schedule, plan);
-      return k;
-    }
-    if (trace != nullptr) {
-      trace->candidates.push_back(
-          {cand.task, cand.version, cand.score, "beyond_horizon"});
-    }
+    pool.push_back(cand);
   }
-  return static_cast<std::size_t>(-1);
+  sort_pool(pool);
+  return pool;
 }
-
-}  // namespace
 
 void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
                 sim::Schedule& schedule, Cycles start_clock, Cycles end_clock,
@@ -272,14 +347,38 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
   const std::string heuristic_name =
       params.sink != nullptr ? to_string(params.variant) : std::string();
 
-  // One build_pool call, with telemetry when enabled.
+  // Fast-path machinery (see DESIGN.md "Incremental frontier"): precomputed
+  // pure-scenario tables, the incremental ready frontier, and the
+  // beyond-horizon memo. legacy_scan disables all three, reproducing the
+  // original scan-everything execution exactly.
+  std::optional<ScenarioCache> local_cache;
+  const ScenarioCache* cache = nullptr;
+  std::optional<ReadyFrontier> frontier;
+  std::optional<BeyondHorizonMemo> memo_storage;
+  if (!params.legacy_scan) {
+    cache = params.cache;
+    if (cache == nullptr) {
+      local_cache.emplace(scenario);
+      cache = &*local_cache;
+    }
+    frontier.emplace(scenario, schedule);
+    memo_storage.emplace(scenario.num_tasks());
+  }
+  BeyondHorizonMemo* memo = memo_storage.has_value() ? &*memo_storage : nullptr;
+
+  // One pool build, with telemetry when enabled.
   const auto make_pool = [&](MachineId machine, Cycles clock) {
-    PoolRejects rejects;
-    std::vector<Candidate> pool;
+    SlrhPoolRejects rejects;
+    std::vector<SlrhPoolCandidate> pool;
     {
       obs::ProfileScope scope(telemetry.pool_build);
-      pool = build_pool(scenario, schedule, params, totals, machine, clock,
-                        telemetry, trace_pools ? &rejects : nullptr);
+      SlrhPoolRejects* rej = trace_pools ? &rejects : nullptr;
+      pool = frontier.has_value()
+                 ? build_slrh_pool_frontier(scenario, *cache, *frontier, schedule,
+                                            params, totals, machine, clock, rej,
+                                            telemetry.scoring)
+                 : build_slrh_pool_scan(scenario, schedule, params, totals, machine,
+                                        clock, rej, telemetry.scoring);
     }
     ++result.pools_built;
     if (telemetry.pools != nullptr) telemetry.pools->add();
@@ -300,15 +399,20 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
   };
 
   // One map attempt; emits a map event on commit, a stall event otherwise.
-  const auto try_map = [&](const std::vector<Candidate>& pool, MachineId machine,
-                           Cycles clock, std::size_t skip_before) {
+  // Every commit is mirrored into the frontier immediately.
+  const auto try_map = [&](const std::vector<SlrhPoolCandidate>& pool,
+                           MachineId machine, Cycles clock,
+                           std::size_t skip_before) {
     const bool tracing = trace_maps || trace_stalls;
     MapTrace trace;
     const std::size_t mapped =
         map_first_startable(scenario, schedule, params, totals, pool, machine,
-                            clock, telemetry, skip_before,
+                            clock, telemetry, cache, memo, skip_before,
                             tracing ? &trace : nullptr);
-    if (mapped != npos && telemetry.maps != nullptr) telemetry.maps->add();
+    if (mapped != npos) {
+      if (frontier.has_value()) frontier->on_commit(pool[mapped].task);
+      if (telemetry.maps != nullptr) telemetry.maps->add();
+    }
     if (tracing && (mapped != npos ? trace_maps : trace_stalls) &&
         !(mapped == npos && pool.size() == skip_before)) {
       obs::Event event;
@@ -340,9 +444,11 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
        clock += params.dt) {
     ++result.iterations;
     if (telemetry.timesteps != nullptr) telemetry.timesteps->add();
+    if (frontier.has_value()) frontier->advance_to(clock);
     for (MachineId machine = 0; machine < num_machines; ++machine) {
       if (schedule.complete()) break;
       if (schedule.machine_ready(machine) > clock) continue;  // not available
+      if (memo != nullptr) memo->begin_scope();
 
       switch (params.variant) {
         case SlrhVariant::V1: {

@@ -28,6 +28,9 @@
 
 namespace ahg::core {
 
+class ScenarioCache;
+class ReadyFrontier;
+
 enum class SlrhVariant : std::uint8_t { V1 = 1, V2 = 2, V3 = 3 };
 
 std::string to_string(SlrhVariant variant);
@@ -47,6 +50,20 @@ struct SlrhParams {
   /// rejection reasons), and stall events, and feeds phase histograms into
   /// sink->metrics() when present.
   obs::Sink* sink = nullptr;
+
+  /// Optional precomputed pure-scenario tables (not owned). Null — the
+  /// default — makes the driver build its own once per run; supply one to
+  /// amortise the build across many runs on the same scenario (the tuner's
+  /// solver does, sharing it read-only across its worker threads). Ignored
+  /// when legacy_scan is set.
+  const ScenarioCache* cache = nullptr;
+
+  /// Diff baseline for tests and benches: force the original
+  /// scan-all-|T|-subtasks pool construction with on-demand energy
+  /// derivations (no tables, no frontier, no beyond-horizon memo).
+  /// Schedules are bit-identical either way — the fast path changes no
+  /// decision (asserted by tests/test_determinism.cpp).
+  bool legacy_scan = false;
 
   void validate() const {
     weights.validate();
@@ -68,5 +85,48 @@ MappingResult run_slrh(const workload::Scenario& scenario, const SlrhParams& par
 void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
                 sim::Schedule& schedule, Cycles start_clock, Cycles end_clock,
                 MappingResult& stats);
+
+// --- pool construction (exposed for micro-benchmarks and invariant tests) --
+
+/// One entry of the ordered candidate pool U: the subtask with its
+/// objective-maximising version and that version's score.
+struct SlrhPoolCandidate {
+  TaskId task = kInvalidTask;
+  VersionKind version = VersionKind::Primary;
+  double score = 0.0;
+};
+
+/// Pool-admission rejection tally for one pool build (telemetry only).
+struct SlrhPoolRejects {
+  std::size_t unreleased = 0;
+  std::size_t assigned = 0;
+  std::size_t parents = 0;
+  std::size_t energy = 0;
+
+  bool any() const noexcept { return unreleased + assigned + parents + energy > 0; }
+};
+
+/// Original pool construction: scan all |T| subtasks, re-deriving admission
+/// energies on demand. `rejects` non-null tallies per-task rejection reasons
+/// through classify_slrh_admission (the telemetry path). `scoring_histogram`
+/// non-null accumulates the scoring share of the build into that histogram.
+std::vector<SlrhPoolCandidate> build_slrh_pool_scan(
+    const workload::Scenario& scenario, const sim::Schedule& schedule,
+    const SlrhParams& params, const ObjectiveTotals& totals, MachineId machine,
+    Cycles clock, SlrhPoolRejects* rejects = nullptr,
+    obs::Histogram* scoring_histogram = nullptr);
+
+/// Output-sensitive pool construction: iterate only the frontier's ready
+/// tasks (released, unassigned, parents assigned — typically << |T|) and
+/// apply just the per-machine energy check against the precomputed tables.
+/// The frontier must have been advanced to `clock` and notified of every
+/// commit. Produces the same pool, in the same order, as the scan — and the
+/// same rejection tallies, derived from the frontier's running counters.
+std::vector<SlrhPoolCandidate> build_slrh_pool_frontier(
+    const workload::Scenario& scenario, const ScenarioCache& cache,
+    const ReadyFrontier& frontier, const sim::Schedule& schedule,
+    const SlrhParams& params, const ObjectiveTotals& totals, MachineId machine,
+    Cycles clock, SlrhPoolRejects* rejects = nullptr,
+    obs::Histogram* scoring_histogram = nullptr);
 
 }  // namespace ahg::core

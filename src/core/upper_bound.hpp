@@ -20,6 +20,8 @@
 
 namespace ahg::core {
 
+class ScenarioCache;
+
 struct UpperBoundResult {
   std::size_t bound = 0;             ///< max number of primary versions
   std::vector<double> min_ratio;     ///< MR(j) per machine (MR(0) == 1)
@@ -36,7 +38,11 @@ std::vector<double> min_ratios(const workload::EtcMatrix& etc);
 
 /// Compute the upper bound for a scenario (grid + ETC + tau; the DAG plays
 /// no role in the bound — precedence is deliberately ignored so the result
-/// remains an upper bound).
-UpperBoundResult compute_upper_bound(const workload::Scenario& scenario);
+/// remains an upper bound). `cache` (not owned, may be null) supplies the
+/// precomputed primary compute energies; the table holds the exact
+/// power-times-seconds products the uncached path derives, so the bound is
+/// identical either way.
+UpperBoundResult compute_upper_bound(const workload::Scenario& scenario,
+                                     const ScenarioCache* cache = nullptr);
 
 }  // namespace ahg::core

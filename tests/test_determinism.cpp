@@ -1,0 +1,151 @@
+// Cross-variant determinism: the precomputed-table + frontier + memo fast
+// path must produce BIT-IDENTICAL schedules to the original scan-everything
+// execution (params.legacy_scan) — same T100, same AET, same TEC down to the
+// last double bit, same per-subtask placements. The tables are built by the
+// exact uncached expressions, so any divergence is a bug, not rounding.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/scenario_cache.hpp"
+#include "core/tuner.hpp"
+#include "core/upper_bound.hpp"
+#include "tests/scenario_fixtures.hpp"
+#include "workload/dynamics.hpp"
+
+namespace ahg {
+namespace {
+
+std::vector<workload::Scenario> paper_shape_fixtures() {
+  std::vector<workload::Scenario> fixtures;
+  fixtures.push_back(test::small_suite_scenario(sim::GridCase::A, 48));
+  fixtures.push_back(test::small_suite_scenario(sim::GridCase::B, 48));
+  fixtures.push_back(test::small_suite_scenario(sim::GridCase::C, 48));
+  // One dynamic-arrival shape so the release cursor is exercised too.
+  auto released = test::small_suite_scenario(sim::GridCase::A, 64, 4242);
+  released.releases = workload::generate_release_times(
+      workload::ReleaseParams{0.3}, released.dag, released.tau, 11);
+  fixtures.push_back(std::move(released));
+  return fixtures;
+}
+
+void expect_identical(const core::MappingResult& legacy,
+                      const core::MappingResult& fast,
+                      const workload::Scenario& scenario, const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(legacy.complete, fast.complete);
+  EXPECT_EQ(legacy.assigned, fast.assigned);
+  EXPECT_EQ(legacy.t100, fast.t100);
+  EXPECT_EQ(legacy.aet, fast.aet);
+  EXPECT_EQ(legacy.tec, fast.tec);  // exact: bit-identical doubles
+  ASSERT_NE(legacy.schedule, nullptr);
+  ASSERT_NE(fast.schedule, nullptr);
+  const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    ASSERT_EQ(legacy.schedule->is_assigned(t), fast.schedule->is_assigned(t))
+        << "task " << t;
+    if (!legacy.schedule->is_assigned(t)) continue;
+    const auto& a = legacy.schedule->assignment(t);
+    const auto& b = fast.schedule->assignment(t);
+    EXPECT_EQ(a.machine, b.machine) << "task " << t;
+    EXPECT_EQ(a.version, b.version) << "task " << t;
+    EXPECT_EQ(a.start, b.start) << "task " << t;
+    EXPECT_EQ(a.finish, b.finish) << "task " << t;
+    EXPECT_EQ(a.energy, b.energy) << "task " << t;  // exact
+  }
+}
+
+TEST(Determinism, SlrhCachedMatchesLegacyScan) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    const core::ScenarioCache shared(scenario);
+    for (const auto variant :
+         {core::SlrhVariant::V1, core::SlrhVariant::V2, core::SlrhVariant::V3}) {
+      core::SlrhParams params;
+      params.variant = variant;
+      params.weights = core::Weights::make(0.6, 0.3);
+
+      params.legacy_scan = true;
+      const auto legacy = core::run_slrh(scenario, params);
+
+      params.legacy_scan = false;
+      const auto local = core::run_slrh(scenario, params);  // run-local tables
+      params.cache = &shared;
+      const auto cached = core::run_slrh(scenario, params);  // shared tables
+
+      expect_identical(legacy, local, scenario, to_string(variant).c_str());
+      expect_identical(legacy, cached, scenario, to_string(variant).c_str());
+      params.cache = nullptr;
+    }
+  }
+}
+
+TEST(Determinism, MaxMaxCachedMatchesLegacyScan) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    const core::ScenarioCache shared(scenario);
+    core::MaxMaxParams params;
+    params.weights = core::Weights::make(0.6, 0.3);
+
+    params.legacy_scan = true;
+    const auto legacy = core::run_maxmax(scenario, params);
+
+    params.legacy_scan = false;
+    const auto local = core::run_maxmax(scenario, params);
+    params.cache = &shared;
+    const auto cached = core::run_maxmax(scenario, params);
+
+    expect_identical(legacy, local, scenario, "Max-Max local tables");
+    expect_identical(legacy, cached, scenario, "Max-Max shared tables");
+  }
+}
+
+TEST(Determinism, UpperBoundCachedMatchesUncached) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    const core::ScenarioCache cache(scenario);
+    const auto plain = core::compute_upper_bound(scenario);
+    const auto cached = core::compute_upper_bound(scenario, &cache);
+    EXPECT_EQ(plain.bound, cached.bound);
+    EXPECT_EQ(plain.tecc_seconds, cached.tecc_seconds);
+    EXPECT_EQ(plain.cycles_used_seconds, cached.cycles_used_seconds);
+    EXPECT_EQ(plain.energy_used, cached.energy_used);  // exact
+    EXPECT_EQ(plain.cycle_limited, cached.cycle_limited);
+    EXPECT_EQ(plain.energy_limited, cached.energy_limited);
+  }
+}
+
+TEST(Determinism, TunerWithSharedCacheMatchesLegacySolvers) {
+  const auto scenario = test::small_suite_scenario(sim::GridCase::A, 48);
+  const core::ScenarioCache shared(scenario);
+  core::TunerParams tuner;
+  tuner.coarse_step = 0.25;  // small grid: this is a determinism test, not a sweep
+  tuner.fine_step = 0.0;
+
+  const auto legacy_solver = [&](const core::Weights& w) {
+    core::SlrhParams params;
+    params.variant = core::SlrhVariant::V3;
+    params.weights = w;
+    params.legacy_scan = true;
+    return core::run_slrh(scenario, params);
+  };
+  const auto cached_solver = [&](const core::Weights& w) {
+    return core::run_heuristic(core::HeuristicKind::Slrh3, scenario, w, {},
+                               core::AetSign::Reward, nullptr, &shared);
+  };
+
+  const auto legacy = core::tune_weights(legacy_solver, tuner);
+  const auto cached = core::tune_weights(cached_solver, tuner);
+  EXPECT_EQ(legacy.found, cached.found);
+  EXPECT_EQ(legacy.alpha, cached.alpha);
+  EXPECT_EQ(legacy.beta, cached.beta);
+  expect_identical(legacy.best, cached.best, scenario, "tuner best run");
+  ASSERT_EQ(legacy.evaluated.size(), cached.evaluated.size());
+  for (std::size_t i = 0; i < legacy.evaluated.size(); ++i) {
+    EXPECT_EQ(legacy.evaluated[i].t100, cached.evaluated[i].t100) << "point " << i;
+    EXPECT_EQ(legacy.evaluated[i].feasible, cached.evaluated[i].feasible)
+        << "point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ahg

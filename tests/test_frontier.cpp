@@ -1,0 +1,136 @@
+// ReadyFrontier invariant tests: the incrementally maintained ready set and
+// rejection tallies must equal, at every point of a random playout, what a
+// brute-force pass over all subtasks computes from scratch (the original
+// scan the frontier replaces).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/feasibility.hpp"
+#include "core/frontier.hpp"
+#include "core/placement.hpp"
+#include "support/rng.hpp"
+#include "tests/scenario_fixtures.hpp"
+#include "workload/dynamics.hpp"
+
+namespace ahg {
+namespace {
+
+/// What a full pass over all subtasks says the frontier state should be.
+struct BruteForce {
+  std::vector<TaskId> ready;
+  std::size_t unreleased = 0;
+  std::size_t assigned = 0;
+  std::size_t parents = 0;
+
+  static BruteForce at(const workload::Scenario& scenario,
+                       const sim::Schedule& schedule, Cycles clock) {
+    BruteForce bf;
+    const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
+    for (TaskId t = 0; t < num_tasks; ++t) {
+      if (scenario.release(t) > clock) {
+        ++bf.unreleased;
+      } else if (schedule.is_assigned(t)) {
+        ++bf.assigned;
+      } else if (!core::parents_assigned(scenario, schedule, t)) {
+        ++bf.parents;
+      } else {
+        bf.ready.push_back(t);  // ascending task id, like the scan
+      }
+    }
+    return bf;
+  }
+};
+
+void expect_matches(const core::ReadyFrontier& frontier, const BruteForce& bf,
+                    Cycles clock) {
+  const std::vector<TaskId> ready(frontier.ready().begin(), frontier.ready().end());
+  EXPECT_EQ(ready, bf.ready) << "ready set diverged at clock " << clock;
+  EXPECT_EQ(frontier.num_unreleased(), bf.unreleased) << "at clock " << clock;
+  EXPECT_EQ(frontier.num_assigned_released(), bf.assigned) << "at clock " << clock;
+  EXPECT_EQ(frontier.num_parents_blocked(), bf.parents) << "at clock " << clock;
+}
+
+/// Commit one random ready task to a random energy-feasible machine, telling
+/// the frontier. Returns false if nothing could be committed.
+bool commit_random_ready(const workload::Scenario& scenario, sim::Schedule& schedule,
+                         core::ReadyFrontier& frontier, Rng& rng, Cycles clock) {
+  const auto ready = frontier.ready();
+  if (ready.empty()) return false;
+  const TaskId task =
+      ready[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(ready.size()) - 1))];
+  const auto num_machines = static_cast<MachineId>(scenario.num_machines());
+  for (MachineId m = 0; m < num_machines; ++m) {
+    if (!core::version_fits_energy(scenario, schedule, task, m,
+                                   VersionKind::Secondary)) {
+      continue;
+    }
+    const auto plan = core::plan_placement(scenario, schedule, task, m,
+                                           VersionKind::Secondary, clock);
+    core::commit_placement(scenario, schedule, plan);
+    frontier.on_commit(task);
+    return true;
+  }
+  return false;
+}
+
+TEST(ReadyFrontier, MatchesBruteForceUnderRandomPlayout) {
+  auto scenario = test::small_suite_scenario(sim::GridCase::A, 48);
+  // Spread releases over the window so the release cursor actually works.
+  scenario.releases = workload::generate_release_times(
+      workload::ReleaseParams{0.4}, scenario.dag, scenario.tau, 7);
+
+  auto schedule = core::make_schedule(scenario);
+  core::ReadyFrontier frontier(scenario, *schedule);
+  Rng rng(31);
+
+  Cycles clock = 0;
+  while (clock <= scenario.tau && !schedule->complete()) {
+    frontier.advance_to(clock);
+    expect_matches(frontier, BruteForce::at(scenario, *schedule, clock), clock);
+    // A few commits per timestep, re-checking the invariants after each.
+    const std::int64_t commits = rng.uniform_int(0, 3);
+    for (std::int64_t c = 0; c < commits; ++c) {
+      if (!commit_random_ready(scenario, *schedule, frontier, rng, clock)) break;
+      expect_matches(frontier, BruteForce::at(scenario, *schedule, clock), clock);
+    }
+    clock += rng.uniform_int(1, 50);
+  }
+}
+
+TEST(ReadyFrontier, InitialisesFromPartiallyFilledSchedule) {
+  const auto scenario = test::small_suite_scenario(sim::GridCase::A, 32);
+  auto schedule = core::make_schedule(scenario);
+
+  // Pre-assign a prefix of the DAG in topological order (as a resumed
+  // schedule would look after a replay).
+  const auto order = scenario.dag.topological_order();
+  for (std::size_t i = 0; i < order.size() / 2; ++i) {
+    const auto plan = core::plan_placement(scenario, *schedule, order[i], 0,
+                                           VersionKind::Secondary, 0);
+    core::commit_placement(scenario, *schedule, plan);
+  }
+
+  core::ReadyFrontier frontier(scenario, *schedule);
+  for (const Cycles clock : {Cycles{0}, Cycles{100}, scenario.tau}) {
+    frontier.advance_to(clock);
+    expect_matches(frontier, BruteForce::at(scenario, *schedule, clock), clock);
+  }
+}
+
+TEST(ReadyFrontier, AllReleasedAtClockZeroWithoutReleaseTimes) {
+  const auto scenario = test::two_fast_independent(8);
+  auto schedule = core::make_schedule(scenario);
+  core::ReadyFrontier frontier(scenario, *schedule);
+  EXPECT_EQ(frontier.num_unreleased(), 8u);  // nothing released before advance
+  frontier.advance_to(0);
+  EXPECT_EQ(frontier.num_unreleased(), 0u);
+  EXPECT_EQ(frontier.ready().size(), 8u);
+  EXPECT_TRUE(std::is_sorted(frontier.ready().begin(), frontier.ready().end()));
+}
+
+}  // namespace
+}  // namespace ahg
