@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_comm_energy.dir/bench_ablation_comm_energy.cpp.o"
+  "CMakeFiles/bench_ablation_comm_energy.dir/bench_ablation_comm_energy.cpp.o.d"
+  "bench_ablation_comm_energy"
+  "bench_ablation_comm_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_comm_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gamma_sign.dir/bench_ablation_gamma_sign.cpp.o"
+  "CMakeFiles/bench_ablation_gamma_sign.dir/bench_ablation_gamma_sign.cpp.o.d"
+  "bench_ablation_gamma_sign"
+  "bench_ablation_gamma_sign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gamma_sign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

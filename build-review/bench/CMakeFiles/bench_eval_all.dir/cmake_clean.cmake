@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eval_all.dir/bench_eval_all.cpp.o"
+  "CMakeFiles/bench_eval_all.dir/bench_eval_all.cpp.o.d"
+  "bench_eval_all"
+  "bench_eval_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eval_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dynamics.dir/bench_ext_dynamics.cpp.o"
+  "CMakeFiles/bench_ext_dynamics.dir/bench_ext_dynamics.cpp.o.d"
+  "bench_ext_dynamics"
+  "bench_ext_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

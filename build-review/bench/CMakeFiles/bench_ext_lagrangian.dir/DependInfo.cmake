@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_lagrangian.cpp" "bench/CMakeFiles/bench_ext_lagrangian.dir/bench_ext_lagrangian.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_lagrangian.dir/bench_ext_lagrangian.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ahg_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/ahg_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ahg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/ahg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

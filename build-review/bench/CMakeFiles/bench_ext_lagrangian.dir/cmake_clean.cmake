@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_lagrangian.dir/bench_ext_lagrangian.cpp.o"
+  "CMakeFiles/bench_ext_lagrangian.dir/bench_ext_lagrangian.cpp.o.d"
+  "bench_ext_lagrangian"
+  "bench_ext_lagrangian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_lagrangian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_delta_t.dir/bench_fig2_delta_t.cpp.o"
+  "CMakeFiles/bench_fig2_delta_t.dir/bench_fig2_delta_t.cpp.o.d"
+  "bench_fig2_delta_t"
+  "bench_fig2_delta_t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_delta_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig2_delta_t.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_weights.dir/bench_fig3_weights.cpp.o"
+  "CMakeFiles/bench_fig3_weights.dir/bench_fig3_weights.cpp.o.d"
+  "bench_fig3_weights"
+  "bench_fig3_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

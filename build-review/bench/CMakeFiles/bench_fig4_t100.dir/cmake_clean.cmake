@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_t100.dir/bench_fig4_t100.cpp.o"
+  "CMakeFiles/bench_fig4_t100.dir/bench_fig4_t100.cpp.o.d"
+  "bench_fig4_t100"
+  "bench_fig4_t100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_t100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

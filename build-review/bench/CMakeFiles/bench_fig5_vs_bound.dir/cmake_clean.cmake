@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_vs_bound.dir/bench_fig5_vs_bound.cpp.o"
+  "CMakeFiles/bench_fig5_vs_bound.dir/bench_fig5_vs_bound.cpp.o.d"
+  "bench_fig5_vs_bound"
+  "bench_fig5_vs_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_vs_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

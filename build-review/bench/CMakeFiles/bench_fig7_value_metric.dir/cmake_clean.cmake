@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_value_metric.dir/bench_fig7_value_metric.cpp.o"
+  "CMakeFiles/bench_fig7_value_metric.dir/bench_fig7_value_metric.cpp.o.d"
+  "bench_fig7_value_metric"
+  "bench_fig7_value_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_value_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_upper_bound.dir/bench_table4_upper_bound.cpp.o"
+  "CMakeFiles/bench_table4_upper_bound.dir/bench_table4_upper_bound.cpp.o.d"
+  "bench_table4_upper_bound"
+  "bench_table4_upper_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_upper_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables_config.dir/bench_tables_config.cpp.o"
+  "CMakeFiles/bench_tables_config.dir/bench_tables_config.cpp.o.d"
+  "bench_tables_config"
+  "bench_tables_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_loss.dir/machine_loss.cpp.o"
+  "CMakeFiles/machine_loss.dir/machine_loss.cpp.o.d"
+  "machine_loss"
+  "machine_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slrh_cli.dir/slrh_cli.cpp.o"
+  "CMakeFiles/slrh_cli.dir/slrh_cli.cpp.o.d"
+  "slrh_cli"
+  "slrh_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slrh_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/ahg_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/ahg_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/feasibility.cpp" "src/core/CMakeFiles/ahg_core.dir/feasibility.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/feasibility.cpp.o.d"
+  "/root/repo/src/core/frontier.cpp" "src/core/CMakeFiles/ahg_core.dir/frontier.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/frontier.cpp.o.d"
+  "/root/repo/src/core/heuristics.cpp" "src/core/CMakeFiles/ahg_core.dir/heuristics.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/heuristics.cpp.o.d"
+  "/root/repo/src/core/lagrangian.cpp" "src/core/CMakeFiles/ahg_core.dir/lagrangian.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/lagrangian.cpp.o.d"
+  "/root/repo/src/core/maxmax.cpp" "src/core/CMakeFiles/ahg_core.dir/maxmax.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/maxmax.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/ahg_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/ahg_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/robustness.cpp" "src/core/CMakeFiles/ahg_core.dir/robustness.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/robustness.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/ahg_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/scenario_cache.cpp" "src/core/CMakeFiles/ahg_core.dir/scenario_cache.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/scenario_cache.cpp.o.d"
+  "/root/repo/src/core/scoring.cpp" "src/core/CMakeFiles/ahg_core.dir/scoring.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/scoring.cpp.o.d"
+  "/root/repo/src/core/slrh.cpp" "src/core/CMakeFiles/ahg_core.dir/slrh.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/slrh.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/ahg_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/tuner.cpp.o.d"
+  "/root/repo/src/core/upper_bound.cpp" "src/core/CMakeFiles/ahg_core.dir/upper_bound.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/upper_bound.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/ahg_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/ahg_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/workload/CMakeFiles/ahg_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ahg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/ahg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/comm.cpp" "src/sim/CMakeFiles/ahg_sim.dir/comm.cpp.o" "gcc" "src/sim/CMakeFiles/ahg_sim.dir/comm.cpp.o.d"
+  "/root/repo/src/sim/energy.cpp" "src/sim/CMakeFiles/ahg_sim.dir/energy.cpp.o" "gcc" "src/sim/CMakeFiles/ahg_sim.dir/energy.cpp.o.d"
+  "/root/repo/src/sim/grid.cpp" "src/sim/CMakeFiles/ahg_sim.dir/grid.cpp.o" "gcc" "src/sim/CMakeFiles/ahg_sim.dir/grid.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/ahg_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/ahg_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/sim/CMakeFiles/ahg_sim.dir/schedule.cpp.o" "gcc" "src/sim/CMakeFiles/ahg_sim.dir/schedule.cpp.o.d"
+  "/root/repo/src/sim/svg.cpp" "src/sim/CMakeFiles/ahg_sim.dir/svg.cpp.o" "gcc" "src/sim/CMakeFiles/ahg_sim.dir/svg.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/ahg_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/ahg_sim.dir/timeline.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/ahg_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/ahg_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/ahg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

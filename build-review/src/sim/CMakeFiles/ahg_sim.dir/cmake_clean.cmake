@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahg_sim.dir/comm.cpp.o"
+  "CMakeFiles/ahg_sim.dir/comm.cpp.o.d"
+  "CMakeFiles/ahg_sim.dir/energy.cpp.o"
+  "CMakeFiles/ahg_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/ahg_sim.dir/grid.cpp.o"
+  "CMakeFiles/ahg_sim.dir/grid.cpp.o.d"
+  "CMakeFiles/ahg_sim.dir/machine.cpp.o"
+  "CMakeFiles/ahg_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/ahg_sim.dir/schedule.cpp.o"
+  "CMakeFiles/ahg_sim.dir/schedule.cpp.o.d"
+  "CMakeFiles/ahg_sim.dir/svg.cpp.o"
+  "CMakeFiles/ahg_sim.dir/svg.cpp.o.d"
+  "CMakeFiles/ahg_sim.dir/timeline.cpp.o"
+  "CMakeFiles/ahg_sim.dir/timeline.cpp.o.d"
+  "CMakeFiles/ahg_sim.dir/trace.cpp.o"
+  "CMakeFiles/ahg_sim.dir/trace.cpp.o.d"
+  "libahg_sim.a"
+  "libahg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libahg_sim.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/args.cpp" "src/support/CMakeFiles/ahg_support.dir/args.cpp.o" "gcc" "src/support/CMakeFiles/ahg_support.dir/args.cpp.o.d"
+  "/root/repo/src/support/csv.cpp" "src/support/CMakeFiles/ahg_support.dir/csv.cpp.o" "gcc" "src/support/CMakeFiles/ahg_support.dir/csv.cpp.o.d"
+  "/root/repo/src/support/distributions.cpp" "src/support/CMakeFiles/ahg_support.dir/distributions.cpp.o" "gcc" "src/support/CMakeFiles/ahg_support.dir/distributions.cpp.o.d"
+  "/root/repo/src/support/env.cpp" "src/support/CMakeFiles/ahg_support.dir/env.cpp.o" "gcc" "src/support/CMakeFiles/ahg_support.dir/env.cpp.o.d"
+  "/root/repo/src/support/event_log.cpp" "src/support/CMakeFiles/ahg_support.dir/event_log.cpp.o" "gcc" "src/support/CMakeFiles/ahg_support.dir/event_log.cpp.o.d"
+  "/root/repo/src/support/jsonl.cpp" "src/support/CMakeFiles/ahg_support.dir/jsonl.cpp.o" "gcc" "src/support/CMakeFiles/ahg_support.dir/jsonl.cpp.o.d"
+  "/root/repo/src/support/metrics.cpp" "src/support/CMakeFiles/ahg_support.dir/metrics.cpp.o" "gcc" "src/support/CMakeFiles/ahg_support.dir/metrics.cpp.o.d"
+  "/root/repo/src/support/profile.cpp" "src/support/CMakeFiles/ahg_support.dir/profile.cpp.o" "gcc" "src/support/CMakeFiles/ahg_support.dir/profile.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/support/CMakeFiles/ahg_support.dir/rng.cpp.o" "gcc" "src/support/CMakeFiles/ahg_support.dir/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/support/CMakeFiles/ahg_support.dir/stats.cpp.o" "gcc" "src/support/CMakeFiles/ahg_support.dir/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/ahg_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/ahg_support.dir/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/support/CMakeFiles/ahg_support.dir/thread_pool.cpp.o" "gcc" "src/support/CMakeFiles/ahg_support.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

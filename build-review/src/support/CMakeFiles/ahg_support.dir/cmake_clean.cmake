@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahg_support.dir/args.cpp.o"
+  "CMakeFiles/ahg_support.dir/args.cpp.o.d"
+  "CMakeFiles/ahg_support.dir/csv.cpp.o"
+  "CMakeFiles/ahg_support.dir/csv.cpp.o.d"
+  "CMakeFiles/ahg_support.dir/distributions.cpp.o"
+  "CMakeFiles/ahg_support.dir/distributions.cpp.o.d"
+  "CMakeFiles/ahg_support.dir/env.cpp.o"
+  "CMakeFiles/ahg_support.dir/env.cpp.o.d"
+  "CMakeFiles/ahg_support.dir/event_log.cpp.o"
+  "CMakeFiles/ahg_support.dir/event_log.cpp.o.d"
+  "CMakeFiles/ahg_support.dir/jsonl.cpp.o"
+  "CMakeFiles/ahg_support.dir/jsonl.cpp.o.d"
+  "CMakeFiles/ahg_support.dir/metrics.cpp.o"
+  "CMakeFiles/ahg_support.dir/metrics.cpp.o.d"
+  "CMakeFiles/ahg_support.dir/profile.cpp.o"
+  "CMakeFiles/ahg_support.dir/profile.cpp.o.d"
+  "CMakeFiles/ahg_support.dir/rng.cpp.o"
+  "CMakeFiles/ahg_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ahg_support.dir/stats.cpp.o"
+  "CMakeFiles/ahg_support.dir/stats.cpp.o.d"
+  "CMakeFiles/ahg_support.dir/table.cpp.o"
+  "CMakeFiles/ahg_support.dir/table.cpp.o.d"
+  "CMakeFiles/ahg_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/ahg_support.dir/thread_pool.cpp.o.d"
+  "libahg_support.a"
+  "libahg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

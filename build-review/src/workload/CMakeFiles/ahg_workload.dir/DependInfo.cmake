@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dag.cpp" "src/workload/CMakeFiles/ahg_workload.dir/dag.cpp.o" "gcc" "src/workload/CMakeFiles/ahg_workload.dir/dag.cpp.o.d"
+  "/root/repo/src/workload/dag_generator.cpp" "src/workload/CMakeFiles/ahg_workload.dir/dag_generator.cpp.o" "gcc" "src/workload/CMakeFiles/ahg_workload.dir/dag_generator.cpp.o.d"
+  "/root/repo/src/workload/data_sizes.cpp" "src/workload/CMakeFiles/ahg_workload.dir/data_sizes.cpp.o" "gcc" "src/workload/CMakeFiles/ahg_workload.dir/data_sizes.cpp.o.d"
+  "/root/repo/src/workload/dynamics.cpp" "src/workload/CMakeFiles/ahg_workload.dir/dynamics.cpp.o" "gcc" "src/workload/CMakeFiles/ahg_workload.dir/dynamics.cpp.o.d"
+  "/root/repo/src/workload/etc_generator.cpp" "src/workload/CMakeFiles/ahg_workload.dir/etc_generator.cpp.o" "gcc" "src/workload/CMakeFiles/ahg_workload.dir/etc_generator.cpp.o.d"
+  "/root/repo/src/workload/etc_matrix.cpp" "src/workload/CMakeFiles/ahg_workload.dir/etc_matrix.cpp.o" "gcc" "src/workload/CMakeFiles/ahg_workload.dir/etc_matrix.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/workload/CMakeFiles/ahg_workload.dir/scenario.cpp.o" "gcc" "src/workload/CMakeFiles/ahg_workload.dir/scenario.cpp.o.d"
+  "/root/repo/src/workload/scenario_io.cpp" "src/workload/CMakeFiles/ahg_workload.dir/scenario_io.cpp.o" "gcc" "src/workload/CMakeFiles/ahg_workload.dir/scenario_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/ahg_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ahg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahg_workload.dir/dag.cpp.o"
+  "CMakeFiles/ahg_workload.dir/dag.cpp.o.d"
+  "CMakeFiles/ahg_workload.dir/dag_generator.cpp.o"
+  "CMakeFiles/ahg_workload.dir/dag_generator.cpp.o.d"
+  "CMakeFiles/ahg_workload.dir/data_sizes.cpp.o"
+  "CMakeFiles/ahg_workload.dir/data_sizes.cpp.o.d"
+  "CMakeFiles/ahg_workload.dir/dynamics.cpp.o"
+  "CMakeFiles/ahg_workload.dir/dynamics.cpp.o.d"
+  "CMakeFiles/ahg_workload.dir/etc_generator.cpp.o"
+  "CMakeFiles/ahg_workload.dir/etc_generator.cpp.o.d"
+  "CMakeFiles/ahg_workload.dir/etc_matrix.cpp.o"
+  "CMakeFiles/ahg_workload.dir/etc_matrix.cpp.o.d"
+  "CMakeFiles/ahg_workload.dir/scenario.cpp.o"
+  "CMakeFiles/ahg_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/ahg_workload.dir/scenario_io.cpp.o"
+  "CMakeFiles/ahg_workload.dir/scenario_io.cpp.o.d"
+  "libahg_workload.a"
+  "libahg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_generator.dir/test_dag_generator.cpp.o"
+  "CMakeFiles/test_dag_generator.dir/test_dag_generator.cpp.o.d"
+  "test_dag_generator"
+  "test_dag_generator.pdb"
+  "test_dag_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

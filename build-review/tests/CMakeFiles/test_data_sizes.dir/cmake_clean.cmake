@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_sizes.dir/test_data_sizes.cpp.o"
+  "CMakeFiles/test_data_sizes.dir/test_data_sizes.cpp.o.d"
+  "test_data_sizes"
+  "test_data_sizes.pdb"
+  "test_data_sizes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

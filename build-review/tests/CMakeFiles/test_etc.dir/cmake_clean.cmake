@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_etc.dir/test_etc.cpp.o"
+  "CMakeFiles/test_etc.dir/test_etc.cpp.o.d"
+  "test_etc"
+  "test_etc.pdb"
+  "test_etc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_etc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_log.dir/test_event_log.cpp.o"
+  "CMakeFiles/test_event_log.dir/test_event_log.cpp.o.d"
+  "test_event_log"
+  "test_event_log.pdb"
+  "test_event_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

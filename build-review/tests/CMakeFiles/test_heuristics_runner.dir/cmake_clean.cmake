@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heuristics_runner.dir/test_heuristics_runner.cpp.o"
+  "CMakeFiles/test_heuristics_runner.dir/test_heuristics_runner.cpp.o.d"
+  "test_heuristics_runner"
+  "test_heuristics_runner.pdb"
+  "test_heuristics_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heuristics_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

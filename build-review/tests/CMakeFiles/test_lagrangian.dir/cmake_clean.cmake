@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lagrangian.dir/test_lagrangian.cpp.o"
+  "CMakeFiles/test_lagrangian.dir/test_lagrangian.cpp.o.d"
+  "test_lagrangian"
+  "test_lagrangian.pdb"
+  "test_lagrangian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lagrangian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

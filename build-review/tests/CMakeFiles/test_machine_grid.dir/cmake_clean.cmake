@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_grid.dir/test_machine_grid.cpp.o"
+  "CMakeFiles/test_machine_grid.dir/test_machine_grid.cpp.o.d"
+  "test_machine_grid"
+  "test_machine_grid.pdb"
+  "test_machine_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxmax.dir/test_maxmax.cpp.o"
+  "CMakeFiles/test_maxmax.dir/test_maxmax.cpp.o.d"
+  "test_maxmax"
+  "test_maxmax.pdb"
+  "test_maxmax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

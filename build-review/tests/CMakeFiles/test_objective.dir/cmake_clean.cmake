@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_objective.dir/test_objective.cpp.o"
+  "CMakeFiles/test_objective.dir/test_objective.cpp.o.d"
+  "test_objective"
+  "test_objective.pdb"
+  "test_objective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_io.dir/test_scenario_io.cpp.o"
+  "CMakeFiles/test_scenario_io.dir/test_scenario_io.cpp.o.d"
+  "test_scenario_io"
+  "test_scenario_io.pdb"
+  "test_scenario_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scoring.dir/test_scoring.cpp.o"
+  "CMakeFiles/test_scoring.dir/test_scoring.cpp.o.d"
+  "test_scoring"
+  "test_scoring.pdb"
+  "test_scoring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

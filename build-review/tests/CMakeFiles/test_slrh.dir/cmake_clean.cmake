@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slrh.dir/test_slrh.cpp.o"
+  "CMakeFiles/test_slrh.dir/test_slrh.cpp.o.d"
+  "test_slrh"
+  "test_slrh.pdb"
+  "test_slrh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slrh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

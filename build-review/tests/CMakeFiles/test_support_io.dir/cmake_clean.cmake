@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_io.dir/test_support_io.cpp.o"
+  "CMakeFiles/test_support_io.dir/test_support_io.cpp.o.d"
+  "test_support_io"
+  "test_support_io.pdb"
+  "test_support_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upper_bound.dir/test_upper_bound.cpp.o"
+  "CMakeFiles/test_upper_bound.dir/test_upper_bound.cpp.o.d"
+  "test_upper_bound"
+  "test_upper_bound.pdb"
+  "test_upper_bound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upper_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

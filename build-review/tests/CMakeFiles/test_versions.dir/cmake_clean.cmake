@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_versions.dir/test_versions.cpp.o"
+  "CMakeFiles/test_versions.dir/test_versions.cpp.o.d"
+  "test_versions"
+  "test_versions.pdb"
+  "test_versions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
