@@ -1,16 +1,36 @@
-// Extension bench: robustness of mappings to execution-time estimation
-// error. Mappings are produced against the estimated ETC, then replayed with
-// perturbed actual durations (dispatch decisions fixed, timing floating).
-// Reports the fraction of replays that stay feasible and the AET stretch,
-// per noise level, for SLRH-1 and Max-Max.
+// Extension bench: robustness of mappings to two failure models.
+//
+//  1. Estimation error — mappings are produced against the estimated ETC,
+//     then replayed with perturbed actual durations (dispatch decisions
+//     fixed, timing floating). Reports the fraction of replays that stay
+//     feasible and the AET stretch, per noise level, for SLRH-1 and Max-Max.
+//  2. Machine churn — machines walk out of range / die mid-run per a
+//     generated presence trace. SLRH reacts at the next timestep (orphans
+//     re-mapped, departed batteries forfeited); static Max-Max replays its
+//     fixed schedule against the same trace and loses the departed machines'
+//     work. Emits BENCH_churn.json.
 
 #include <iostream>
+#include <sstream>
 
 #include "bench/bench_common.hpp"
+#include "core/churn.hpp"
 #include "core/heuristics.hpp"
 #include "core/robustness.hpp"
+#include "core/upper_bound.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "workload/dynamics.hpp"
+
+namespace {
+
+std::string rate_label(double rate) {
+  std::ostringstream oss;
+  oss << rate;
+  return oss.str();
+}
+
+}  // namespace
 
 int main() {
   using namespace ahg;
@@ -60,5 +80,114 @@ int main() {
   std::cout << "\nexpected: feasibility degrades gracefully with noise; "
                "mappings with more slack (lower planned AET/tau) survive "
                "larger estimation errors\n";
+
+  // --- machine-churn sweep -------------------------------------------------
+  std::cout << "\n=== Extension: machine-churn robustness ===\n";
+  bench::BenchReport churn_report("churn");
+  constexpr int kChurnReps = 3;
+  struct ChurnRow {
+    const char* key;    // gauge name component
+    const char* label;  // table label
+  };
+  const ChurnRow rows[] = {
+      {"slrh1", "SLRH-1"},
+      {"slrh2", "SLRH-2"},
+      {"slrh3", "SLRH-3"},
+      {"slrh1_degrade", "SLRH-1 (degrade)"},
+      {"maxmax_static", "Max-Max (static)"},
+  };
+  const core::SlrhVariant variants[] = {core::SlrhVariant::V1,
+                                        core::SlrhVariant::V2,
+                                        core::SlrhVariant::V3};
+
+  TextTable churn_table({"dep/machine", "heuristic", "completed frac", "T100 frac",
+                         "mean AET (s)"});
+  Accumulator bound_acc;
+  for (const double rate : {0.5, 1.0, 2.0, 4.0}) {
+    Accumulator completed[5];
+    Accumulator t100[5];
+    Accumulator aet_seconds[5];
+    Accumulator departures;
+    for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
+      for (std::size_t dag = 0; dag < suite.num_dag(); ++dag) {
+        const auto base = suite.make(sim::GridCase::A, etc, dag);
+        const double num_tasks = static_cast<double>(base.num_tasks());
+        if (rate == 0.5) {  // churn-independent: record once
+          bound_acc.add(static_cast<double>(core::compute_upper_bound(base).bound) /
+                        num_tasks);
+        }
+        // Max-Max plans churn-blind, against the base scenario.
+        const auto maxmax =
+            core::run_heuristic(core::HeuristicKind::MaxMax, base, weights);
+        for (int rep = 0; rep < kChurnReps; ++rep) {
+          workload::ChurnParams churn;
+          churn.departures_per_machine = rate;
+          const auto trace = workload::generate_machine_churn(
+              churn, base.num_machines(), base.tau,
+              7000 + etc * 100 + dag * 10 + static_cast<std::uint64_t>(rep));
+          auto scenario = base;
+          scenario.machine_windows = trace.windows;
+          departures.add(static_cast<double>(trace.num_departures()));
+
+          const auto record = [&](std::size_t row, std::size_t done,
+                                  std::size_t primary, Cycles aet) {
+            completed[row].add(static_cast<double>(done) / num_tasks);
+            t100[row].add(static_cast<double>(primary) / num_tasks);
+            aet_seconds[row].add(seconds_from_cycles(aet));
+          };
+          for (std::size_t v = 0; v < 3; ++v) {
+            core::SlrhParams params;
+            params.variant = variants[v];
+            params.weights = weights;
+            const auto outcome = churn_report.timed_section("slrh_churn", [&] {
+              return core::run_slrh_with_churn(scenario, params);
+            });
+            record(v, outcome.result.assigned, outcome.result.t100,
+                   outcome.result.aet);
+          }
+          {
+            core::SlrhParams params;
+            params.variant = core::SlrhVariant::V1;
+            params.weights = weights;
+            const auto outcome = churn_report.timed_section("slrh_churn", [&] {
+              return core::run_slrh_with_churn(scenario, params,
+                                               core::ChurnRecovery::Degrade);
+            });
+            record(3, outcome.result.assigned, outcome.result.t100,
+                   outcome.result.aet);
+          }
+          if (maxmax.complete) {
+            const auto replay = churn_report.timed_section("static_replay", [&] {
+              return core::replay_static_under_churn(scenario, *maxmax.schedule);
+            });
+            record(4, replay.completed, replay.t100_completed, replay.aet);
+          }
+        }
+      }
+    }
+    const std::string label = rate_label(rate);
+    for (std::size_t r = 0; r < 5; ++r) {
+      churn_table.begin_row();
+      churn_table.cell(label);
+      churn_table.cell(rows[r].label);
+      churn_table.cell(completed[r].mean(), 3);
+      churn_table.cell(t100[r].mean(), 3);
+      churn_table.cell(aet_seconds[r].mean(), 1);
+      const std::string prefix = "churn.rate_" + label + "." + rows[r].key;
+      churn_report.metrics().gauge(prefix + ".completed_fraction").set(completed[r].mean());
+      churn_report.metrics().gauge(prefix + ".t100_fraction").set(t100[r].mean());
+      churn_report.metrics().gauge(prefix + ".aet_seconds").set(aet_seconds[r].mean());
+    }
+    churn_report.metrics()
+        .gauge("churn.rate_" + label + ".mean_departures")
+        .set(departures.mean());
+  }
+  churn_report.metrics().gauge("churn.upper_bound_t100_fraction").set(bound_acc.mean());
+  churn_table.render(std::cout);
+  std::cout << "\nexpected: reactive SLRH holds its completed fraction as "
+               "departures climb while the static Max-Max replay sheds the "
+               "departed machines' work; at >= 2 departures/machine the gap "
+               "is strict\n"
+            << "phase times -> " << churn_report.write_json() << "\n";
   return 0;
 }

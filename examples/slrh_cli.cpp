@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "core/baselines.hpp"
+#include "core/churn.hpp"
 #include "core/heuristics.hpp"
 #include "core/lagrangian.hpp"
 #include "core/upper_bound.hpp"
@@ -50,6 +51,13 @@ int main(int argc, char** argv) {
   args.add_double("arrival-spread", 0.0,
                   "spread subtask arrivals over this fraction of tau");
   args.add_double("outages", 0.0, "mean link outages per machine (60 s each)");
+  args.add_double("churn-rate", 0.0,
+                  "mean machine departures per machine (walk-out + battery "
+                  "death); slrh1-3 recover mid-run, other heuristics run "
+                  "churn-blind");
+  args.add_string("churn-recovery", "remap",
+                  "orphan recovery policy: remap|degrade (degrade pins "
+                  "invalidated subtasks to their secondary versions)");
   args.add_string("scenario-in", "", "load a scenario file instead of generating");
   args.add_string("scenario-out", "", "save the scenario to this file");
   args.add_flag("validate", "run the independent schedule validator");
@@ -98,6 +106,16 @@ int main(int argc, char** argv) {
       scenario->link_outages = workload::generate_link_outages(
           params, scenario->num_machines(), scenario->tau,
           suite_params.master_seed ^ 0x0F7);
+    }
+    if (const double churn_rate = args.get_double("churn-rate"); churn_rate > 0.0) {
+      workload::ChurnParams params;
+      params.departures_per_machine = churn_rate;
+      const auto trace = workload::generate_machine_churn(
+          params, scenario->num_machines(), scenario->tau,
+          suite_params.master_seed ^ 0xC4C);
+      scenario->machine_windows = trace.windows;
+      std::cout << "churn: " << trace.num_departures() << " departure(s) drawn at "
+                << churn_rate << "/machine\n";
     }
   }
 
@@ -159,16 +177,38 @@ int main(int argc, char** argv) {
               << name << "' emits no telemetry\n";
   }
 
+  const std::string recovery_name = args.get_string("churn-recovery");
+  core::ChurnRecovery recovery;
+  if (recovery_name == "remap") recovery = core::ChurnRecovery::Remap;
+  else if (recovery_name == "degrade") recovery = core::ChurnRecovery::Degrade;
+  else return fail("unknown recovery policy '" + recovery_name +
+                   "' (want remap or degrade)");
+  const bool churny = !scenario->machine_windows.empty();
+  const auto run_slrh_variant = [&](core::SlrhVariant variant) {
+    core::SlrhParams params;
+    params.variant = variant;
+    params.weights = weights;
+    params.dt = clock.dt;
+    params.horizon = clock.horizon;
+    params.aet_sign = aet_sign;
+    params.sink = sink;
+    if (!churny) return core::run_slrh(*scenario, params);
+    const auto outcome = core::run_slrh_with_churn(*scenario, params, recovery);
+    std::cout << "churn recovery (" << core::to_string(recovery) << "): "
+              << outcome.departures_processed << " departure(s), "
+              << outcome.orphaned << " orphan(s) returned, "
+              << outcome.invalidated << " other subtask(s) invalidated, "
+              << outcome.energy_forfeited << " energy units forfeited\n";
+    return outcome.result;
+  };
+
   core::MappingResult result;
   if (name == "slrh1") {
-    result = core::run_heuristic(core::HeuristicKind::Slrh1, *scenario, weights,
-                                 clock, aet_sign, sink);
+    result = run_slrh_variant(core::SlrhVariant::V1);
   } else if (name == "slrh2") {
-    result = core::run_heuristic(core::HeuristicKind::Slrh2, *scenario, weights,
-                                 clock, aet_sign, sink);
+    result = run_slrh_variant(core::SlrhVariant::V2);
   } else if (name == "slrh3") {
-    result = core::run_heuristic(core::HeuristicKind::Slrh3, *scenario, weights,
-                                 clock, aet_sign, sink);
+    result = run_slrh_variant(core::SlrhVariant::V3);
   } else if (name == "maxmax") {
     result = core::run_heuristic(core::HeuristicKind::MaxMax, *scenario, weights,
                                  clock, aet_sign, sink);

@@ -1,0 +1,79 @@
+#pragma once
+// Machine-churn fault injection with SLRH mid-run recovery (DESIGN.md §8).
+//
+// The paper's grid is *ad hoc*: machines wander out of wireless range and
+// die when batteries drain. This extension makes that happen mid-run. A
+// Scenario carries per-machine presence windows (workload::generate_machine_
+// churn draws them); run_slrh_with_churn drives the normal SLRH timestep
+// loop between departures and, at the first timestep on or after each
+// departure, performs the recovery the receding-horizon design makes cheap:
+//
+//   * the departed machine vanishes from the machine sweep (and with it from
+//     every candidate pool the frontier/scan builds);
+//   * its unfinished subtasks are ORPHANED — returned, unassigned, to the
+//     pool, along with every mapped descendant (the mapping stays
+//     ancestor-closed, so the independent validator still passes mid-run);
+//   * its completed subtasks SURVIVE iff every output edge was already
+//     satisfied — transmitted off-machine before the departure, consumed on
+//     the same machine by a surviving child, or carrying zero bits;
+//   * the remainder of its battery is forfeited (the machine walked away
+//     with its charge) and already-spent energy stays spent for kept work;
+//   * recovery then either re-maps orphans normally (Remap: primary versions
+//     still compete) or pins them to their secondary versions (Degrade:
+//     finish cheaply, spend the saved energy elsewhere).
+//
+// Static Max-Max, by contrast, never reacts: replay_static_under_churn
+// evaluates its fixed schedule against the same presence windows and counts
+// what actually completes — reproducing the paper's dynamic-vs-static
+// argument under volatility.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.hpp"
+#include "core/slrh.hpp"
+#include "workload/scenario.hpp"
+
+namespace ahg::core {
+
+/// What to do with subtasks whose work a departure destroyed.
+enum class ChurnRecovery : std::uint8_t {
+  Remap,    ///< re-map normally; primary versions still compete for slots
+  Degrade,  ///< pin invalidated subtasks to their secondary versions
+};
+
+const char* to_string(ChurnRecovery recovery) noexcept;
+
+struct ChurnRunOutcome {
+  MappingResult result;
+  std::size_t departures_processed = 0;  ///< departures inside the window
+  std::size_t orphaned = 0;     ///< unfinished subtasks returned to the pool
+  std::size_t invalidated = 0;  ///< other subtasks whose work was lost
+  double energy_forfeited = 0.0;  ///< battery stranded on departed machines
+};
+
+/// Run SLRH against the scenario's machine presence windows. With no windows
+/// set this is exactly run_slrh — bit-identical schedules (asserted by
+/// tests/test_churn.cpp). params.sink additionally receives departure /
+/// join / orphan events with per-term objective deltas across each recovery.
+/// params.secondary_only must be null (the driver owns the degrade mask).
+ChurnRunOutcome run_slrh_with_churn(const workload::Scenario& scenario,
+                                    const SlrhParams& params,
+                                    ChurnRecovery recovery = ChurnRecovery::Remap);
+
+/// What a fixed (churn-blind) schedule actually achieves under the
+/// scenario's presence windows. A subtask completes iff it was assigned, its
+/// machine was present for its whole execution, every parent completed, and
+/// every data-carrying input either stayed on-machine (parent completed
+/// there) or its transfer fell inside both endpoints' windows.
+struct StaticChurnReplay {
+  std::size_t completed = 0;       ///< subtasks that actually finish
+  std::size_t t100_completed = 0;  ///< completed at the primary version
+  Cycles aet = 0;                  ///< finish of the last completed subtask
+  double tec = 0.0;  ///< energy of completed work + its delivered transfers
+};
+
+StaticChurnReplay replay_static_under_churn(const workload::Scenario& scenario,
+                                            const sim::Schedule& schedule);
+
+}  // namespace ahg::core

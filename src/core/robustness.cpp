@@ -70,6 +70,7 @@ ReplayResult replay_with_actuals(const workload::Scenario& estimated,
 
   auto replay = make_schedule(actual);  // outages pre-booked
   std::vector<Cycles> machine_cursor(actual.num_machines(), 0);
+  std::vector<double> demand(actual.num_machines(), 0.0);
 
   for (const TaskId task : order) {
     const auto& original = schedule.assignment(task);
@@ -83,11 +84,21 @@ ReplayResult replay_with_actuals(const workload::Scenario& estimated,
 
     // Energy guard: the replan never reserves ahead; it charges as it goes
     // and stops the moment any battery would be overdrawn ("the machine
-    // died mid-application").
-    bool fits = replay->energy().available(machine) >= plan.exec_energy - 1e-9;
+    // died mid-application"). Demand is aggregated PER MACHINE before the
+    // decision: two transfers drawn from one source — or a transfer plus
+    // the execution on the same machine — must jointly fit its remaining
+    // battery, not merely each fit the same pre-charge availability.
+    demand.assign(demand.size(), 0.0);
+    demand[static_cast<std::size_t>(machine)] += plan.exec_energy;
     for (const auto& comm : plan.comms) {
-      if (replay->energy().available(comm.from_machine) < comm.energy - 1e-9) {
+      demand[static_cast<std::size_t>(comm.from_machine)] += comm.energy;
+    }
+    bool fits = true;
+    for (std::size_t j = 0; j < demand.size(); ++j) {
+      if (demand[j] > 0.0 &&
+          replay->energy().available(static_cast<MachineId>(j)) < demand[j] - 1e-9) {
         fits = false;
+        break;
       }
     }
     if (!fits) {

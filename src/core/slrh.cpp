@@ -88,6 +88,14 @@ class SubPhaseAccumulator {
   double seconds_ = 0.0;
 };
 
+/// True when the churn degrade policy has pinned this task to its secondary
+/// version. Null mask (the default everywhere outside churn recovery) makes
+/// this a constant false — no behaviour change.
+bool degraded_to_secondary(const SlrhParams& params, TaskId task) noexcept {
+  return params.secondary_only != nullptr &&
+         (*params.secondary_only)[static_cast<std::size_t>(task)] != 0;
+}
+
 /// Order the candidate pool by score descending (ties: smaller task id, for
 /// determinism). Scores are distinct per task, so the result is independent
 /// of the insertion order — scan- and frontier-built pools sort identically.
@@ -270,7 +278,8 @@ std::vector<SlrhPoolCandidate> build_slrh_pool_scan(
           score_candidate(scenario, schedule, params.weights, totals, task, machine,
                           VersionKind::Secondary, clock, params.aet_sign);
       SlrhPoolCandidate c{task, VersionKind::Secondary, secondary_score};
-      if (version_fits_energy(scenario, schedule, task, machine,
+      if (!degraded_to_secondary(params, task) &&
+          version_fits_energy(scenario, schedule, task, machine,
                               VersionKind::Primary)) {
         const double primary_score =
             score_candidate(scenario, schedule, params.weights, totals, task,
@@ -313,7 +322,8 @@ std::vector<SlrhPoolCandidate> build_slrh_pool_frontier(
           score_candidate(cache, scenario, schedule, params.weights, totals, task,
                           machine, VersionKind::Secondary, clock, params.aet_sign);
       SlrhPoolCandidate c{task, VersionKind::Secondary, secondary_score};
-      if (version_fits_energy(cache, schedule, task, machine,
+      if (!degraded_to_secondary(params, task) &&
+          version_fits_energy(cache, schedule, task, machine,
                               VersionKind::Primary)) {
         const double primary_score = score_candidate(
             cache, scenario, schedule, params.weights, totals, task, machine,
@@ -447,6 +457,10 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
     if (frontier.has_value()) frontier->advance_to(clock);
     for (MachineId machine = 0; machine < num_machines; ++machine) {
       if (schedule.complete()) break;
+      // Churn: a machine outside its presence window is invisible to the
+      // sweep. Only CURRENT presence is consulted — SLRH never anticipates a
+      // departure; it discovers one at the next timestep like any observer.
+      if (!scenario.machine_available(machine, clock)) continue;
       if (schedule.machine_ready(machine) > clock) continue;  // not available
       if (memo != nullptr) memo->begin_scope();
 

@@ -65,6 +65,13 @@ struct SlrhParams {
   /// decision (asserted by tests/test_determinism.cpp).
   bool legacy_scan = false;
 
+  /// Optional per-task degrade mask (not owned; indexed by TaskId). A task
+  /// whose entry is non-zero is only ever offered at its secondary version —
+  /// the churn driver's "degrade" recovery policy marks re-mapped orphans so
+  /// they finish cheaply instead of competing for primary slots. Null — the
+  /// default — changes nothing (bit-identical schedules).
+  const std::vector<std::uint8_t>* secondary_only = nullptr;
+
   void validate() const {
     weights.validate();
     AHG_EXPECTS_MSG(dt >= 1, "dT must be at least one cycle");

@@ -198,6 +198,31 @@ ValidationReport validate_schedule(const workload::Scenario& scenario,
     }
   }
 
+  // 5c: machine presence windows (churn) — computations and transfers must
+  // fall inside the presence window of every machine they touch.
+  if (!scenario.machine_windows.empty()) {
+    for (TaskId task = 0; task < num_tasks; ++task) {
+      if (!schedule.is_assigned(task)) continue;
+      const auto& a = schedule.assignment(task);
+      if (a.start < scenario.machine_join(a.machine) ||
+          a.finish > scenario.machine_depart(a.machine)) {
+        out.push_back(task_str(task) + " runs outside machine " +
+                      std::to_string(a.machine) + "'s presence window");
+      }
+    }
+    for (const auto& ev : schedule.comm_events()) {
+      for (const MachineId m : {ev.from_machine, ev.to_machine}) {
+        if (ev.start < scenario.machine_join(m) ||
+            ev.finish > scenario.machine_depart(m)) {
+          out.push_back("transfer " + std::to_string(ev.from_task) + "->" +
+                        std::to_string(ev.to_task) +
+                        " falls outside machine " + std::to_string(m) +
+                        "'s presence window");
+        }
+      }
+    }
+  }
+
   // 6: energy, recomputed from records.
   {
     std::vector<double> consumed(scenario.num_machines(), 0.0);

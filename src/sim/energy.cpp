@@ -12,7 +12,8 @@ constexpr double kEps = 1e-9;
 EnergyLedger::EnergyLedger(std::vector<double> capacities)
     : capacity_(std::move(capacities)),
       spent_(capacity_.size(), 0.0),
-      reserved_(capacity_.size(), 0.0) {
+      reserved_(capacity_.size(), 0.0),
+      forfeited_(capacity_.size(), 0.0) {
   AHG_EXPECTS_MSG(!capacity_.empty(), "ledger needs at least one machine");
   for (const double cap : capacity_) {
     AHG_EXPECTS_MSG(cap >= 0.0, "battery capacity must be non-negative");
@@ -42,7 +43,7 @@ double EnergyLedger::reserved(MachineId machine) const {
 double EnergyLedger::available(MachineId machine) const {
   check_machine(machine);
   const auto j = static_cast<std::size_t>(machine);
-  return capacity_[j] - spent_[j] - reserved_[j];
+  return capacity_[j] - spent_[j] - reserved_[j] - forfeited_[j];
 }
 
 double EnergyLedger::total_spent() const noexcept {
@@ -55,7 +56,7 @@ void EnergyLedger::charge(MachineId machine, double amount) {
   check_machine(machine);
   AHG_EXPECTS_MSG(amount >= 0.0, "charge must be non-negative");
   const auto j = static_cast<std::size_t>(machine);
-  AHG_ENSURES_MSG(spent_[j] + reserved_[j] + amount <= capacity_[j] + kEps,
+  AHG_ENSURES_MSG(spent_[j] + reserved_[j] + forfeited_[j] + amount <= capacity_[j] + kEps,
                   "battery overdraw — feasibility check missing before charge");
   spent_[j] += amount;
 }
@@ -65,7 +66,7 @@ void EnergyLedger::reserve(MachineId machine, ReservationKey key, double amount)
   AHG_EXPECTS_MSG(amount >= 0.0, "reservation must be non-negative");
   AHG_EXPECTS_MSG(!reservations_.contains(key), "duplicate reservation key");
   const auto j = static_cast<std::size_t>(machine);
-  AHG_ENSURES_MSG(spent_[j] + reserved_[j] + amount <= capacity_[j] + kEps,
+  AHG_ENSURES_MSG(spent_[j] + reserved_[j] + forfeited_[j] + amount <= capacity_[j] + kEps,
                   "battery overdraw — reservation exceeds remaining energy");
   reserved_[j] += amount;
   reservations_.emplace(key, Reservation{machine, amount});
@@ -98,6 +99,20 @@ double EnergyLedger::settle(ReservationKey key, double actual_amount) {
     charge(machine, actual_amount);
   }
   return actual_amount;
+}
+
+double EnergyLedger::forfeit(MachineId machine) {
+  check_machine(machine);
+  const auto j = static_cast<std::size_t>(machine);
+  double remainder = capacity_[j] - spent_[j] - reserved_[j] - forfeited_[j];
+  if (remainder < 0.0) remainder = 0.0;  // clamp fp residue
+  forfeited_[j] += remainder;
+  return remainder;
+}
+
+double EnergyLedger::forfeited(MachineId machine) const {
+  check_machine(machine);
+  return forfeited_[static_cast<std::size_t>(machine)];
 }
 
 }  // namespace ahg::sim

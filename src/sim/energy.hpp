@@ -53,6 +53,15 @@ class EnergyLedger {
   /// amount plus `slack` (default: exactly covered). Returns actual charged.
   double settle(ReservationKey key, double actual_amount);
 
+  /// Write off a departed machine's remaining battery: everything not yet
+  /// spent or reserved becomes permanently unusable (the machine walked away
+  /// with its charge). Subsequent charges/reservations against the machine
+  /// must fit inside what was already committed — i.e. nothing new fits.
+  /// Returns the amount forfeited. Idempotent.
+  double forfeit(MachineId machine);
+
+  double forfeited(MachineId machine) const;
+
  private:
   struct Reservation {
     MachineId machine;
@@ -61,6 +70,7 @@ class EnergyLedger {
   std::vector<double> capacity_;
   std::vector<double> spent_;
   std::vector<double> reserved_;
+  std::vector<double> forfeited_;
   std::unordered_map<ReservationKey, Reservation> reservations_;
   void check_machine(MachineId machine) const;
 };

@@ -89,6 +89,12 @@ void Schedule::block_channels(MachineId machine, Cycles start, Cycles duration) 
   rx_[static_cast<std::size_t>(machine)].insert(start, duration);
 }
 
+void Schedule::block_compute(MachineId machine, Cycles start, Cycles duration) {
+  check_machine(machine);
+  AHG_EXPECTS_MSG(duration > 0, "block duration must be positive");
+  compute_[static_cast<std::size_t>(machine)].insert(start, duration);
+}
+
 void Schedule::add_comm(TaskId from_task, TaskId to_task, MachineId from_machine,
                         MachineId to_machine, Cycles start, Cycles duration,
                         double bits, double energy) {

@@ -101,6 +101,12 @@ class Schedule {
   /// compute unit is unaffected.
   void block_channels(MachineId machine, Cycles start, Cycles duration);
 
+  /// Block a machine's compute unit over [start, start+duration): the
+  /// machine has departed the grid (churn). No assignment is recorded and no
+  /// energy is drawn; subtasks simply cannot be booked across the window.
+  /// Does not affect aet()/t100() — only future placements.
+  void block_compute(MachineId machine, Cycles start, Cycles duration);
+
   /// Named worst-case energy reservations (see EnergyLedger).
   EnergyLedger& ledger() noexcept { return ledger_; }
 

@@ -15,6 +15,9 @@ const char* to_string(EventKind kind) {
     case EventKind::Stall: return "stall";
     case EventKind::TunerPoint: return "tuner_point";
     case EventKind::TunerBest: return "tuner_best";
+    case EventKind::MachineDeparture: return "departure";
+    case EventKind::MachineJoin: return "join";
+    case EventKind::OrphanReturn: return "orphan";
   }
   return "?";
 }
@@ -104,6 +107,26 @@ void Event::write_json(JsonWriter& json) const {
     case EventKind::TunerBest:
       write_weights(json, *this);
       json.field("t100", t100).field("feasible", feasible);
+      break;
+
+    case EventKind::MachineDeparture:
+      json.field("clock", static_cast<std::int64_t>(clock))
+          .field("machine", static_cast<std::int64_t>(machine))
+          .field("orphaned", orphaned)
+          .field("invalidated", invalidated)
+          .field("energy_forfeited", energy_forfeited);
+      write_terms(json, terms);
+      break;
+
+    case EventKind::MachineJoin:
+      json.field("clock", static_cast<std::int64_t>(clock))
+          .field("machine", static_cast<std::int64_t>(machine));
+      break;
+
+    case EventKind::OrphanReturn:
+      json.field("clock", static_cast<std::int64_t>(clock))
+          .field("machine", static_cast<std::int64_t>(machine))
+          .field("task", static_cast<std::int64_t>(task));
       break;
   }
 

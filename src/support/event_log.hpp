@@ -38,6 +38,9 @@ enum class EventKind : std::uint8_t {
   Stall,       ///< pool non-empty but nothing could start within the horizon
   TunerPoint,  ///< one (alpha, beta) grid point evaluated
   TunerBest,   ///< tuner finished; the optimal point
+  MachineDeparture,  ///< a machine left the grid mid-run (churn)
+  MachineJoin,       ///< a late machine became available (churn)
+  OrphanReturn,      ///< an orphaned subtask was returned to the pool
 };
 
 /// Stable wire names ("run_begin", "map", ...) used as the JSONL "type" field.
@@ -86,6 +89,12 @@ struct Event {
   std::size_t rejected_assigned = 0;
   std::size_t rejected_parents = 0;
   std::size_t rejected_energy = 0;
+
+  // Churn payload (MachineDeparture / OrphanReturn). `terms` carries the
+  // objective delta across the departure when populated.
+  std::size_t orphaned = 0;     ///< unfinished subtasks returned to the pool
+  std::size_t invalidated = 0;  ///< completed subtasks whose outputs were lost
+  double energy_forfeited = 0.0;
 
   // Run / tuner payload (RunBegin, RunEnd, TunerPoint, TunerBest).
   double alpha = 0.0;

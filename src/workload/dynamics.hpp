@@ -37,4 +37,54 @@ std::vector<Scenario::LinkOutage> generate_link_outages(const OutageParams& para
                                                         Cycles tau,
                                                         std::uint64_t seed);
 
+/// Why a machine leaves the grid mid-run.
+enum class DepartureCause : std::uint8_t {
+  None = 0,      ///< machine stays for the whole window
+  WalkOut,       ///< owner wanders out of wireless range (Poisson process)
+  BatteryDeath,  ///< battery drains below usable charge (Gamma lifetime)
+};
+
+const char* to_string(DepartureCause cause) noexcept;
+
+struct ChurnParams {
+  /// Rate of the walk-out Poisson process, expressed as the expected number
+  /// of walk-outs per machine over the whole [0, tau] window; the first
+  /// event past tau means the machine stays. 0 disables walk-outs.
+  double departures_per_machine = 1.0;
+  /// Fraction of machines whose battery independently dies mid-run.
+  double battery_death_fraction = 0.25;
+  /// Battery lifetimes are Gamma(mean = this fraction of tau, cv below).
+  double battery_death_mean_fraction = 0.6;
+  double battery_death_cv = 0.4;
+  /// Fraction of machines that arrive late instead of at time 0; a late
+  /// join is uniform in [1, max_join_fraction * tau].
+  double late_join_fraction = 0.0;
+  double max_join_fraction = 0.25;
+  /// Keep machine 0 present for the whole run so a completing schedule
+  /// always exists (someone must be left to finish the work).
+  bool pin_first_machine = true;
+};
+
+/// One generated churn trace: a presence window plus the departure cause for
+/// every machine. `windows` plugs directly into Scenario::machine_windows.
+struct ChurnTrace {
+  std::vector<Scenario::MachineWindow> windows;
+  std::vector<DepartureCause> causes;
+
+  std::size_t num_departures() const noexcept {
+    std::size_t n = 0;
+    for (const auto& w : windows) {
+      if (w.depart != Scenario::kNoDeparture) ++n;
+    }
+    return n;
+  }
+};
+
+/// Draw a presence window per machine: join (possibly late), then departure
+/// as the earlier of a Poisson walk-out and an optional Gamma battery death,
+/// both measured from the join. Departures at or past tau are dropped (the
+/// machine outlives the deadline window). Deterministic in `seed`.
+ChurnTrace generate_machine_churn(const ChurnParams& params, std::size_t num_machines,
+                                  Cycles tau, std::uint64_t seed);
+
 }  // namespace ahg::workload

@@ -40,6 +40,13 @@ void Scenario::validate() const {
     AHG_EXPECTS_MSG(outage.start >= 0 && outage.duration > 0,
                     "outage interval must be positive");
   }
+  AHG_EXPECTS_MSG(machine_windows.empty() || machine_windows.size() == grid.num_machines(),
+                  "machine windows must be empty or one per machine");
+  for (const auto& window : machine_windows) {
+    AHG_EXPECTS_MSG(window.join >= 0, "machine join time must be non-negative");
+    AHG_EXPECTS_MSG(window.depart > window.join,
+                    "machine departure must come after its join");
+  }
 }
 
 ScenarioSuite::ScenarioSuite(SuiteParams params) : params_(std::move(params)) {

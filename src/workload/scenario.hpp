@@ -8,6 +8,7 @@
 // column, exactly as the paper "eliminates" a machine).
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/grid.hpp"
@@ -48,6 +49,42 @@ struct Scenario {
     Cycles duration = 0;
   };
   std::vector<LinkOutage> link_outages = {};
+
+  /// Sentinel for "the machine never departs".
+  static constexpr Cycles kNoDeparture = std::numeric_limits<Cycles>::max();
+
+  /// Optional per-machine presence window — the introduction's machines that
+  /// "wander in and out of range" or die when batteries drain. A machine is
+  /// part of the grid over [join, depart); outside the window it can neither
+  /// compute nor communicate. Empty = every machine present for the whole
+  /// run (the paper's study). Dynamic heuristics observe only the CURRENT
+  /// presence (a departure is discovered at the next timestep, never
+  /// anticipated); static heuristics ignore windows entirely and their
+  /// schedules are judged by replaying against them (core/churn.hpp).
+  struct MachineWindow {
+    Cycles join = 0;               ///< present from here (0 = from the start)
+    Cycles depart = kNoDeparture;  ///< exclusive; kNoDeparture = stays forever
+  };
+  std::vector<MachineWindow> machine_windows = {};
+
+  /// Presence of a machine at an instant (always true when windows are unset).
+  bool machine_available(MachineId machine, Cycles time) const {
+    if (machine_windows.empty()) return true;
+    const auto& w = machine_windows[static_cast<std::size_t>(machine)];
+    return w.join <= time && time < w.depart;
+  }
+
+  Cycles machine_join(MachineId machine) const {
+    return machine_windows.empty()
+               ? 0
+               : machine_windows[static_cast<std::size_t>(machine)].join;
+  }
+
+  Cycles machine_depart(MachineId machine) const {
+    return machine_windows.empty()
+               ? kNoDeparture
+               : machine_windows[static_cast<std::size_t>(machine)].depart;
+  }
 
   std::size_t num_tasks() const noexcept { return dag.num_nodes(); }
   std::size_t num_machines() const noexcept { return grid.num_machines(); }

@@ -1,0 +1,325 @@
+// Machine-churn fault injection (workload::generate_machine_churn +
+// core::run_slrh_with_churn): trace-generation determinism, the churn=off
+// bit-identity contract, orphan/recovery behaviour under a forced departure,
+// and the dynamic-vs-static completion gap that motivates SLRH.
+
+#include "core/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/validate.hpp"
+#include "support/event_log.hpp"
+#include "tests/scenario_fixtures.hpp"
+#include "workload/dynamics.hpp"
+
+namespace ahg {
+namespace {
+
+constexpr Cycles kNoDeparture = workload::Scenario::kNoDeparture;
+
+core::SlrhParams slrh_params(core::SlrhVariant variant = core::SlrhVariant::V1) {
+  core::SlrhParams params;
+  params.variant = variant;
+  params.weights = core::Weights::make(0.6, 0.3);
+  return params;
+}
+
+workload::ChurnParams churn_params(double rate) {
+  workload::ChurnParams params;
+  params.departures_per_machine = rate;
+  return params;
+}
+
+/// A generated suite scenario with churn windows drawn at the given rate.
+workload::Scenario churny_scenario(double rate, std::uint64_t churn_seed,
+                                   std::size_t num_tasks = 48) {
+  auto scenario = test::small_suite_scenario(sim::GridCase::A, num_tasks);
+  const auto trace = workload::generate_machine_churn(
+      churn_params(rate), scenario.num_machines(), scenario.tau, churn_seed);
+  scenario.machine_windows = trace.windows;
+  return scenario;
+}
+
+void expect_identical_schedules(const core::MappingResult& a,
+                                const core::MappingResult& b,
+                                std::size_t num_tasks, const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.complete, b.complete);
+  EXPECT_EQ(a.assigned, b.assigned);
+  EXPECT_EQ(a.t100, b.t100);
+  EXPECT_EQ(a.aet, b.aet);
+  EXPECT_EQ(a.tec, b.tec);  // exact: bit-identical doubles
+  ASSERT_NE(a.schedule, nullptr);
+  ASSERT_NE(b.schedule, nullptr);
+  for (TaskId t = 0; t < static_cast<TaskId>(num_tasks); ++t) {
+    ASSERT_EQ(a.schedule->is_assigned(t), b.schedule->is_assigned(t)) << "task " << t;
+    if (!a.schedule->is_assigned(t)) continue;
+    const auto& x = a.schedule->assignment(t);
+    const auto& y = b.schedule->assignment(t);
+    EXPECT_EQ(x.machine, y.machine) << "task " << t;
+    EXPECT_EQ(x.version, y.version) << "task " << t;
+    EXPECT_EQ(x.start, y.start) << "task " << t;
+    EXPECT_EQ(x.finish, y.finish) << "task " << t;
+    EXPECT_EQ(x.energy, y.energy) << "task " << t;  // exact
+  }
+}
+
+// --- trace generation -------------------------------------------------------
+
+TEST(ChurnGen, DeterministicInSeed) {
+  const Cycles tau = 1'000'000;
+  const auto a = workload::generate_machine_churn(churn_params(2.0), 6, tau, 7);
+  const auto b = workload::generate_machine_churn(churn_params(2.0), 6, tau, 7);
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t j = 0; j < a.windows.size(); ++j) {
+    EXPECT_EQ(a.windows[j].join, b.windows[j].join) << "machine " << j;
+    EXPECT_EQ(a.windows[j].depart, b.windows[j].depart) << "machine " << j;
+    EXPECT_EQ(a.causes[j], b.causes[j]) << "machine " << j;
+  }
+  const auto c = workload::generate_machine_churn(churn_params(2.0), 6, tau, 8);
+  bool any_different = false;
+  for (std::size_t j = 0; j < a.windows.size(); ++j) {
+    if (a.windows[j].depart != c.windows[j].depart) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(ChurnGen, PinsFirstMachineAndRespectsBounds) {
+  const Cycles tau = 1'000'000;
+  auto params = churn_params(4.0);
+  params.late_join_fraction = 0.5;
+  const auto trace = workload::generate_machine_churn(params, 8, tau, 3);
+  ASSERT_EQ(trace.windows.size(), 8u);
+  EXPECT_EQ(trace.windows[0].join, 0);
+  EXPECT_EQ(trace.windows[0].depart, kNoDeparture);
+  EXPECT_EQ(trace.causes[0], workload::DepartureCause::None);
+  for (std::size_t j = 0; j < trace.windows.size(); ++j) {
+    const auto& w = trace.windows[j];
+    EXPECT_GE(w.join, 0) << "machine " << j;
+    EXPECT_LE(w.join, static_cast<Cycles>(params.max_join_fraction * tau))
+        << "machine " << j;
+    EXPECT_GT(w.depart, w.join) << "machine " << j;
+    if (w.depart != kNoDeparture) {
+      EXPECT_LT(w.depart, tau) << "machine " << j;
+      EXPECT_NE(trace.causes[j], workload::DepartureCause::None) << "machine " << j;
+    } else {
+      EXPECT_EQ(trace.causes[j], workload::DepartureCause::None) << "machine " << j;
+    }
+  }
+  EXPECT_GE(trace.num_departures(), 1u);  // rate 4/machine over 8 machines
+}
+
+TEST(ChurnGen, ZeroRatesProduceNoEvents) {
+  auto params = churn_params(0.0);
+  params.battery_death_fraction = 0.0;
+  const auto trace = workload::generate_machine_churn(params, 4, 1'000'000, 1);
+  EXPECT_EQ(trace.num_departures(), 0u);
+  for (const auto& w : trace.windows) {
+    EXPECT_EQ(w.join, 0);
+    EXPECT_EQ(w.depart, kNoDeparture);
+  }
+}
+
+TEST(ChurnGen, WindowsValidateOnScenario) {
+  auto scenario = test::small_suite_scenario(sim::GridCase::A, 16);
+  const auto trace = workload::generate_machine_churn(
+      churn_params(2.0), scenario.num_machines(), scenario.tau, 5);
+  scenario.machine_windows = trace.windows;
+  EXPECT_NO_THROW(scenario.validate());
+  scenario.machine_windows.pop_back();  // wrong count
+  EXPECT_THROW(scenario.validate(), PreconditionError);
+}
+
+// --- churn=off bit-identity -------------------------------------------------
+
+TEST(ChurnOff, BitIdenticalToPlainSlrh) {
+  const auto scenario = test::small_suite_scenario(sim::GridCase::A, 48);
+  auto trivial = scenario;
+  trivial.machine_windows.assign(scenario.num_machines(),
+                                 workload::Scenario::MachineWindow{});
+  for (const auto variant :
+       {core::SlrhVariant::V1, core::SlrhVariant::V2, core::SlrhVariant::V3}) {
+    const auto params = slrh_params(variant);
+    const auto plain = core::run_slrh(scenario, params);
+
+    // No windows at all: the churn driver is a plain run.
+    const auto off = core::run_slrh_with_churn(scenario, params);
+    EXPECT_EQ(off.departures_processed, 0u);
+    expect_identical_schedules(plain, off.result, scenario.num_tasks(),
+                               core::to_string(variant).c_str());
+
+    // Trivial windows (everyone present forever): the availability check is
+    // exercised on every sweep but changes nothing.
+    const auto trivial_run = core::run_slrh_with_churn(trivial, params);
+    EXPECT_EQ(trivial_run.departures_processed, 0u);
+    expect_identical_schedules(plain, trivial_run.result, scenario.num_tasks(),
+                               core::to_string(variant).c_str());
+  }
+}
+
+// --- departures and recovery ------------------------------------------------
+
+/// Force exactly one departure: the machine hosting the last-finishing
+/// subtask of the churn-free run departs one cycle before that finish, so at
+/// least that subtask is orphaned mid-run.
+struct ForcedDeparture {
+  workload::Scenario scenario;
+  MachineId machine = kInvalidMachine;
+  Cycles depart = 0;
+};
+
+ForcedDeparture forced_departure_scenario(core::SlrhVariant variant) {
+  ForcedDeparture forced{test::small_suite_scenario(sim::GridCase::A, 48)};
+  const auto plain = core::run_slrh(forced.scenario, slrh_params(variant));
+  // Depart one cycle before the last finish on the busiest non-pinned
+  // machine (machine 0 stays, so a completing mapping always exists).
+  Cycles last_finish = 0;
+  for (TaskId t = 0; t < static_cast<TaskId>(forced.scenario.num_tasks()); ++t) {
+    if (!plain.schedule->is_assigned(t)) continue;
+    const auto& a = plain.schedule->assignment(t);
+    if (a.machine != 0 && a.finish > last_finish) {
+      last_finish = a.finish;
+      forced.machine = a.machine;
+    }
+  }
+  EXPECT_NE(forced.machine, kInvalidMachine);
+  forced.depart = last_finish - 1;
+  forced.scenario.machine_windows.assign(forced.scenario.num_machines(),
+                                         workload::Scenario::MachineWindow{});
+  forced.scenario.machine_windows[static_cast<std::size_t>(forced.machine)].depart =
+      forced.depart;
+  return forced;
+}
+
+TEST(Churn, SingleDepartureOrphansAndRecovers) {
+  const auto forced = forced_departure_scenario(core::SlrhVariant::V1);
+  obs::CollectSink sink;
+  auto params = slrh_params(core::SlrhVariant::V1);
+  params.sink = &sink;
+  const auto outcome = core::run_slrh_with_churn(forced.scenario, params);
+
+  EXPECT_EQ(outcome.departures_processed, 1u);
+  EXPECT_GE(outcome.orphaned, 1u);
+  EXPECT_EQ(sink.count(obs::EventKind::MachineDeparture), 1u);
+  EXPECT_EQ(sink.count(obs::EventKind::OrphanReturn), outcome.orphaned);
+
+  // The final schedule respects the presence window and every invariant the
+  // independent validator knows about.
+  core::ValidateOptions options;
+  options.require_complete = outcome.result.complete;
+  options.require_within_tau = false;
+  const auto report =
+      core::validate_schedule(forced.scenario, *outcome.result.schedule, options);
+  EXPECT_TRUE(report.ok()) << report.str();
+  for (TaskId t = 0; t < static_cast<TaskId>(forced.scenario.num_tasks()); ++t) {
+    if (!outcome.result.schedule->is_assigned(t)) continue;
+    const auto& a = outcome.result.schedule->assignment(t);
+    if (a.machine == forced.machine) {
+      EXPECT_LE(a.finish, forced.depart) << "task " << t;
+    }
+  }
+  // The stranded battery was written off.
+  EXPECT_GT(outcome.energy_forfeited, 0.0);
+  EXPECT_DOUBLE_EQ(
+      outcome.result.schedule->energy().available(forced.machine), 0.0);
+}
+
+TEST(Churn, DeterministicAcrossRuns) {
+  const auto scenario = churny_scenario(2.0, 21);
+  const auto params = slrh_params(core::SlrhVariant::V1);
+  const auto a = core::run_slrh_with_churn(scenario, params);
+  const auto b = core::run_slrh_with_churn(scenario, params);
+  EXPECT_EQ(a.departures_processed, b.departures_processed);
+  EXPECT_EQ(a.orphaned, b.orphaned);
+  EXPECT_EQ(a.invalidated, b.invalidated);
+  EXPECT_EQ(a.energy_forfeited, b.energy_forfeited);  // exact
+  expect_identical_schedules(a.result, b.result, scenario.num_tasks(), "rerun");
+}
+
+TEST(Churn, DegradePinsOrphansToSecondary) {
+  const auto forced = forced_departure_scenario(core::SlrhVariant::V1);
+  obs::CollectSink sink;
+  auto params = slrh_params(core::SlrhVariant::V1);
+  params.sink = &sink;
+  const auto outcome = core::run_slrh_with_churn(forced.scenario, params,
+                                                 core::ChurnRecovery::Degrade);
+  ASSERT_EQ(outcome.departures_processed, 1u);
+  std::size_t remapped = 0;
+  for (const auto& event : sink.events()) {
+    if (event.kind != obs::EventKind::OrphanReturn) continue;
+    if (!outcome.result.schedule->is_assigned(event.task)) continue;
+    ++remapped;
+    EXPECT_EQ(outcome.result.schedule->assignment(event.task).version,
+              VersionKind::Secondary)
+        << "orphan " << event.task << " re-mapped at primary under Degrade";
+  }
+  EXPECT_GE(remapped, 1u);
+}
+
+TEST(Churn, RejectsCallerOwnedDegradeMask) {
+  const auto scenario = test::small_suite_scenario(sim::GridCase::A, 16);
+  std::vector<std::uint8_t> mask(scenario.num_tasks(), 0);
+  auto params = slrh_params();
+  params.secondary_only = &mask;
+  EXPECT_THROW(core::run_slrh_with_churn(scenario, params), PreconditionError);
+}
+
+// --- static replay ----------------------------------------------------------
+
+TEST(StaticReplay, NoWindowsKeepsEverything) {
+  const auto scenario = test::small_suite_scenario(sim::GridCase::A, 48);
+  const auto mapping = core::run_heuristic(core::HeuristicKind::MaxMax, scenario,
+                                           core::Weights::make(0.6, 0.3));
+  ASSERT_TRUE(mapping.complete);
+  const auto replay = core::replay_static_under_churn(scenario, *mapping.schedule);
+  EXPECT_EQ(replay.completed, scenario.num_tasks());
+  EXPECT_EQ(replay.t100_completed, mapping.t100);
+  EXPECT_EQ(replay.aet, mapping.aet);
+}
+
+TEST(StaticReplay, DepartureDropsUnfinishedWork) {
+  const auto scenario = test::small_suite_scenario(sim::GridCase::A, 48);
+  const auto mapping = core::run_heuristic(core::HeuristicKind::MaxMax, scenario,
+                                           core::Weights::make(0.6, 0.3));
+  ASSERT_TRUE(mapping.complete);
+  // The machine with the last finish departs halfway through its work.
+  MachineId machine = kInvalidMachine;
+  Cycles last_finish = 0;
+  for (TaskId t = 0; t < static_cast<TaskId>(scenario.num_tasks()); ++t) {
+    const auto& a = mapping.schedule->assignment(t);
+    if (a.finish > last_finish) {
+      last_finish = a.finish;
+      machine = a.machine;
+    }
+  }
+  auto churny = scenario;
+  churny.machine_windows.assign(scenario.num_machines(),
+                                workload::Scenario::MachineWindow{});
+  churny.machine_windows[static_cast<std::size_t>(machine)].depart = last_finish - 1;
+  const auto replay = core::replay_static_under_churn(churny, *mapping.schedule);
+  EXPECT_LT(replay.completed, scenario.num_tasks());
+  EXPECT_LE(replay.t100_completed, mapping.t100);
+}
+
+TEST(Churn, SlrhCompletesMoreThanStaticMaxMax) {
+  // The acceptance-criteria shape: at >= 2 departures per machine, reactive
+  // SLRH strictly beats the replayed static Max-Max on completed subtasks.
+  const auto scenario = churny_scenario(2.0, 21);
+  const auto maxmax = core::run_heuristic(core::HeuristicKind::MaxMax, scenario,
+                                          core::Weights::make(0.6, 0.3));
+  ASSERT_TRUE(maxmax.complete);
+  const auto static_replay =
+      core::replay_static_under_churn(scenario, *maxmax.schedule);
+  const auto slrh =
+      core::run_slrh_with_churn(scenario, slrh_params(core::SlrhVariant::V1));
+  ASSERT_GE(slrh.departures_processed, 1u);
+  EXPECT_LT(static_replay.completed, scenario.num_tasks());
+  EXPECT_GT(slrh.result.assigned, static_replay.completed);
+}
+
+}  // namespace
+}  // namespace ahg

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "core/churn.hpp"
 #include "core/heuristics.hpp"
 #include "core/scenario_cache.hpp"
 #include "core/tuner.hpp"
@@ -77,6 +78,33 @@ TEST(Determinism, SlrhCachedMatchesLegacyScan) {
       expect_identical(legacy, local, scenario, to_string(variant).c_str());
       expect_identical(legacy, cached, scenario, to_string(variant).c_str());
       params.cache = nullptr;
+    }
+  }
+}
+
+TEST(Determinism, ChurnOffDriverMatchesPlainSlrh) {
+  // churn=off contract: routing a run through run_slrh_with_churn — with no
+  // presence windows, and with trivial all-present windows that exercise the
+  // availability check on every sweep — is bit-identical to run_slrh.
+  for (const auto& scenario : paper_shape_fixtures()) {
+    auto trivial = scenario;
+    trivial.machine_windows.assign(scenario.num_machines(),
+                                   workload::Scenario::MachineWindow{});
+    for (const auto variant :
+         {core::SlrhVariant::V1, core::SlrhVariant::V2, core::SlrhVariant::V3}) {
+      core::SlrhParams params;
+      params.variant = variant;
+      params.weights = core::Weights::make(0.6, 0.3);
+
+      const auto plain = core::run_slrh(scenario, params);
+      const auto off = core::run_slrh_with_churn(scenario, params);
+      const auto all_present = core::run_slrh_with_churn(trivial, params);
+
+      EXPECT_EQ(off.departures_processed, 0u);
+      EXPECT_EQ(all_present.departures_processed, 0u);
+      expect_identical(plain, off.result, scenario, to_string(variant).c_str());
+      expect_identical(plain, all_present.result, scenario,
+                       to_string(variant).c_str());
     }
   }
 }

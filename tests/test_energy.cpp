@@ -128,6 +128,36 @@ TEST(EnergyLedger, MachineBoundsChecked) {
   EXPECT_THROW(ledger.capacity(-1), PreconditionError);
 }
 
+TEST(EnergyLedger, ForfeitWritesOffRemainder) {
+  EnergyLedger ledger = make_ledger();
+  ledger.charge(0, 30.0);
+  ledger.reserve(0, edge_key(1, 2), 20.0);
+  EXPECT_DOUBLE_EQ(ledger.forfeit(0), 50.0);
+  EXPECT_DOUBLE_EQ(ledger.forfeited(0), 50.0);
+  EXPECT_DOUBLE_EQ(ledger.available(0), 0.0);
+  // Spent energy stays spent; the reservation still settles for kept work.
+  EXPECT_DOUBLE_EQ(ledger.spent(0), 30.0);
+  EXPECT_NO_THROW(ledger.settle(edge_key(1, 2), 20.0));
+  EXPECT_DOUBLE_EQ(ledger.spent(0), 50.0);
+}
+
+TEST(EnergyLedger, ForfeitBlocksNewCommitments) {
+  EnergyLedger ledger = make_ledger();
+  ledger.forfeit(1);
+  EXPECT_THROW(ledger.charge(1, 0.01), InvariantError);
+  EXPECT_THROW(ledger.reserve(1, edge_key(0, 1), 0.01), InvariantError);
+  // The other machine is untouched.
+  EXPECT_DOUBLE_EQ(ledger.available(0), 100.0);
+  EXPECT_NO_THROW(ledger.charge(0, 10.0));
+}
+
+TEST(EnergyLedger, ForfeitIsIdempotent) {
+  EnergyLedger ledger = make_ledger();
+  EXPECT_DOUBLE_EQ(ledger.forfeit(0), 100.0);
+  EXPECT_DOUBLE_EQ(ledger.forfeit(0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.forfeited(0), 100.0);
+}
+
 TEST(EdgeKey, IsInjectiveOverSmallIds) {
   EXPECT_NE(edge_key(1, 2), edge_key(2, 1));
   EXPECT_NE(edge_key(0, 1), edge_key(1, 0));

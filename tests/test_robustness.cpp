@@ -124,6 +124,41 @@ TEST(Replay, RequiresCompleteMapping) {
   EXPECT_THROW(replay_with_actuals(s, s, incomplete), PreconditionError);
 }
 
+TEST(Replay, JointCommDemandOnOneSourceIsAggregated) {
+  // Regression: two parents co-located on a nearly-drained machine must pay
+  // for BOTH output transfers from the same battery. The guard used to check
+  // each transfer independently against the same pre-charge availability —
+  // both "fit", then the second add_comm overdrew the ledger and threw.
+  //
+  // Slow machine: B = 58, E = 0.001 u/s, C = 0.002 u/s, BW = 4e6 bps.
+  // Each 4e7-bit edge: 10 s transfer, 0.02 units from the sender. Actual
+  // executions of 28985 s x 2 parents spend 57.97, leaving 0.03 on m0 —
+  // enough for either transfer alone, not for both (0.04).
+  const auto grid = sim::GridConfig::make(0, 2);
+  const std::vector<test::EdgeSpec> edges = {{0, 2, 4.0e7}, {1, 2, 4.0e7}};
+  const std::vector<std::vector<double>> estimated_etc = {
+      {1000.0, 9999.0}, {1000.0, 9999.0}, {9999.0, 100.0}};
+  auto actual_etc = estimated_etc;
+  actual_etc[0][0] = 28985.0;
+  actual_etc[1][0] = 28985.0;
+  const Cycles tau = 10'000'000;
+  const auto estimated = test::make_scenario(grid, 3, edges, estimated_etc, tau);
+  const auto actual = test::make_scenario(grid, 3, edges, actual_etc, tau);
+
+  sim::Schedule planned(estimated.grid, 3);
+  planned.add_assignment(0, 0, VersionKind::Primary, 0, 10000, 1.0);
+  planned.add_assignment(1, 0, VersionKind::Primary, 10000, 10000, 1.0);
+  planned.add_comm(0, 2, 0, 1, 20000, 100, 4.0e7, 0.02);
+  planned.add_comm(1, 2, 0, 1, 20100, 100, 4.0e7, 0.02);
+  planned.add_assignment(2, 1, VersionKind::Primary, 20200, 1000, 0.1);
+  ASSERT_TRUE(planned.complete());
+
+  ReplayResult replayed;
+  ASSERT_NO_THROW(replayed = replay_with_actuals(estimated, actual, planned));
+  EXPECT_FALSE(replayed.executed);
+  EXPECT_EQ(replayed.completed, 2u);  // both parents ran; the child could not
+}
+
 TEST(Replay, EnergyDeathIsReportedNotThrown) {
   // Massive systematic overrun: fast machines' batteries cannot pay for the
   // stretched executions; the replay must stop gracefully.
