@@ -1,23 +1,143 @@
 #pragma once
 // Shared plumbing for the table/figure reproduction benches: scale
-// resolution (REPRO_SCALE env), suite construction, header printing, and the
+// resolution (REPRO_SCALE env), suite construction, common command-line
+// flags (--version, --jobs, --cache...), header printing, and the
 // BenchReport timing helper every bench routes its wall-clock measurements
 // through.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <utility>
+#include <variant>
+#include <vector>
 
 #include "support/env.hpp"
 #include "support/jsonl.hpp"
 #include "support/metrics.hpp"
 #include "support/profile.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+#include "support/version.hpp"
 #include "workload/scenario.hpp"
 
 namespace ahg::bench {
+
+/// Flags every bench binary accepts (on top of bench-specific env knobs).
+/// Resolved once by handle_bench_flags(); run_matrix and BenchReport read
+/// the singleton.
+struct BenchFlags {
+  std::size_t jobs = 0;  ///< --jobs override; 0 = AHG_JOBS env, then hardware
+  /// Cell-cache tri-state: unset = AHG_BENCH_CACHE env (default on),
+  /// --cache forces on, --no-cache forces off.
+  std::optional<bool> cache;
+  std::string cache_dir;  ///< --cache-dir; empty = AHG_BENCH_CACHE_DIR, then .bench_cache
+};
+
+inline BenchFlags& bench_flags() {
+  static BenchFlags flags;
+  return flags;
+}
+
+inline bool cache_enabled_by_flags() {
+  const BenchFlags& flags = bench_flags();
+  if (flags.cache.has_value()) return *flags.cache;
+  return env_int("AHG_BENCH_CACHE", 1) != 0;
+}
+
+inline std::string cache_dir_by_flags() {
+  const BenchFlags& flags = bench_flags();
+  if (!flags.cache_dir.empty()) return flags.cache_dir;
+  if (const char* dir = std::getenv("AHG_BENCH_CACHE_DIR"); dir != nullptr && *dir) {
+    return dir;
+  }
+  return ".bench_cache";
+}
+
+/// Parse the common bench flags, consuming them from argv (so leftovers can
+/// be handed to Google Benchmark by the micro benches). Applies --jobs /
+/// AHG_JOBS to the global pool immediately. Returns an exit code when the
+/// process should stop (--version, --help, or — unless `lenient` — an
+/// unrecognized argument), nullopt to continue.
+inline std::optional<int> handle_bench_flags(int& argc, char** argv,
+                                             bool lenient = false) {
+  BenchFlags& flags = bench_flags();
+  int out = 1;  // argv[0] stays
+  std::optional<int> exit_code;
+  const auto int_value = [&](int& i, const std::string& name) -> std::optional<long> {
+    if (i + 1 >= argc) {
+      std::cerr << argv[0] << ": " << name << " needs a value\n";
+      return std::nullopt;
+    }
+    return std::strtol(argv[++i], nullptr, 10);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--version") {
+      std::cout << build_description() << "\n";
+      return 0;
+    }
+    if (arg == "--help" && !lenient) {
+      std::cout << "usage: " << argv[0]
+                << " [--version] [--jobs N] [--cache|--no-cache] [--cache-dir D]\n"
+                   "env: REPRO_SCALE=smoke|default|paper, REPRO_SEED, AHG_JOBS,\n"
+                   "     AHG_BENCH_CACHE=0|1, AHG_BENCH_CACHE_DIR\n";
+      return 0;
+    }
+    if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+      std::optional<long> value;
+      if (arg == "--jobs") {
+        value = int_value(i, "--jobs");
+        if (!value) return 2;
+      } else {
+        value = std::strtol(arg.c_str() + 7, nullptr, 10);
+      }
+      if (*value < 0) {
+        std::cerr << argv[0] << ": --jobs must be >= 0\n";
+        return 2;
+      }
+      flags.jobs = static_cast<std::size_t>(*value);
+      continue;
+    }
+    if (arg == "--cache") {
+      flags.cache = true;
+      continue;
+    }
+    if (arg == "--no-cache") {
+      flags.cache = false;
+      continue;
+    }
+    if (arg == "--cache-dir" || arg.rfind("--cache-dir=", 0) == 0) {
+      if (arg == "--cache-dir") {
+        if (i + 1 >= argc) {
+          std::cerr << argv[0] << ": --cache-dir needs a value\n";
+          return 2;
+        }
+        flags.cache_dir = argv[++i];
+      } else {
+        flags.cache_dir = arg.substr(12);
+      }
+      continue;
+    }
+    if (!lenient) {
+      std::cerr << argv[0] << ": unknown argument '" << arg
+                << "' (try --help)\n";
+      return 2;
+    }
+    argv[out++] = argv[i];  // keep for the downstream parser
+  }
+  if (lenient) argc = out;
+  if (flags.jobs == 0) {
+    flags.jobs = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, env_int("AHG_JOBS", 0)));
+  }
+  if (flags.jobs != 0) configure_global_pool(flags.jobs);
+  return exit_code;
+}
 
 struct BenchContext {
   ReproScale scale;
@@ -36,6 +156,7 @@ inline BenchContext make_context(const std::string& bench_name) {
   ctx.suite_params.master_seed = ctx.params.master_seed;
 
   std::cout << "=== " << bench_name << " ===\n"
+            << build_description() << ", jobs=" << global_pool_jobs() << "\n"
             << "scale: " << to_string(ctx.scale) << " (REPRO_SCALE"
             << "=smoke|default|paper to change)\n"
             << "|T|=" << ctx.suite_params.num_tasks << ", "
@@ -49,12 +170,20 @@ inline BenchContext make_context(const std::string& bench_name) {
 /// runner's per-case phase metrics), so a single write_json() call dumps the
 /// bench's complete, stably-named phase-time breakdown as BENCH_<name>.json
 /// — counters plus "bench.<section>_seconds" / "slrh.*_seconds" /
-/// "maxmax.*_seconds" / "tuner.*_seconds" histograms.
+/// "maxmax.*_seconds" / "tuner.*_seconds" histograms, prefixed by a `meta`
+/// block (BENCH schema version, build identity, jobs, and any bench-set
+/// entries such as cache hit/miss counts).
 class BenchReport {
  public:
   explicit BenchReport(std::string name) : name_(std::move(name)) {}
 
   obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Attach a meta entry (string or integer) to the JSON dump.
+  void meta(const std::string& key, std::string value) {
+    meta_[key] = std::move(value);
+  }
+  void meta(const std::string& key, std::int64_t value) { meta_[key] = value; }
 
   /// Run `fn` and record its wall time into the histogram
   /// "bench.<section>_seconds". Returns fn's result.
@@ -81,7 +210,20 @@ class BenchReport {
   std::string write_json() const {
     const std::string path = "BENCH_" + name_ + ".json";
     std::ofstream os(path);
-    os << "{\"bench\":\"" << obs::JsonWriter::escape(name_) << "\",\"metrics\":";
+    os << "{\"bench\":\"" << obs::JsonWriter::escape(name_) << "\",\"meta\":{"
+       << "\"schema\":" << kBenchSchemaVersion << ",\"version\":\""
+       << obs::JsonWriter::escape(kProjectVersion) << "\",\"build_type\":\""
+       << obs::JsonWriter::escape(build_type()) << "\",\"hardware_concurrency\":"
+       << std::thread::hardware_concurrency() << ",\"jobs\":" << global_pool_jobs();
+    for (const auto& [key, value] : meta_) {
+      os << ",\"" << obs::JsonWriter::escape(key) << "\":";
+      if (const auto* text = std::get_if<std::string>(&value)) {
+        os << "\"" << obs::JsonWriter::escape(*text) << "\"";
+      } else {
+        os << std::get<std::int64_t>(value);
+      }
+    }
+    os << "},\"metrics\":";
     metrics_.snapshot().write_json(os);
     os << "}\n";
     return path;
@@ -90,6 +232,7 @@ class BenchReport {
  private:
   std::string name_;
   obs::MetricsRegistry metrics_;
+  std::map<std::string, std::variant<std::string, std::int64_t>> meta_;
 };
 
 }  // namespace ahg::bench

@@ -7,11 +7,13 @@
 
 #include "bench/bench_eval_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const auto exit_code = ahg::bench::handle_bench_flags(argc, argv)) return *exit_code;
   using namespace ahg;
   const auto ctx = bench::make_context("Figures 3-7 combined (single tuned pass)");
   bench::BenchReport report("eval_all");
-  const auto matrix = bench::run_matrix(ctx, /*verbose=*/true, &report);
+  auto cache = bench::make_cell_cache();
+  const auto matrix = bench::run_matrix(ctx, /*verbose=*/true, &report, &cache);
 
   std::cout << "\n--- Figure 3: optimal weights (mean [min, max]) ---\n";
   for (const char param : {'a', 'b'}) {

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "bench/bench_cache.hpp"
 #include "bench/bench_common.hpp"
 #include "core/runner.hpp"
 #include "support/table.hpp"
@@ -27,26 +28,86 @@ inline std::vector<sim::GridCase> all_cases() {
   return {sim::GridCase::A, sim::GridCase::B, sim::GridCase::C};
 }
 
+/// Construct the default cell cache from the common bench flags / env.
+inline CellCache make_cell_cache() {
+  return CellCache(cache_dir_by_flags(), cache_enabled_by_flags());
+}
+
 /// Tune the full (case x heuristic x scenario) grid. With a report attached,
 /// the whole pass is timed into "bench.matrix_seconds" and every cell's
 /// phase-time metrics (tuner sweeps, SLRH pool build / scoring / placement,
-/// Max-Max selection) are merged into it for the BENCH_*.json dump.
+/// Max-Max selection) are merged into it for the BENCH_*.json dump (plus
+/// "cache_hits"/"cache_misses" meta entries when a cache is attached).
+///
+/// With a cache, each (case, heuristic) cell is looked up by its content
+/// address first; only the missed cells are evaluated (still fanned out on
+/// the pool via evaluate_cells) and then stored. Hits restore bit-identical
+/// summaries, so downstream figures cannot tell a warm run from a cold one.
 inline core::EvaluationMatrix run_matrix(const BenchContext& ctx,
                                          bool verbose = false,
-                                         BenchReport* report = nullptr) {
+                                         BenchReport* report = nullptr,
+                                         CellCache* cache = nullptr) {
   const workload::ScenarioSuite suite(ctx.suite_params);
   const auto heuristics = core::reported_heuristics();
-  std::cout << "tuning " << heuristics.size() << " heuristics x 3 cases x "
-            << ctx.suite_params.num_etc * ctx.suite_params.num_dag
+  const auto cases = all_cases();
+  std::cout << "tuning " << heuristics.size() << " heuristics x " << cases.size()
+            << " cases x " << ctx.suite_params.num_etc * ctx.suite_params.num_dag
             << " scenarios (coarse step " << ctx.params.tune_coarse_step
             << ", fine step " << ctx.params.tune_fine_step << ") ...\n";
-  const auto run = [&] {
-    return core::evaluate_matrix(suite, all_cases(), heuristics,
-                                 eval_params(ctx, verbose));
+  const core::EvaluationParams params = eval_params(ctx, verbose);
+
+  const auto run = [&]() -> core::EvaluationMatrix {
+    if (cache == nullptr || !cache->enabled()) {
+      return core::evaluate_matrix(suite, cases, heuristics, params);
+    }
+    CellKeyParams key_params{ctx.suite_params, params.tuner, params.clock};
+    core::EvaluationMatrix matrix;
+    matrix.cases = cases;
+    matrix.heuristics = heuristics;
+    matrix.cells.resize(cases.size() * heuristics.size());
+    std::vector<std::uint64_t> keys(matrix.cells.size());
+    std::vector<core::CellRequest> missed;
+    std::vector<std::size_t> missed_slots;
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+      for (std::size_t hi = 0; hi < heuristics.size(); ++hi) {
+        const std::size_t slot = ci * heuristics.size() + hi;
+        keys[slot] = cell_key(key_params, cases[ci], heuristics[hi]);
+        if (auto hit = cache->load(keys[slot], cases[ci], heuristics[hi])) {
+          matrix.cells[slot] = std::move(*hit);
+        } else {
+          missed.push_back(core::CellRequest{cases[ci], heuristics[hi]});
+          missed_slots.push_back(slot);
+        }
+      }
+    }
+    if (!missed.empty()) {
+      obs::MetricsRegistry exec_metrics;
+      auto fresh = core::evaluate_cells(suite, missed, params, &exec_metrics);
+      for (std::size_t i = 0; i < fresh.size(); ++i) {
+        cache->store(keys[missed_slots[i]], fresh[i]);
+        matrix.cells[missed_slots[i]] = std::move(fresh[i]);
+      }
+      matrix.exec = exec_metrics.snapshot();
+    }
+    return matrix;
   };
-  if (report == nullptr) return run();
-  auto matrix = report->timed_section("matrix", run);
-  for (const auto& cell : matrix.cells) report->merge(cell.phases);
+
+  core::EvaluationMatrix matrix;
+  if (report == nullptr) {
+    matrix = run();
+  } else {
+    matrix = report->timed_section("matrix", run);
+    for (const auto& cell : matrix.cells) report->merge(cell.phases);
+    report->merge(matrix.exec);
+  }
+  if (cache != nullptr && cache->enabled()) {
+    std::cout << "cell cache (" << cache->dir() << "): " << cache->hits()
+              << " hits, " << cache->misses() << " misses\n";
+    if (report != nullptr) {
+      report->meta("cache_hits", static_cast<std::int64_t>(cache->hits()));
+      report->meta("cache_misses", static_cast<std::int64_t>(cache->misses()));
+    }
+  }
   return matrix;
 }
 

@@ -15,7 +15,8 @@
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const auto exit_code = ahg::bench::handle_bench_flags(argc, argv)) return *exit_code;
   using namespace ahg;
   const auto ctx = bench::make_context("Extension: baseline ladder");
   const workload::ScenarioSuite suite(ctx.suite_params);

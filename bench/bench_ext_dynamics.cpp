@@ -13,7 +13,8 @@
 #include "support/table.hpp"
 #include "workload/dynamics.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const auto exit_code = ahg::bench::handle_bench_flags(argc, argv)) return *exit_code;
   using namespace ahg;
   const auto ctx =
       bench::make_context("Extension: arrival spread and link outages");

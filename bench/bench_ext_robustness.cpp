@@ -32,7 +32,8 @@ std::string rate_label(double rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const auto exit_code = ahg::bench::handle_bench_flags(argc, argv)) return *exit_code;
   using namespace ahg;
   const auto ctx = bench::make_context("Extension: estimation-error robustness");
   const workload::ScenarioSuite suite(ctx.suite_params);

@@ -13,7 +13,8 @@
 #include "support/event_log.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const auto exit_code = ahg::bench::handle_bench_flags(argc, argv)) return *exit_code;
   using namespace ahg;
   const auto ctx = bench::make_context("Figure 2: impact of dT on SLRH-1");
   const workload::ScenarioSuite suite(ctx.suite_params);

@@ -10,11 +10,13 @@
 
 #include "bench/bench_eval_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const auto exit_code = ahg::bench::handle_bench_flags(argc, argv)) return *exit_code;
   using namespace ahg;
   const auto ctx = bench::make_context("Figure 4: T100 per heuristic per case");
   bench::BenchReport report("fig4_t100");
-  const auto matrix = bench::run_matrix(ctx, /*verbose=*/false, &report);
+  auto cache = bench::make_cell_cache();
+  const auto matrix = bench::run_matrix(ctx, /*verbose=*/false, &report, &cache);
   std::cout << '\n';
   bench::print_case_by_heuristic(
       std::cout, matrix, "T100",

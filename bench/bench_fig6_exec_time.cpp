@@ -11,11 +11,13 @@
 
 #include "bench/bench_eval_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const auto exit_code = ahg::bench::handle_bench_flags(argc, argv)) return *exit_code;
   using namespace ahg;
   const auto ctx = bench::make_context("Figure 6: heuristic execution time");
   bench::BenchReport report("fig6_exec_time");
-  const auto matrix = bench::run_matrix(ctx, /*verbose=*/false, &report);
+  auto cache = bench::make_cell_cache();
+  const auto matrix = bench::run_matrix(ctx, /*verbose=*/false, &report, &cache);
   std::cout << '\n';
   bench::print_case_by_heuristic(
       std::cout, matrix, "heuristic execution time [ms]",

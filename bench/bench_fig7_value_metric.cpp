@@ -9,12 +9,14 @@
 
 #include "bench/bench_eval_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const auto exit_code = ahg::bench::handle_bench_flags(argc, argv)) return *exit_code;
   using namespace ahg;
   const auto ctx =
       bench::make_context("Figure 7: T100 per second of heuristic execution time");
   bench::BenchReport report("fig7_value_metric");
-  const auto matrix = bench::run_matrix(ctx, /*verbose=*/false, &report);
+  auto cache = bench::make_cell_cache();
+  const auto matrix = bench::run_matrix(ctx, /*verbose=*/false, &report, &cache);
   std::cout << '\n';
   bench::print_case_by_heuristic(
       std::cout, matrix, "T100 / heuristic execution seconds",

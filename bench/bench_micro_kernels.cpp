@@ -250,6 +250,10 @@ void write_inner_loop_report() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (const auto exit_code =
+          ahg::bench::handle_bench_flags(argc, argv, /*lenient=*/true)) {
+    return *exit_code;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
 #include "core/heuristics.hpp"
 #include "workload/scenario.hpp"
 
@@ -46,4 +47,16 @@ BENCHMARK(BM_MaxMax)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the shared bench flags (--version, --jobs)
+// are peeled off before Google Benchmark sees the argument list.
+int main(int argc, char** argv) {
+  if (const auto exit_code =
+          ahg::bench::handle_bench_flags(argc, argv, /*lenient=*/true)) {
+    return *exit_code;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

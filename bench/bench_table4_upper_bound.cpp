@@ -13,7 +13,8 @@
 #include "core/upper_bound.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const auto exit_code = ahg::bench::handle_bench_flags(argc, argv)) return *exit_code;
   using namespace ahg;
   const auto ctx = bench::make_context("Table 4: upper bound on T100");
   const workload::ScenarioSuite suite(ctx.suite_params);

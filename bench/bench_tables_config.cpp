@@ -5,10 +5,12 @@
 
 #include <iostream>
 
+#include "bench/bench_common.hpp"
 #include "sim/grid.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const auto exit_code = ahg::bench::handle_bench_flags(argc, argv)) return *exit_code;
   using namespace ahg;
 
   std::cout << "=== Table 1: simulation configurations ===\n";

@@ -19,6 +19,8 @@
 #include "core/validate.hpp"
 #include "support/args.hpp"
 #include "support/event_log.hpp"
+#include "support/thread_pool.hpp"
+#include "support/version.hpp"
 #include "workload/scenario.hpp"
 #include "workload/dynamics.hpp"
 #include "workload/scenario_io.hpp"
@@ -69,7 +71,18 @@ int main(int argc, char** argv) {
   args.add_string("metrics", "",
                   "write counters and phase-time histograms as JSON to this "
                   "file after the run");
+  args.add_int("jobs", 0,
+               "worker threads for parallel phases (0 = AHG_JOBS env, then "
+               "hardware concurrency)");
+  args.add_flag("version", "print build identity and exit");
   if (!args.parse(argc, argv)) return args.error() ? EXIT_FAILURE : EXIT_SUCCESS;
+  if (args.get_flag("version")) {
+    std::cout << build_description() << "\n";
+    return EXIT_SUCCESS;
+  }
+  if (const auto jobs = args.get_int("jobs"); jobs > 0) {
+    configure_global_pool(static_cast<std::size_t>(jobs));
+  }
 
   // --- scenario -----------------------------------------------------------
   std::optional<workload::Scenario> scenario;

@@ -1,12 +1,33 @@
 #include "core/runner.hpp"
 
+#include <mutex>
 #include <sstream>
 
 #include "core/scenario_cache.hpp"
 #include "support/contract.hpp"
 #include "support/profile.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ahg::core {
+
+void accumulate_scenario(CaseHeuristicSummary& summary,
+                         const ScenarioEvaluation& eval) {
+  if (!eval.tune.found) return;
+  ++summary.feasible_count;
+  const auto& best = eval.tune.best;
+  summary.t100.add(static_cast<double>(best.t100));
+  if (eval.upper_bound > 0) {
+    summary.vs_bound.add(static_cast<double>(best.t100) /
+                         static_cast<double>(eval.upper_bound));
+  }
+  summary.wall_seconds.add(best.wall_seconds);
+  if (best.wall_seconds > 0.0) {
+    summary.value_metric.add(static_cast<double>(best.t100) / best.wall_seconds);
+  }
+  summary.alpha.add(eval.tune.alpha);
+  summary.beta.add(eval.tune.beta);
+}
 
 CaseHeuristicSummary evaluate_case(const workload::ScenarioSuite& suite,
                                    sim::GridCase grid_case, HeuristicKind heuristic,
@@ -18,7 +39,10 @@ CaseHeuristicSummary evaluate_case(const workload::ScenarioSuite& suite,
   // Per-case phase metrics always collect into a local registry; decision
   // events only flow when the caller attached a sink (ForwardSink::wants
   // returns false otherwise, so the heuristics skip event assembly — the
-  // null-sink fast path applies to the event side even here).
+  // null-sink fast path applies to the event side even here). The local
+  // registry also keeps concurrent cells contention-free: each cell shards
+  // into its own registry and the merge into sink->metrics() happens once,
+  // at the cell barrier.
   obs::MetricsRegistry case_metrics;
   obs::ForwardSink fwd(&case_metrics, params.sink);
   obs::Histogram* tune_hist = obs::phase_histogram(&case_metrics, "runner.tune_seconds");
@@ -30,11 +54,15 @@ CaseHeuristicSummary evaluate_case(const workload::ScenarioSuite& suite,
 
   for (std::size_t etc = 0; etc < suite.num_etc(); ++etc) {
     for (std::size_t dag = 0; dag < suite.num_dag(); ++dag) {
+      // The suite derives the scenario from per-(case, etc, dag) seed
+      // substreams, so concurrent cells never share generator state.
       const workload::Scenario scenario = suite.make(grid_case, etc, dag);
 
       // Build the pure-scenario tables once; the tuner's weight sweep then
       // shares them read-only across all of its (possibly parallel) solver
       // invocations, and the upper bound reads the same energy products.
+      // Living inside the cell task, independent scenarios build their
+      // caches concurrently when the matrix fans out.
       const ScenarioCache cache(scenario);
 
       if (!bound_cache[etc].has_value()) {
@@ -54,21 +82,7 @@ CaseHeuristicSummary evaluate_case(const workload::ScenarioSuite& suite,
         eval.tune = tune_weights(solver, tuner_params);
       }
 
-      if (eval.tune.found) {
-        ++summary.feasible_count;
-        const auto& best = eval.tune.best;
-        summary.t100.add(static_cast<double>(best.t100));
-        if (eval.upper_bound > 0) {
-          summary.vs_bound.add(static_cast<double>(best.t100) /
-                               static_cast<double>(eval.upper_bound));
-        }
-        summary.wall_seconds.add(best.wall_seconds);
-        if (best.wall_seconds > 0.0) {
-          summary.value_metric.add(static_cast<double>(best.t100) / best.wall_seconds);
-        }
-        summary.alpha.add(eval.tune.alpha);
-        summary.beta.add(eval.tune.beta);
-      }
+      accumulate_scenario(summary, eval);
 
       if (params.progress) {
         std::ostringstream oss;
@@ -95,6 +109,59 @@ CaseHeuristicSummary evaluate_case(const workload::ScenarioSuite& suite,
   return summary;
 }
 
+std::vector<CaseHeuristicSummary> evaluate_cells(
+    const workload::ScenarioSuite& suite, const std::vector<CellRequest>& requests,
+    const EvaluationParams& params, obs::MetricsRegistry* exec_metrics) {
+  // Determinism by slots: results land at their request index no matter
+  // which worker runs them or in which order they finish.
+  std::vector<CaseHeuristicSummary> cells(requests.size());
+  if (requests.empty()) return cells;
+
+  EvaluationParams cell_params = params;
+  std::mutex progress_mutex;
+  if (params.progress) {
+    // User progress callbacks are not required to be thread-safe; serialize.
+    cell_params.progress = [&](const std::string& line) {
+      std::lock_guard lock(progress_mutex);
+      params.progress(line);
+    };
+  }
+
+  obs::Histogram* queue_hist =
+      obs::phase_histogram(exec_metrics, "runner.cell_queue_seconds");
+  obs::Histogram* cell_hist = obs::phase_histogram(exec_metrics, "runner.cell_seconds");
+
+  std::vector<double> busy(requests.size(), 0.0);
+  const Stopwatch campaign;  // all cells are enqueued at fan-out time
+  const auto run_cell = [&](std::size_t k) {
+    if (queue_hist != nullptr) queue_hist->observe(campaign.seconds());
+    const Stopwatch cell_timer;
+    cells[k] = evaluate_case(suite, requests[k].grid_case, requests[k].heuristic,
+                             cell_params);
+    busy[k] = cell_timer.seconds();
+    if (cell_hist != nullptr) cell_hist->observe(busy[k]);
+  };
+
+  if (params.parallel_cells && requests.size() > 1) {
+    global_pool().parallel_for(0, requests.size(), run_cell);
+  } else {
+    for (std::size_t k = 0; k < requests.size(); ++k) run_cell(k);
+  }
+
+  if (exec_metrics != nullptr) {
+    const double elapsed = campaign.seconds();
+    double busy_sum = 0.0;
+    for (const double b : busy) busy_sum += b;
+    const double width = params.parallel_cells
+                             ? static_cast<double>(global_pool().size())
+                             : 1.0;
+    if (elapsed > 0.0 && width > 0.0) {
+      exec_metrics->gauge("runner.pool_utilization").set(busy_sum / (elapsed * width));
+    }
+  }
+  return cells;
+}
+
 const CaseHeuristicSummary& EvaluationMatrix::cell(sim::GridCase grid_case,
                                                    HeuristicKind heuristic) const {
   for (const auto& summary : cells) {
@@ -112,11 +179,16 @@ EvaluationMatrix evaluate_matrix(const workload::ScenarioSuite& suite,
   EvaluationMatrix matrix;
   matrix.cases = cases;
   matrix.heuristics = heuristics;
+  std::vector<CellRequest> requests;
+  requests.reserve(cases.size() * heuristics.size());
   for (const auto grid_case : cases) {
     for (const auto heuristic : heuristics) {
-      matrix.cells.push_back(evaluate_case(suite, grid_case, heuristic, params));
+      requests.push_back(CellRequest{grid_case, heuristic});
     }
   }
+  obs::MetricsRegistry exec_metrics;
+  matrix.cells = evaluate_cells(suite, requests, params, &exec_metrics);
+  matrix.exec = exec_metrics.snapshot();
   return matrix;
 }
 

@@ -57,15 +57,33 @@ struct CaseHeuristicSummary {
 struct EvaluationParams {
   TunerParams tuner;
   SlrhClock clock;
+  /// Evaluate matrix cells (grid case x heuristic) concurrently on the
+  /// global thread pool. Each cell is an independent deterministic unit —
+  /// the suite derives every scenario from (case, etc, dag) seed substreams
+  /// and cells write to pre-sized slots — so the parallel matrix is
+  /// bit-identical to the serial one (asserted by test_determinism.cpp).
+  /// The tuner's own sweep may run nested inside a cell; the work-stealing
+  /// pool supports that without deadlock or oversubscription.
+  bool parallel_cells = true;
   /// Called after each scenario finishes (benches print progress with it).
+  /// With parallel_cells the calls are serialized by the runner but arrive
+  /// in nondeterministic cell order.
   std::function<void(const std::string&)> progress;
   /// Optional observability sink (not owned). Decision events from every
   /// tuner-probed run are forwarded here, and the per-case phase metrics are
   /// merged into sink->metrics() when present. Null simply skips the
   /// forwarding — the per-case phase metrics in CaseHeuristicSummary::phases
-  /// are collected either way.
+  /// are collected either way. Must be thread-safe when parallel_cells is
+  /// set (all shipped sinks are).
   obs::Sink* sink = nullptr;
 };
+
+/// Fold one finished scenario into the summary accumulators. Shared by
+/// evaluate_case and the bench result cache's loader so a cache-restored
+/// summary replays the exact same Welford add() sequence (bit-identical
+/// accumulators).
+void accumulate_scenario(CaseHeuristicSummary& summary,
+                         const ScenarioEvaluation& eval);
 
 /// Evaluate one heuristic on one grid case across the suite's full
 /// (ETC, DAG) grid.
@@ -73,11 +91,36 @@ CaseHeuristicSummary evaluate_case(const workload::ScenarioSuite& suite,
                                    sim::GridCase grid_case, HeuristicKind heuristic,
                                    const EvaluationParams& params);
 
+/// One matrix cell to evaluate: a (grid case, heuristic) pair.
+struct CellRequest {
+  sim::GridCase grid_case = sim::GridCase::A;
+  HeuristicKind heuristic = HeuristicKind::Slrh1;
+};
+
+/// Evaluate an arbitrary set of cells — the fan-out primitive behind
+/// evaluate_matrix, exposed so the bench result cache can evaluate only the
+/// cells it missed. Results land slot-for-slot in request order regardless
+/// of execution order. With params.parallel_cells the cells run
+/// concurrently on the global pool; `exec_metrics` (optional, not owned)
+/// then receives the campaign-level execution telemetry: the per-cell
+/// queue-latency ("runner.cell_queue_seconds") and cell-runtime
+/// ("runner.cell_seconds") histograms plus the pool-utilization gauge
+/// "runner.pool_utilization" (busy-seconds summed over cells divided by
+/// wall time x pool width; the helping caller can push it above 1).
+std::vector<CaseHeuristicSummary> evaluate_cells(
+    const workload::ScenarioSuite& suite, const std::vector<CellRequest>& requests,
+    const EvaluationParams& params, obs::MetricsRegistry* exec_metrics = nullptr);
+
 /// The full cases x heuristics matrix (row-major over cases).
 struct EvaluationMatrix {
   std::vector<sim::GridCase> cases;
   std::vector<HeuristicKind> heuristics;
   std::vector<CaseHeuristicSummary> cells;
+
+  /// Campaign-level execution telemetry from evaluate_cells (queue latency,
+  /// cell runtime, pool utilization). Purely observational — carries no
+  /// result data.
+  obs::MetricsSnapshot exec;
 
   const CaseHeuristicSummary& cell(sim::GridCase grid_case,
                                    HeuristicKind heuristic) const;

@@ -181,6 +181,50 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
   os << json.str();
 }
 
+MetricsSnapshot snapshot_from_json(const JsonValue& value) {
+  AHG_EXPECTS_MSG(value.is_object(), "metrics snapshot JSON must be an object");
+  MetricsSnapshot snap;
+  if (const JsonValue* counters = value.find("counters")) {
+    AHG_EXPECTS_MSG(counters->is_object(), "\"counters\" must be an object");
+    for (const auto& [name, v] : counters->as_object()) {
+      snap.counters.push_back(
+          CounterSnapshot{name, static_cast<std::uint64_t>(v.as_int())});
+    }
+  }
+  if (const JsonValue* gauges = value.find("gauges")) {
+    AHG_EXPECTS_MSG(gauges->is_object(), "\"gauges\" must be an object");
+    for (const auto& [name, v] : gauges->as_object()) {
+      snap.gauges.push_back(GaugeSnapshot{name, v.as_double()});
+    }
+  }
+  if (const JsonValue* histograms = value.find("histograms")) {
+    AHG_EXPECTS_MSG(histograms->is_object(), "\"histograms\" must be an object");
+    for (const auto& [name, v] : histograms->as_object()) {
+      AHG_EXPECTS_MSG(v.is_object(), "histogram entry must be an object");
+      HistogramSnapshot h;
+      h.name = name;
+      h.count = static_cast<std::uint64_t>(v.get_int("count"));
+      h.sum = v.get_double("sum");
+      h.min = v.get_double("min");
+      h.max = v.get_double("max");
+      const JsonValue* bounds = v.find("bounds");
+      const JsonValue* buckets = v.find("buckets");
+      AHG_EXPECTS_MSG(bounds != nullptr && bounds->is_array() &&
+                          buckets != nullptr && buckets->is_array(),
+                      "histogram entry needs bounds + buckets arrays");
+      for (const auto& b : bounds->as_array()) h.bounds.push_back(b.as_double());
+      for (const auto& b : buckets->as_array()) {
+        h.buckets.push_back(static_cast<std::uint64_t>(b.as_int()));
+      }
+      AHG_EXPECTS_MSG(h.buckets.size() == h.bounds.size() + 1,
+                      "histogram buckets must be bounds + overflow");
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  // std::map iteration already yields name order, matching write_json.
+  return snap;
+}
+
 // --- MetricsRegistry ---------------------------------------------------------
 
 Counter& MetricsRegistry::counter(std::string_view name) {

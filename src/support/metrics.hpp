@@ -29,6 +29,8 @@
 
 namespace ahg::obs {
 
+class JsonValue;
+
 namespace detail {
 /// Sharded-slot count; a power of two so the thread index wraps cheaply.
 inline constexpr std::size_t kShards = 16;
@@ -142,6 +144,14 @@ struct MetricsSnapshot {
   /// "histograms":{name:{count,sum,mean,min,max,p50,p95,buckets:[...]}}}.
   void write_json(std::ostream& os) const;
 };
+
+/// Rebuild a snapshot from its write_json form — the inverse used by the
+/// bench result cache to restore persisted phase metrics. Doubles survive
+/// exactly (write_json emits shortest-round-trip std::to_chars), bounds and
+/// buckets are restored verbatim, so the result merges back into live
+/// registries like any fresh snapshot. Throws PreconditionError when the
+/// shape is not a metrics object.
+MetricsSnapshot snapshot_from_json(const JsonValue& value);
 
 /// Named-metric registry. counter()/gauge()/histogram() create on first use
 /// and return stable references (safe to cache across threads); all methods

@@ -2,24 +2,48 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 namespace ahg {
+
+namespace {
+
+/// Worker identity of the current thread: which pool (if any) it belongs to
+/// and its index there. A thread is a worker of at most one pool.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerIdentity tls_identity;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
+    std::lock_guard lock(shutdown_mutex_);
+    if (joined_) return;
+    joined_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(sleep_mutex_);
   }
   cv_.notify_all();
   for (auto& w : workers_) {
@@ -27,20 +51,105 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop();
+bool ThreadPool::on_worker_thread() const noexcept {
+  return tls_identity.pool == this;
+}
+
+std::size_t ThreadPool::self_index() const noexcept {
+  return tls_identity.pool == this ? tls_identity.index : npos;
+}
+
+std::size_t ThreadPool::approx_queued() const {
+  return pending_.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::push_task(Task task) {
+  AHG_EXPECTS_MSG(!stopping_.load(std::memory_order_acquire),
+                  "submit on a stopped ThreadPool");
+  // Increment BEFORE enqueueing so pending_ never undercounts (a popper
+  // decrements only after actually taking a task); a waker that sees the
+  // count early simply retries until the enqueue lands.
+  pending_.fetch_add(1, std::memory_order_release);
+  const std::size_t self = self_index();
+  WorkerQueue& queue = self != npos ? *queues_[self] : external_;
+  {
+    std::lock_guard lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard lock(sleep_mutex_);
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, Task& out) {
+  // Workers: own back (LIFO — the deepest nested work, cache-warm), then
+  // steal siblings' fronts (FIFO — the oldest fan-out, typically a nested
+  // sweep's chunks), then the external queue. Non-worker helpers start at
+  // the external queue (their own submissions) and then steal.
+  if (self != npos) {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
     }
-    task();
+  } else {
+    std::lock_guard lock(external_.mutex);
+    if (!external_.tasks.empty()) {
+      out = std::move(external_.tasks.front());
+      external_.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  const std::size_t n = queues_.size();
+  for (std::size_t offset = 1; offset <= n; ++offset) {
+    const std::size_t victim = self != npos ? (self + offset) % n : offset - 1;
+    if (victim == self) continue;
+    WorkerQueue& queue = *queues_[victim];
+    std::lock_guard lock(queue.mutex);
+    if (!queue.tasks.empty()) {
+      out = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  if (self != npos) {
+    std::lock_guard lock(external_.mutex);
+    if (!external_.tasks.empty()) {
+      out = std::move(external_.tasks.front());
+      external_.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::try_run_one(std::size_t self) {
+  Task task;
+  if (!try_pop(self, task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_identity = WorkerIdentity{this, index};
+  for (;;) {
+    if (try_run_one(index)) continue;
+    std::unique_lock lock(sleep_mutex_);
+    cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
   }
 }
 
@@ -51,37 +160,90 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // Chunk to limit queue churn: at most 4 chunks per worker.
   const std::size_t chunks = std::min(n, std::max<std::size_t>(1, size() * 4));
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  const std::size_t actual_chunks = (n + chunk_size - 1) / chunk_size;
 
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // Shared by the caller and every chunk task; shared_ptr because the last
+  // finishing chunk touches the group (decrement + notify) possibly after
+  // the caller has already observed completion and returned.
+  struct Group {
+    std::atomic<std::size_t> remaining;
+    /// Lowest iteration index that has thrown so far; iterations above it
+    /// are skipped, iterations below it still run (so the final winner is
+    /// the lowest throwing index — deterministic, matching serial order).
+    std::atomic<std::size_t> first_fail{npos};
+    std::mutex error_mutex;
+    std::size_t error_index = npos;
+    std::exception_ptr error;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto group = std::make_shared<Group>();
+  group->remaining.store(actual_chunks, std::memory_order_relaxed);
 
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
+  for (std::size_t c = 0; c < actual_chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
-    if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + chunk_size);
-    futures.push_back(submit([&, lo, hi] {
+    push_task([&fn, group, lo, hi] {
       for (std::size_t i = lo; i < hi; ++i) {
-        if (failed.load(std::memory_order_relaxed)) return;
+        if (i > group->first_fail.load(std::memory_order_relaxed)) break;
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-          return;
+          std::size_t cur = group->first_fail.load(std::memory_order_relaxed);
+          while (i < cur &&
+                 !group->first_fail.compare_exchange_weak(cur, i)) {
+          }
+          std::lock_guard lock(group->error_mutex);
+          if (i < group->error_index) {
+            group->error_index = i;
+            group->error = std::current_exception();
+          }
+          break;  // everything after i in this chunk has a higher index
         }
       }
-    }));
+      if (group->remaining.fetch_sub(1) == 1) {
+        std::lock_guard lock(group->done_mutex);
+        group->done_cv.notify_all();
+      }
+    });
   }
-  for (auto& f : futures) f.wait();
-  if (first_error) std::rethrow_exception(first_error);
+
+  // Help while waiting: run our own chunks first (they sit at the back of
+  // our deque when we are a worker), then any other queued work, so a
+  // nested parallel_for never parks a thread the pool needs. The timed
+  // re-check covers the window where our chunks run on other workers while
+  // new helpable tasks appear elsewhere.
+  const std::size_t self = self_index();
+  while (group->remaining.load(std::memory_order_acquire) > 0) {
+    if (try_run_one(self)) continue;
+    std::unique_lock lock(group->done_mutex);
+    group->done_cv.wait_for(lock, std::chrono::microseconds(200), [&] {
+      return group->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (group->error) std::rethrow_exception(group->error);
+}
+
+namespace {
+std::atomic<std::size_t> global_pool_config{0};
+std::atomic<bool> global_pool_built{false};
+}  // namespace
+
+void configure_global_pool(std::size_t threads) {
+  AHG_EXPECTS_MSG(!global_pool_built.load(std::memory_order_acquire),
+                  "configure_global_pool after the global pool was built");
+  global_pool_config.store(threads, std::memory_order_release);
+}
+
+std::size_t global_pool_jobs() {
+  const std::size_t configured = global_pool_config.load(std::memory_order_acquire);
+  if (configured != 0) return configured;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool(global_pool_jobs());
+  global_pool_built.store(true, std::memory_order_release);
   return pool;
 }
 

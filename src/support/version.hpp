@@ -1,11 +1,21 @@
 #pragma once
-// Subtask version tag (paper §III): each subtask has a full-capability
-// "primary" version and a reduced "secondary" version. The tag itself is
-// shared by the simulator (schedule records) and the workload model (version
-// scaling rules live in workload::VersionModel).
+// Two kinds of "version" live here.
+//
+// 1. VersionKind — the subtask version tag (paper §III): each subtask has a
+//    full-capability "primary" version and a reduced "secondary" version.
+//    Shared by the simulator (schedule records) and the workload model
+//    (scaling rules live in workload::VersionModel).
+//
+// 2. Build/tooling identity — what `--version` prints from every bench
+//    binary and slrh_cli, what BENCH_*.json meta blocks embed, and the
+//    schema constants that key the content-addressed bench result cache
+//    (.bench_cache/). Bump kBenchCacheSchema whenever a change alters what
+//    any cached cell would contain (heuristic behaviour, tuner semantics,
+//    scenario generation) so stale entries can never be served.
 
 #include <cstdint>
 #include <string>
+#include <thread>
 
 namespace ahg {
 
@@ -13,6 +23,40 @@ enum class VersionKind : std::uint8_t { Primary, Secondary };
 
 inline std::string to_string(VersionKind kind) {
   return kind == VersionKind::Primary ? "primary" : "secondary";
+}
+
+// --- build identity ----------------------------------------------------------
+
+inline constexpr const char* kProjectName = "adhoc-grid-slrh";
+inline constexpr const char* kProjectVersion = "0.4.0";
+
+/// Layout version of the BENCH_*.json dumps (the meta block counts from 2;
+/// version 1 was the pre-meta {"bench","metrics"} shape).
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// Content-address schema of the bench result cache. Part of every cache
+/// key: bumping it invalidates the whole cache. MUST be bumped when solver
+/// or generator behaviour changes in any way that affects cell results.
+inline constexpr int kBenchCacheSchema = 1;
+
+/// CMake's CMAKE_BUILD_TYPE, threaded through as a compile definition;
+/// falls back to what NDEBUG implies when built outside CMake.
+inline std::string build_type() {
+#ifdef AHG_BUILD_TYPE
+  return AHG_BUILD_TYPE;
+#elif defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+/// One-line identity for --version output: name, version, build type, and
+/// the hardware concurrency the process sees.
+inline std::string build_description() {
+  return std::string(kProjectName) + " " + kProjectVersion + " (" + build_type() +
+         ", " + std::to_string(std::thread::hardware_concurrency()) +
+         " hardware threads)";
 }
 
 }  // namespace ahg

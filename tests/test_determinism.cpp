@@ -10,6 +10,7 @@
 
 #include "core/churn.hpp"
 #include "core/heuristics.hpp"
+#include "core/runner.hpp"
 #include "core/scenario_cache.hpp"
 #include "core/tuner.hpp"
 #include "core/upper_bound.hpp"
@@ -139,6 +140,68 @@ TEST(Determinism, UpperBoundCachedMatchesUncached) {
     EXPECT_EQ(plain.energy_used, cached.energy_used);  // exact
     EXPECT_EQ(plain.cycle_limited, cached.cycle_limited);
     EXPECT_EQ(plain.energy_limited, cached.energy_limited);
+  }
+}
+
+// The campaign engine's core promise: fanning the evaluation matrix out on
+// the work-stealing pool (with the tuner sweep nested inside each cell)
+// yields EXACTLY the serial matrix — cell for cell, scenario for scenario,
+// down to the last double bit of the tuned outcomes and the Welford
+// accumulators. Only measured wall time (and the value metric derived from
+// it) may differ.
+TEST(Determinism, ParallelMatrixMatchesSerial) {
+  workload::SuiteParams suite_params;
+  suite_params.num_tasks = 48;
+  suite_params.num_etc = 2;
+  suite_params.num_dag = 2;
+  suite_params.master_seed = 777;
+  const workload::ScenarioSuite suite(suite_params);
+  const auto cases = {sim::GridCase::A, sim::GridCase::B};
+  const std::vector<core::HeuristicKind> heuristics = {
+      core::HeuristicKind::Slrh1, core::HeuristicKind::MaxMax};
+
+  core::EvaluationParams serial_params;
+  serial_params.tuner.coarse_step = 0.25;
+  serial_params.tuner.fine_step = 0.0;
+  serial_params.tuner.parallel = false;
+  serial_params.parallel_cells = false;
+  core::EvaluationParams parallel_params = serial_params;
+  parallel_params.tuner.parallel = true;
+  parallel_params.parallel_cells = true;
+
+  const auto serial = core::evaluate_matrix(suite, cases, heuristics, serial_params);
+  const auto parallel =
+      core::evaluate_matrix(suite, cases, heuristics, parallel_params);
+
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t c = 0; c < serial.cells.size(); ++c) {
+    const auto& a = serial.cells[c];
+    const auto& b = parallel.cells[c];
+    SCOPED_TRACE("cell " + sim::to_string(a.grid_case) + "/" +
+                 core::to_string(a.heuristic));
+    EXPECT_EQ(a.grid_case, b.grid_case);
+    EXPECT_EQ(a.heuristic, b.heuristic);
+    EXPECT_EQ(a.feasible_count, b.feasible_count);
+    ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+    for (std::size_t s = 0; s < a.scenarios.size(); ++s) {
+      const auto& x = a.scenarios[s];
+      const auto& y = b.scenarios[s];
+      SCOPED_TRACE("scenario " + std::to_string(s));
+      EXPECT_EQ(x.etc_index, y.etc_index);
+      EXPECT_EQ(x.dag_index, y.dag_index);
+      EXPECT_EQ(x.upper_bound, y.upper_bound);
+      EXPECT_EQ(x.tune.found, y.tune.found);
+      EXPECT_EQ(x.tune.alpha, y.tune.alpha);  // exact
+      EXPECT_EQ(x.tune.beta, y.tune.beta);    // exact
+      expect_identical(x.tune.best, y.tune.best,
+                       suite.make(a.grid_case, x.etc_index, x.dag_index),
+                       "tuned best");
+    }
+    // Accumulators fold in suite order on both paths -> bit-identical.
+    EXPECT_EQ(a.t100.mean(), b.t100.mean());
+    EXPECT_EQ(a.vs_bound.mean(), b.vs_bound.mean());
+    EXPECT_EQ(a.alpha.mean(), b.alpha.mean());
+    EXPECT_EQ(a.beta.mean(), b.beta.mean());
   }
 }
 

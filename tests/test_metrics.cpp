@@ -228,4 +228,60 @@ TEST(MetricsSnapshot, WriteJsonRoundTrips) {
   EXPECT_EQ(lat->find("buckets")->as_array().size(), kBounds.size() + 1);
 }
 
+TEST(MetricsSnapshot, SnapshotFromJsonIsLossless) {
+  // write_json -> parse -> snapshot_from_json must reproduce the snapshot
+  // exactly (the bench result cache persists phase metrics through this
+  // path). Doubles survive because the writer emits shortest-round-trip
+  // form.
+  MetricsRegistry registry;
+  registry.counter("runs").add(7);
+  registry.gauge("load").set(0.7500001220703125);
+  auto& hist = registry.histogram("lat", kBounds);
+  hist.observe(0.4999999999999999);
+  hist.observe(7.0);
+  const obs::MetricsSnapshot before = registry.snapshot();
+
+  std::ostringstream os;
+  before.write_json(os);
+  const obs::MetricsSnapshot after = obs::snapshot_from_json(obs::parse_json(os.str()));
+
+  ASSERT_EQ(after.counters.size(), before.counters.size());
+  EXPECT_EQ(after.counters[0].name, before.counters[0].name);
+  EXPECT_EQ(after.counters[0].value, before.counters[0].value);
+  ASSERT_EQ(after.gauges.size(), before.gauges.size());
+  EXPECT_EQ(after.gauges[0].value, before.gauges[0].value);  // exact
+  ASSERT_EQ(after.histograms.size(), before.histograms.size());
+  const auto& x = before.histograms[0];
+  const auto& y = after.histograms[0];
+  EXPECT_EQ(y.name, x.name);
+  EXPECT_EQ(y.count, x.count);
+  EXPECT_EQ(y.sum, x.sum);  // exact
+  EXPECT_EQ(y.min, x.min);
+  EXPECT_EQ(y.max, x.max);
+  EXPECT_EQ(y.bounds, x.bounds);
+  EXPECT_EQ(y.buckets, x.buckets);
+
+  // A merge of the round-tripped snapshot behaves exactly like a merge of
+  // the original.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.merge(before);
+  b.merge(after);
+  std::ostringstream ja;
+  std::ostringstream jb;
+  a.snapshot().write_json(ja);
+  b.snapshot().write_json(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(MetricsSnapshot, SnapshotFromJsonRejectsMalformedHistograms) {
+  EXPECT_THROW(obs::snapshot_from_json(obs::parse_json("[1,2]")),
+               PreconditionError);
+  EXPECT_THROW(
+      obs::snapshot_from_json(obs::parse_json(
+          R"({"histograms":{"h":{"count":1,"sum":1.0,"min":1.0,"max":1.0,)"
+          R"("bounds":[1.0],"buckets":[1]}}})")),
+      PreconditionError);  // buckets must be bounds+1 long
+}
+
 }  // namespace

@@ -3,9 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "support/contract.hpp"
 
 namespace ahg {
 namespace {
@@ -86,6 +93,117 @@ TEST(ThreadPool, ParallelForSumMatchesSerial) {
     got += out[i];
   }
   EXPECT_EQ(got, expect);
+}
+
+TEST(ThreadPool, ParallelForLowestThrowingIndexWins) {
+  // Two iterations throw; the survivor must ALWAYS be the lower index, no
+  // matter how the chunks get scheduled. Repeat to give races a chance.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    try {
+      pool.parallel_for(0, 128, [](std::size_t i) {
+        if (i == 23) throw std::runtime_error("fail 23");
+        if (i == 71) throw std::runtime_error("fail 71");
+      });
+      FAIL() << "parallel_for should have thrown";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail 23");
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForSkipsIterationsAboveFailure) {
+  // Iterations above the failing index may be skipped, but everything below
+  // it must still run (serial semantics for the prefix).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  try {
+    pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+      if (i == 40) throw std::runtime_error("fail 40");
+      hits[i]++;
+    });
+    FAIL() << "parallel_for should have thrown";
+  } catch (const std::runtime_error&) {
+  }
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerThread) {
+  // The campaign shape: an outer parallel_for whose iterations each run an
+  // inner parallel_for on the SAME pool, from a worker thread. Must complete
+  // (help-while-waiting) and cover every (outer, inner) pair exactly once.
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 6;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(0, kOuter, [&](std::size_t outer) {
+    pool.parallel_for(0, kInner, [&, outer](std::size_t inner) {
+      hits[outer * kInner + inner]++;
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HelpWhileWaitingWithAllWorkersBlocked) {
+  // One worker, and it is parked waiting on a future only a parallel_for
+  // iteration can satisfy. The caller must run the iterations itself (a
+  // non-helping implementation deadlocks here).
+  ThreadPool pool(1);
+  std::promise<void> unblock;
+  auto blocked = pool.submit([&] { unblock.get_future().wait(); });
+  std::atomic<int> ran{0};
+  pool.parallel_for(0, 8, [&](std::size_t i) {
+    ran++;
+    if (i == 5) unblock.set_value();
+  });
+  EXPECT_EQ(ran.load(), 8);
+  blocked.get();
+}
+
+TEST(ThreadPool, SubmitAfterShutdownIsContractViolation) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] { return 1; }), PreconditionError);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndRunsQueuedTasks) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&] { ran++; }));
+  }
+  pool.shutdown();
+  pool.shutdown();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, StealingSpreadsExternalWorkAcrossWorkers) {
+  // Fairness smoke: external submissions with enough latency that sleeping
+  // workers wake and steal. Multiple distinct workers should participate
+  // (exact balance is scheduler-dependent, so only presence is asserted).
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard lock(mutex);
+      seen.insert(std::this_thread::get_id());
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ThreadPool, OnWorkerThreadIsPoolSpecific) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(a.on_worker_thread());
+  EXPECT_TRUE(a.submit([&] { return a.on_worker_thread(); }).get());
+  EXPECT_FALSE(a.submit([&] { return b.on_worker_thread(); }).get());
 }
 
 TEST(GlobalPool, IsSingletonAndUsable) {
