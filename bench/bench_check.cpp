@@ -1,0 +1,191 @@
+// Bench regression gate CLI (bench_gate.hpp holds the pure logic).
+//
+//   bench_check [--baselines DIR] [--tolerance T] [--seconds-tolerance T]
+//               [--floor F] [--update] [--allow-missing] BENCH_<name>.json...
+//
+// Check mode (default): each fresh BENCH dump is compared against
+// DIR/BENCH_<bench>.json; any regression — or a metric missing on either
+// side, unless --allow-missing — makes the exit status nonzero, which is
+// what CI keys off. --update instead (re)writes the baselines from the
+// fresh dumps; commit the result alongside the change that moved the
+// numbers.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_gate.hpp"
+#include "support/contract.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace ahg;
+
+int usage(const char* argv0, int code) {
+  (code == 0 ? std::cout : std::cerr)
+      << "usage: " << argv0
+      << " [--baselines DIR] [--tolerance T] [--seconds-tolerance T]\n"
+         "       [--floor F] [--update] [--allow-missing] BENCH_<name>.json...\n"
+         "\n"
+         "  --baselines DIR        baseline directory (default bench/baselines)\n"
+         "  --tolerance T          default relative tolerance for --update (0.25)\n"
+         "  --seconds-tolerance T  tolerance for wall-clock metrics in --update\n"
+         "                         (defaults to --tolerance)\n"
+         "  --floor F              absolute slack in seconds for upper-gated\n"
+         "                         metrics during checks (default 0.005)\n"
+         "  --update               rewrite baselines from the fresh dumps\n"
+         "  --allow-missing        metrics missing on one side do not fail\n";
+  return code;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  AHG_EXPECTS_MSG(in.good(), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct FreshDump {
+  std::string path;
+  std::string bench;
+  obs::MetricsSnapshot metrics;
+};
+
+FreshDump load_dump(const std::string& path) {
+  FreshDump dump;
+  dump.path = path;
+  const obs::JsonValue root = obs::parse_json(slurp(path));
+  dump.bench = root.get_string("bench");
+  AHG_EXPECTS_MSG(!dump.bench.empty(), path + ": no \"bench\" field");
+  const obs::JsonValue* metrics = root.find("metrics");
+  AHG_EXPECTS_MSG(metrics != nullptr, path + ": no \"metrics\" object");
+  dump.metrics = obs::snapshot_from_json(*metrics);
+  return dump;
+}
+
+std::string format_value(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baselines_dir = "bench/baselines";
+  double tolerance = 0.25;
+  double seconds_tolerance = -1.0;
+  double floor = 5e-3;
+  bool update = false;
+  bool allow_missing = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << name << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
+    if (arg == "--baselines") {
+      baselines_dir = value("--baselines");
+    } else if (arg == "--tolerance") {
+      tolerance = std::stod(value("--tolerance"));
+    } else if (arg == "--seconds-tolerance") {
+      seconds_tolerance = std::stod(value("--seconds-tolerance"));
+    } else if (arg == "--floor") {
+      floor = std::stod(value("--floor"));
+    } else if (arg == "--update") {
+      update = true;
+    } else if (arg == "--allow-missing") {
+      allow_missing = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << argv[0] << ": unknown argument '" << arg << "'\n";
+      return usage(argv[0], 2);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << argv[0] << ": no BENCH json files given\n";
+    return usage(argv[0], 2);
+  }
+
+  try {
+    if (update) {
+      std::filesystem::create_directories(baselines_dir);
+      for (const std::string& path : files) {
+        const FreshDump dump = load_dump(path);
+        const bench::GateBaseline baseline = bench::make_baseline(
+            dump.bench, dump.metrics, tolerance, seconds_tolerance);
+        const std::string out_path =
+            baselines_dir + "/BENCH_" + dump.bench + ".json";
+        std::ofstream out(out_path);
+        AHG_EXPECTS_MSG(out.good(), "cannot write " + out_path);
+        bench::write_baseline(out, baseline);
+        std::cout << "wrote " << out_path << " (" << baseline.metrics.size()
+                  << " metrics)\n";
+      }
+      return 0;
+    }
+
+    bool pass = true;
+    for (const std::string& path : files) {
+      const FreshDump dump = load_dump(path);
+      const std::string base_path =
+          baselines_dir + "/BENCH_" + dump.bench + ".json";
+      const bench::GateBaseline baseline =
+          bench::parse_baseline(obs::parse_json(slurp(base_path)));
+      AHG_EXPECTS_MSG(baseline.bench == dump.bench,
+                      base_path + ": baseline is for bench '" + baseline.bench +
+                          "', fresh dump is '" + dump.bench + "'");
+
+      const bench::GateResult result =
+          bench::check_bench(baseline, dump.metrics, floor);
+      const bool file_ok = result.ok(allow_missing);
+      pass = pass && file_ok;
+
+      std::cout << "=== " << dump.bench << " (" << path << " vs " << base_path
+                << ") ===\n";
+      TextTable table({"metric", "baseline", "fresh", "tol", "gate", "verdict"});
+      for (const auto& finding : result.findings) {
+        if (finding.verdict == bench::GateVerdict::Ok) continue;
+        table.begin_row();
+        table.cell(finding.metric);
+        table.cell(format_value(finding.baseline));
+        table.cell(format_value(finding.fresh));
+        table.cell(format_value(finding.tolerance));
+        table.cell(std::string(to_string(finding.direction)));
+        table.cell(std::string(to_string(finding.verdict)));
+      }
+      if (result.regressions == 0 && result.missing == 0) {
+        std::cout << "all " << result.findings.size() << " metrics within tolerance\n";
+      } else {
+        table.render(std::cout);
+        std::cout << result.regressions << " regression(s), " << result.missing
+                  << " missing (" << result.findings.size() << " metrics checked)"
+                  << (file_ok ? " — tolerated\n" : "\n");
+      }
+      std::cout << "\n";
+    }
+
+    if (!pass) {
+      std::cerr << "bench_check: FAILED — see tables above\n";
+      return 1;
+    }
+    std::cout << "bench_check: OK\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << argv[0] << ": " << error.what() << "\n";
+    return 2;
+  }
+}

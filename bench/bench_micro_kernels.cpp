@@ -6,7 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iostream>
+#include <string_view>
 
 #include "bench/bench_common.hpp"
 #include "core/feasibility.hpp"
@@ -16,6 +18,7 @@
 #include "core/scoring.hpp"
 #include "core/slrh.hpp"
 #include "sim/timeline.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/rng.hpp"
 #include "workload/scenario.hpp"
 
@@ -244,20 +247,79 @@ void write_inner_loop_report() {
                                           : 0.0)
               << "x)\n";
   }
+
+  // Flight-recorder overhead guard (ISSUE: <= 3% on run_slrh at |T|=1024).
+  // Min-of-3 on each side cuts scheduler noise; the ratio gauge is what the
+  // regression gate watches.
+  {
+    constexpr int kReps = 9;
+    core::SlrhParams params;
+    params.weights = core::Weights::make(0.7, 0.25);
+    // One recorder reused across reps: after the first run the ring has
+    // wrapped and record() is allocation-free, so min-of-N measures the
+    // steady-state overhead of an attached recorder (the cold first run is
+    // ring warm-up, not recording cost).
+    obs::FlightRecorder recorder;
+    double off_seconds = 0.0;
+    double on_seconds = 0.0;
+    std::uint64_t frames = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const Stopwatch off_timer;
+      const auto off = core::run_slrh(scenario, params);
+      const double off_elapsed = off_timer.seconds();
+      static_cast<void>(off);
+      off_seconds = rep == 0 ? off_elapsed : std::min(off_seconds, off_elapsed);
+
+      const std::uint64_t frames_before = recorder.frames_recorded();
+      params.recorder = &recorder;
+      const Stopwatch on_timer;
+      const auto on = core::run_slrh(scenario, params);
+      const double on_elapsed = on_timer.seconds();
+      static_cast<void>(on);
+      params.recorder = nullptr;
+      on_seconds = rep == 0 ? on_elapsed : std::min(on_seconds, on_elapsed);
+      frames = recorder.frames_recorded() - frames_before;
+    }
+    const double ratio = off_seconds > 0.0 ? on_seconds / off_seconds : 1.0;
+    report.metrics().gauge("bench.recorder_off_seconds").set(off_seconds);
+    report.metrics().gauge("bench.recorder_on_seconds").set(on_seconds);
+    report.metrics().gauge("bench.recorder_overhead_ratio").set(ratio);
+    report.metrics().counter("bench.recorder_frames").add(frames);
+    std::cout << "recorder: off " << off_seconds << " s, on " << on_seconds
+              << " s (" << ratio << "x, " << frames << " frames)\n";
+  }
+
   std::cout << "wrote " << report.write_json() << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --quick (CI's bench-gate job): skip the google-benchmark sweep and only
+  // produce BENCH_inner_loop.json. Stripped before handle_bench_flags so the
+  // lenient pass doesn't forward it to the benchmark library.
+  bool quick = false;
+  {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--quick") {
+        quick = true;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+  }
   if (const auto exit_code =
           ahg::bench::handle_bench_flags(argc, argv, /*lenient=*/true)) {
     return *exit_code;
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  if (!quick) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
   write_inner_loop_report();
   return 0;
 }

@@ -1,0 +1,140 @@
+// Run report: render a `.frames.jsonl` flight recording (written by
+// slrh_cli / trace_export via --frames-jsonl) as a human-readable timeline
+// table plus a summary block — the quick look at "what did the run do over
+// time" without loading a Chrome trace.
+//
+//   slrh_cli --heuristic slrh1 --frames-jsonl run.frames.jsonl
+//   run_report run.frames.jsonl --every 50
+//
+// The timeline samples one row per `--every` frames (always including the
+// first and last); `--heuristic` filters a multi-heuristic recording (e.g.
+// trace_export writes SLRH-1 and Max-Max into one stream).
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/args.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+double min_battery(const ahg::obs::Frame& frame) {
+  if (frame.battery_fraction.empty())
+    return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(frame.battery_fraction.begin(),
+                           frame.battery_fraction.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ahg;
+
+  ArgParser args("run_report",
+                 "summarise a .frames.jsonl flight recording as a timeline "
+                 "table");
+  args.add_positional("frames", "the .frames.jsonl file to report on");
+  args.add_int("every", 1,
+               "print one timeline row per N frames (first and last frames "
+               "are always shown)");
+  args.add_string("heuristic", "",
+                  "only report frames whose heuristic matches exactly (e.g. "
+                  "\"SLRH-1\", \"Max-Max\"); default: all, grouped");
+  if (!args.parse(argc, argv)) return args.error() ? EXIT_FAILURE : EXIT_SUCCESS;
+
+  const std::string path = args.get_string("frames");
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "run_report: cannot open " << path << "\n";
+    return 2;
+  }
+  std::vector<obs::Frame> frames = obs::read_frames_jsonl(in);
+  const std::string filter = args.get_string("heuristic");
+  if (!filter.empty()) {
+    std::erase_if(frames,
+                  [&](const obs::Frame& f) { return f.heuristic != filter; });
+  }
+  if (frames.empty()) {
+    std::cerr << "run_report: no frames" << (filter.empty() ? "" : " matching --heuristic")
+              << " in " << path << "\n";
+    return 2;
+  }
+  const auto every = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, args.get_int("every")));
+
+  // Group by heuristic, preserving first-seen order (a trace_export stream
+  // holds both heuristics back to back).
+  std::vector<std::string> order;
+  for (const auto& frame : frames) {
+    if (std::find(order.begin(), order.end(), frame.heuristic) == order.end())
+      order.push_back(frame.heuristic);
+  }
+
+  for (const auto& name : order) {
+    std::vector<const obs::Frame*> group;
+    for (const auto& frame : frames)
+      if (frame.heuristic == name) group.push_back(&frame);
+
+    std::cout << "=== " << name << " — " << group.size() << " frame(s) ===\n";
+    TextTable table({"clock", "objective", "t100 term", "tec term", "aet term",
+                     "assigned", "T100", "pools", "maps", "ready", "min batt"},
+                    {Align::Right, Align::Right, Align::Right, Align::Right,
+                     Align::Right, Align::Right, Align::Right, Align::Right,
+                     Align::Right, Align::Right, Align::Right});
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (i % every != 0 && i + 1 != group.size()) continue;
+      const obs::Frame& f = *group[i];
+      table.begin_row();
+      table.cell(static_cast<long long>(f.clock));
+      table.cell(f.objective, 5);
+      table.cell(f.term_t100, 5);
+      table.cell(f.term_tec, 5);
+      table.cell(f.term_aet, 5);
+      table.cell(f.assigned);
+      table.cell(f.t100);
+      table.cell(f.pools_built);
+      table.cell(f.maps);
+      table.cell(f.frontier_ready);
+      table.cell(min_battery(f), 3);
+    }
+    table.render(std::cout);
+
+    const obs::Frame& last = *group.back();
+    std::uint64_t total_pools = 0;
+    std::uint64_t total_maps = 0;
+    double pool_seconds = 0.0;
+    std::uint64_t active_ticks = 0;
+    for (const auto* f : group) {
+      total_pools += f->pools_built;
+      total_maps += f->maps;
+      pool_seconds += f->pool_build_seconds;
+      if (f->maps > 0) ++active_ticks;
+    }
+    std::cout << "summary: final clock " << last.clock << ", objective "
+              << format_fixed(last.objective, 5) << " (t100 "
+              << format_fixed(last.term_t100, 5) << ", tec -"
+              << format_fixed(last.term_tec, 5) << ", aet "
+              << format_fixed(last.term_aet, 5) << ")\n"
+              << "         assigned " << last.assigned << " (T100 " << last.t100
+              << "), AET " << last.aet << " cycles, TEC "
+              << format_fixed(last.tec, 3) << "\n"
+              << "         " << total_pools << " pool build(s), " << total_maps
+              << " map(s), " << active_ticks << "/" << group.size()
+              << " sampled ticks committed a map, pool-build time "
+              << format_fixed(pool_seconds * 1e3, 3) << " ms\n";
+    if (last.departures > 0 || last.orphaned > 0) {
+      std::cout << "         churn: " << last.departures << " departure(s), "
+                << last.orphaned << " orphaned, " << last.invalidated
+                << " invalidated, energy forfeited "
+                << format_fixed(last.energy_forfeited, 3) << "\n";
+    }
+    std::cout << "\n";
+  }
+  return EXIT_SUCCESS;
+}

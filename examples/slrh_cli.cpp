@@ -10,6 +10,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "core/baselines.hpp"
 #include "core/churn.hpp"
@@ -18,7 +19,10 @@
 #include "core/upper_bound.hpp"
 #include "core/validate.hpp"
 #include "support/args.hpp"
+#include "support/chrome_trace.hpp"
 #include "support/event_log.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/openmetrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/version.hpp"
 #include "workload/scenario.hpp"
@@ -71,6 +75,17 @@ int main(int argc, char** argv) {
   args.add_string("metrics", "",
                   "write counters and phase-time histograms as JSON to this "
                   "file after the run");
+  args.add_string("frames-jsonl", "",
+                  "attach a full-fidelity flight recorder (slrh1-3, maxmax; "
+                  "churn-aware) and write its per-timestep frames as JSONL to "
+                  "this file — analyse with run_report / run_diff");
+  args.add_string("chrome-trace", "",
+                  "write the flight recording as Chrome trace_event JSON "
+                  "(load in chrome://tracing or Perfetto): spans as duration "
+                  "events, frames as counter tracks");
+  args.add_string("openmetrics", "",
+                  "write the run's metrics snapshot as OpenMetrics text "
+                  "exposition to this file");
   args.add_int("jobs", 0,
                "worker threads for parallel phases (0 = AHG_JOBS env, then "
                "hardware concurrency)");
@@ -167,6 +182,9 @@ int main(int argc, char** argv) {
   // --- observability --------------------------------------------------------
   const std::string trace_path = args.get_string("trace-jsonl");
   const std::string metrics_path = args.get_string("metrics");
+  const std::string frames_path = args.get_string("frames-jsonl");
+  const std::string chrome_path = args.get_string("chrome-trace");
+  const std::string openmetrics_path = args.get_string("openmetrics");
   obs::MetricsRegistry metrics;
   std::ofstream trace_stream;
   std::unique_ptr<obs::Sink> sink_holder;
@@ -176,17 +194,26 @@ int main(int argc, char** argv) {
     if (!trace_stream) return fail("cannot open trace file " + trace_path);
     sink_holder = std::make_unique<obs::JsonlSink>(trace_stream, &metrics);
     sink = sink_holder.get();
-  } else if (!metrics_path.empty()) {
+  } else if (!metrics_path.empty() || !openmetrics_path.empty()) {
     // Metrics without a decision trace: a forwarding sink with no downstream
     // collects phase histograms but skips event assembly entirely.
     sink_holder = std::make_unique<obs::ForwardSink>(&metrics, nullptr);
     sink = sink_holder.get();
   }
+  // Flight recorder: the analysis exporters want full fidelity, so every
+  // tick is sampled and every pool build timed (dense_options) — this is an
+  // inspection run, not a benchmark.
+  std::optional<obs::FlightRecorder> recorder_storage;
+  obs::FlightRecorder* recorder = nullptr;
+  if (!frames_path.empty() || !chrome_path.empty()) {
+    recorder_storage.emplace(obs::FlightRecorder::dense_options());
+    recorder = &*recorder_storage;
+  }
   const auto aet_sign = core::AetSign::Reward;
-  if (sink != nullptr && name != "slrh1" && name != "slrh2" && name != "slrh3" &&
-      name != "maxmax") {
-    std::cerr << "slrh_cli: note: --trace-jsonl/--metrics instrument only "
-                 "slrh1-3 and maxmax; '"
+  if ((sink != nullptr || recorder != nullptr) && name != "slrh1" &&
+      name != "slrh2" && name != "slrh3" && name != "maxmax") {
+    std::cerr << "slrh_cli: note: --trace-jsonl/--metrics/--frames-jsonl/"
+                 "--chrome-trace instrument only slrh1-3 and maxmax; '"
               << name << "' emits no telemetry\n";
   }
 
@@ -205,6 +232,7 @@ int main(int argc, char** argv) {
     params.horizon = clock.horizon;
     params.aet_sign = aet_sign;
     params.sink = sink;
+    params.recorder = recorder;
     if (!churny) return core::run_slrh(*scenario, params);
     const auto outcome = core::run_slrh_with_churn(*scenario, params, recovery);
     std::cout << "churn recovery (" << core::to_string(recovery) << "): "
@@ -224,7 +252,7 @@ int main(int argc, char** argv) {
     result = run_slrh_variant(core::SlrhVariant::V3);
   } else if (name == "maxmax") {
     result = core::run_heuristic(core::HeuristicKind::MaxMax, *scenario, weights,
-                                 clock, aet_sign, sink);
+                                 clock, aet_sign, sink, nullptr, recorder);
   } else if (name == "minmin") {
     result = core::run_minmin(*scenario);
   } else if (name == "olb") {
@@ -262,6 +290,28 @@ int main(int argc, char** argv) {
     metrics.snapshot().write_json(metrics_stream);
     metrics_stream << "\n";
     std::cout << "metrics -> " << metrics_path << "\n";
+  }
+  if (!frames_path.empty()) {
+    std::ofstream frames_stream(frames_path);
+    if (!frames_stream) return fail("cannot open frames file " + frames_path);
+    recorder->write_frames_jsonl(frames_stream);
+    std::cout << "frames: " << recorder->frames_recorded() << " recorded, "
+              << recorder->frames_dropped() << " dropped -> " << frames_path
+              << "\n";
+  }
+  if (!chrome_path.empty()) {
+    std::ofstream chrome_stream(chrome_path);
+    if (!chrome_stream) return fail("cannot open trace file " + chrome_path);
+    obs::write_chrome_trace(chrome_stream, *recorder, "slrh_cli");
+    std::cout << "chrome trace: " << recorder->spans_recorded() << " span(s), "
+              << recorder->frames_recorded() << " frame(s) -> " << chrome_path
+              << "\n";
+  }
+  if (!openmetrics_path.empty()) {
+    std::ofstream om_stream(openmetrics_path);
+    if (!om_stream) return fail("cannot open openmetrics file " + openmetrics_path);
+    obs::write_openmetrics(om_stream, metrics.snapshot());
+    std::cout << "openmetrics -> " << openmetrics_path << "\n";
   }
 
   if (args.get_flag("validate")) {

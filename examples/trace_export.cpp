@@ -12,13 +12,17 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "core/heuristics.hpp"
 #include "core/validate.hpp"
 #include "sim/svg.hpp"
 #include "sim/trace.hpp"
 #include "support/args.hpp"
+#include "support/chrome_trace.hpp"
 #include "support/event_log.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/openmetrics.hpp"
 #include "workload/scenario.hpp"
 
 int main(int argc, char** argv) {
@@ -36,6 +40,16 @@ int main(int argc, char** argv) {
   args.add_string("metrics", "",
                   "write counters and phase-time histograms as JSON to this "
                   "file after both runs");
+  args.add_string("frames-jsonl", "",
+                  "record per-timestep flight-recorder frames for BOTH "
+                  "heuristics into one JSONL stream (analyse with run_report "
+                  "/ run_diff)");
+  args.add_string("chrome-trace", "",
+                  "write the flight recording as Chrome trace_event JSON "
+                  "(load in chrome://tracing or Perfetto)");
+  args.add_string("openmetrics", "",
+                  "write the combined metrics snapshot as OpenMetrics text "
+                  "exposition to this file");
   if (!args.parse(argc, argv)) return args.error() ? EXIT_FAILURE : EXIT_SUCCESS;
 
   workload::SuiteParams suite_params;
@@ -64,14 +78,28 @@ int main(int argc, char** argv) {
     }
     sink_holder = std::make_unique<obs::JsonlSink>(trace_stream, &metrics);
     sink = sink_holder.get();
-  } else if (!metrics_path.empty()) {
+  } else if (!metrics_path.empty() || !args.get_string("openmetrics").empty()) {
     sink_holder = std::make_unique<obs::ForwardSink>(&metrics, nullptr);
     sink = sink_holder.get();
   }
 
+  const std::string frames_path = args.get_string("frames-jsonl");
+  const std::string chrome_path = args.get_string("chrome-trace");
+  const std::string openmetrics_path = args.get_string("openmetrics");
+  // One recorder shared across both runs: the frames carry the heuristic
+  // name, so run_report/run_diff can split the stream back apart. Analysis
+  // runs want full fidelity, hence dense_options.
+  std::optional<obs::FlightRecorder> recorder_storage;
+  obs::FlightRecorder* recorder = nullptr;
+  if (!frames_path.empty() || !chrome_path.empty()) {
+    recorder_storage.emplace(obs::FlightRecorder::dense_options());
+    recorder = &*recorder_storage;
+  }
+
   for (const auto kind : {core::HeuristicKind::Slrh1, core::HeuristicKind::MaxMax}) {
     const auto result = core::run_heuristic(kind, scenario, weights, {},
-                                            core::AetSign::Reward, sink);
+                                            core::AetSign::Reward, sink,
+                                            nullptr, recorder);
     const std::string stem = to_string(kind);
 
     const auto assignments_path = out_dir / (stem + "_assignments.csv");
@@ -126,6 +154,37 @@ int main(int argc, char** argv) {
     metrics.snapshot().write_json(metrics_stream);
     metrics_stream << "\n";
     std::cout << "metrics -> " << metrics_path << "\n";
+  }
+  if (!frames_path.empty()) {
+    std::ofstream frames_stream(frames_path);
+    if (!frames_stream) {
+      std::cerr << "trace_export: cannot open " << frames_path << "\n";
+      return EXIT_FAILURE;
+    }
+    recorder->write_frames_jsonl(frames_stream);
+    std::cout << "frames: " << recorder->frames_recorded() << " recorded, "
+              << recorder->frames_dropped() << " dropped -> " << frames_path
+              << "\n";
+  }
+  if (!chrome_path.empty()) {
+    std::ofstream chrome_stream(chrome_path);
+    if (!chrome_stream) {
+      std::cerr << "trace_export: cannot open " << chrome_path << "\n";
+      return EXIT_FAILURE;
+    }
+    obs::write_chrome_trace(chrome_stream, *recorder, "trace_export");
+    std::cout << "chrome trace: " << recorder->spans_recorded() << " span(s), "
+              << recorder->frames_recorded() << " frame(s) -> " << chrome_path
+              << "\n";
+  }
+  if (!openmetrics_path.empty()) {
+    std::ofstream om_stream(openmetrics_path);
+    if (!om_stream) {
+      std::cerr << "trace_export: cannot open " << openmetrics_path << "\n";
+      return EXIT_FAILURE;
+    }
+    obs::write_openmetrics(om_stream, metrics.snapshot());
+    std::cout << "openmetrics -> " << openmetrics_path << "\n";
   }
   return EXIT_SUCCESS;
 }

@@ -9,6 +9,7 @@
 #include "core/scoring.hpp"
 #include "sim/comm.hpp"
 #include "support/contract.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/stopwatch.hpp"
 
 namespace ahg::core {
@@ -229,6 +230,7 @@ ChurnRunOutcome run_slrh_with_churn(const workload::Scenario& scenario,
   const ObjectiveTotals totals = objective_totals(scenario);
   const std::string heuristic_name = to_string(params.variant);
   obs::Sink* sink = params.sink;
+  obs::FlightRecorder* recorder = params.recorder;
 
   std::vector<std::uint8_t> degrade_mask(scenario.num_tasks(), 0);
   SlrhParams run_params = params;
@@ -274,6 +276,8 @@ ChurnRunOutcome run_slrh_with_churn(const workload::Scenario& scenario,
       }
     }
     if (new_departures.empty()) continue;
+
+    const double recovery_t0 = recorder != nullptr ? recorder->now_seconds() : 0.0;
 
     // Invalidation fixpoint, including affordability: a rebuild that cannot
     // re-take some kept task's worst-case output hold invalidates that task
@@ -348,6 +352,18 @@ ChurnRunOutcome run_slrh_with_churn(const workload::Scenario& scenario,
     outcome.orphaned += batch_orphaned;
     outcome.invalidated += batch_invalid - batch_orphaned;
     schedule = std::move(rebuilt);
+
+    if (recorder != nullptr) {
+      // Every frame sampled from here on carries the updated cumulative
+      // churn tallies; the recovery itself shows up as a span.
+      recorder->add_span("churn_recovery", recovery_t0,
+                         recorder->now_seconds() - recovery_t0, process);
+      recorder->set_churn_context(
+          static_cast<std::uint64_t>(outcome.departures_processed),
+          static_cast<std::uint64_t>(outcome.orphaned),
+          static_cast<std::uint64_t>(outcome.invalidated),
+          outcome.energy_forfeited);
+    }
   }
 
   drive_slrh(scenario, run_params, *schedule, current, scenario.tau + 1, result);

@@ -24,7 +24,8 @@ std::vector<HeuristicKind> all_heuristics() {
 MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenario,
                             const Weights& weights, const SlrhClock& clock,
                             AetSign aet_sign, obs::Sink* sink,
-                            const ScenarioCache* cache) {
+                            const ScenarioCache* cache,
+                            obs::FlightRecorder* recorder) {
   switch (kind) {
     case HeuristicKind::Slrh1:
     case HeuristicKind::Slrh2:
@@ -39,6 +40,7 @@ MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenar
       params.aet_sign = aet_sign;
       params.sink = sink;
       params.cache = cache;
+      params.recorder = recorder;
       return run_slrh(scenario, params);
     }
     case HeuristicKind::MaxMax: {
@@ -47,6 +49,7 @@ MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenar
       params.aet_sign = aet_sign;
       params.sink = sink;
       params.cache = cache;
+      params.recorder = recorder;
       return run_maxmax(scenario, params);
     }
   }

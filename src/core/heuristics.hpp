@@ -38,11 +38,14 @@ struct SlrhClock {
 /// pure-scenario tables; null makes each run build its own. Supply one when
 /// running the same scenario many times (the tuner, the Lagrangian loop) —
 /// it must have been built from `scenario` and is read-only here, so one
-/// instance may serve concurrent callers.
+/// instance may serve concurrent callers. `recorder` (not owned, may be
+/// null) samples per-timestep / per-round obs::Frames — see
+/// SlrhParams::recorder for the null-recorder contract.
 MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenario,
                             const Weights& weights, const SlrhClock& clock = {},
                             AetSign aet_sign = AetSign::Reward,
                             obs::Sink* sink = nullptr,
-                            const ScenarioCache* cache = nullptr);
+                            const ScenarioCache* cache = nullptr,
+                            obs::FlightRecorder* recorder = nullptr);
 
 }  // namespace ahg::core

@@ -11,6 +11,7 @@
 #include "core/placement.hpp"
 #include "core/scenario_cache.hpp"
 #include "core/scoring.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/profile.hpp"
 #include "support/stopwatch.hpp"
 
@@ -79,6 +80,7 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
       metrics != nullptr ? &metrics->counter("maxmax.map_decisions") : nullptr;
   const bool trace_maps =
       params.sink != nullptr && params.sink->wants(obs::EventKind::MapDecision);
+  obs::FlightRecorder* recorder = params.recorder;
 
   if (params.sink != nullptr && params.sink->wants(obs::EventKind::RunBegin)) {
     obs::Event event;
@@ -140,10 +142,14 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
   // commit because every commit changes the schedule).
   std::set<std::tuple<TaskId, MachineId, VersionKind>> excluded;
 
+  const double run_t0 = recorder != nullptr ? recorder->now_seconds() : 0.0;
+
   while (!schedule->complete()) {
     ++result.iterations;
     ++result.pools_built;
     if (rounds_counter != nullptr) rounds_counter->add();
+    const double round_t0 = recorder != nullptr ? recorder->now_seconds() : 0.0;
+    const auto pool_size = static_cast<std::uint64_t>(frontier.size());
 
     Triplet best;
     PlacementPlan best_plan;
@@ -256,6 +262,48 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
       }
     }
     std::sort(frontier.begin(), frontier.end());
+
+    if (recorder != nullptr) {
+      // One frame per selection round; Max-Max has no simulation clock, so
+      // frame.clock carries the round index (matching the event stream).
+      const auto round = static_cast<Cycles>(result.iterations);
+      const double now = recorder->now_seconds();
+      recorder->add_span("select", round_t0, now - round_t0, round, best.machine);
+      obs::Frame frame;
+      frame.heuristic = "Max-Max";
+      frame.clock = round;
+      frame.wall_seconds = now;
+      frame.timestep_seconds = now - round_t0;
+      frame.pool_build_seconds = now - round_t0;  // the round IS the selection
+      const ObjectiveTerms terms = objective_terms(
+          params.weights,
+          ObjectiveState{schedule->t100(), schedule->tec(), schedule->aet()},
+          totals, params.aet_sign);
+      frame.term_t100 = terms.t100;
+      frame.term_tec = terms.tec;
+      frame.term_aet = terms.aet;
+      frame.objective = terms.value;
+      frame.assigned = schedule->num_assigned();
+      frame.t100 = schedule->t100();
+      frame.tec = schedule->tec();
+      frame.aet = schedule->aet();
+      frame.pools_built = 1;
+      frame.maps = 1;
+      frame.last_pool_size = pool_size;
+      frame.frontier_ready = frontier.size();
+      const sim::EnergyLedger& ledger = schedule->energy();
+      for (MachineId m = 0; m < num_machines; ++m) {
+        const double capacity = ledger.capacity(m);
+        frame.battery_fraction.push_back(
+            capacity > 0.0 ? ledger.available(m) / capacity : 0.0);
+        frame.busy_until.push_back(schedule->machine_ready(m));
+      }
+      recorder->record(std::move(frame));
+    }
+  }
+
+  if (recorder != nullptr) {
+    recorder->add_span("run:Max-Max", run_t0, recorder->now_seconds() - run_t0);
   }
 
   result.wall_seconds = timer.seconds();

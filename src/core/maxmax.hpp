@@ -21,6 +21,10 @@
 #include "support/event_log.hpp"
 #include "workload/scenario.hpp"
 
+namespace ahg::obs {
+class FlightRecorder;
+}  // namespace ahg::obs
+
 namespace ahg::core {
 
 class ScenarioCache;
@@ -46,6 +50,12 @@ struct MaxMaxParams {
   /// subtasks still unmapped; selection-round time feeds
   /// "maxmax.select_seconds" in sink->metrics() when present.
   obs::Sink* sink = nullptr;
+
+  /// Optional flight recorder (not owned; same null contract as `sink`).
+  /// Max-Max is clock-free, so one obs::Frame is sampled per SELECTION ROUND
+  /// (frame.clock = round index) plus a "select" span per round; the
+  /// recorder only observes.
+  obs::FlightRecorder* recorder = nullptr;
 
   /// Optional precomputed pure-scenario tables (not owned). Null — the
   /// default — makes the run build its own; supply one to amortise the

@@ -10,6 +10,7 @@
 #include "core/placement.hpp"
 #include "core/scenario_cache.hpp"
 #include "core/scoring.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/profile.hpp"
 #include "support/stopwatch.hpp"
 
@@ -354,8 +355,35 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
   const bool trace_pools = telemetry.tracing(obs::EventKind::PoolBuilt);
   const bool trace_maps = telemetry.tracing(obs::EventKind::MapDecision);
   const bool trace_stalls = telemetry.tracing(obs::EventKind::Stall);
-  const std::string heuristic_name =
-      params.sink != nullptr ? to_string(params.variant) : std::string();
+  obs::FlightRecorder* recorder = params.recorder;
+  const std::string heuristic_name = params.sink != nullptr || recorder != nullptr
+                                         ? to_string(params.variant)
+                                         : std::string();
+
+  // Flight-recorder per-timestep accumulators (touched only with a recorder
+  // attached; the null-recorder path never reads a clock). The overhead
+  // budget (≤3% with a recorder ATTACHED, see bench_micro_kernels) shapes
+  // this path too: step_t0 is set lazily by the tick's first pool build so
+  // an idle tick costs no clock read, `scratch` is reused across ticks so
+  // frame assembly is allocation-free after the first, and idle ticks are
+  // decimated per Options::idle_stride (active ticks are always sampled).
+  double step_t0 = 0.0;
+  bool step_timed = false;
+  double step_pool_seconds = 0.0;
+  std::uint64_t step_pools = 0;
+  std::uint64_t step_maps = 0;
+  std::uint64_t step_last_pool = 0;
+  std::uint64_t idle_ticks_unsampled = 0;
+  std::uint64_t span_countdown = 1;  // countdown, not modulo: no div per build
+  const std::uint64_t idle_stride =
+      recorder != nullptr
+          ? std::max<std::uint64_t>(std::uint64_t{1}, recorder->options().idle_stride)
+          : std::uint64_t{1};
+  const std::uint64_t span_stride =
+      recorder != nullptr
+          ? std::max<std::uint64_t>(std::uint64_t{1}, recorder->options().span_stride)
+          : std::uint64_t{1};
+  obs::Frame scratch;
 
   // Fast-path machinery (see DESIGN.md "Incremental frontier"): precomputed
   // pure-scenario tables, the incremental ready frontier, and the
@@ -380,6 +408,8 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
   const auto make_pool = [&](MachineId machine, Cycles clock) {
     SlrhPoolRejects rejects;
     std::vector<SlrhPoolCandidate> pool;
+    const bool time_this_build = recorder != nullptr && --span_countdown == 0;
+    const double span_t0 = time_this_build ? recorder->now_seconds() : 0.0;
     {
       obs::ProfileScope scope(telemetry.pool_build);
       SlrhPoolRejects* rej = trace_pools ? &rejects : nullptr;
@@ -389,6 +419,20 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
                                             telemetry.scoring)
                  : build_slrh_pool_scan(scenario, schedule, params, totals, machine,
                                         clock, rej, telemetry.scoring);
+    }
+    if (recorder != nullptr) {
+      if (time_this_build) {
+        span_countdown = span_stride;
+        const double elapsed = recorder->now_seconds() - span_t0;
+        recorder->add_span("pool_build", span_t0, elapsed, clock, machine);
+        if (!step_timed) {
+          step_t0 = span_t0;
+          step_timed = true;
+        }
+        step_pool_seconds += elapsed;
+      }
+      ++step_pools;
+      step_last_pool = pool.size();
     }
     ++result.pools_built;
     if (telemetry.pools != nullptr) telemetry.pools->add();
@@ -422,6 +466,7 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
     if (mapped != npos) {
       if (frontier.has_value()) frontier->on_commit(pool[mapped].task);
       if (telemetry.maps != nullptr) telemetry.maps->add();
+      if (recorder != nullptr) ++step_maps;
     }
     if (tracing && (mapped != npos ? trace_maps : trace_stalls) &&
         !(mapped == npos && pool.size() == skip_before)) {
@@ -449,11 +494,63 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
     return mapped;
   };
 
+  // End-of-timestep frame assembly (recorder path only). Samples the
+  // schedule AFTER the machine sweep so the frame reflects every decision
+  // the tick made; nothing here feeds back into the loop.
+  const auto record_frame = [&](Cycles clock) {
+    obs::Frame& frame = scratch;
+    frame.heuristic = heuristic_name;
+    frame.clock = clock;
+    const double now = recorder->now_seconds();
+    frame.wall_seconds = now;
+    frame.timestep_seconds = step_timed ? now - step_t0 : 0.0;
+    frame.pool_build_seconds = step_pool_seconds;
+    const ObjectiveTerms terms = objective_terms(
+        params.weights,
+        ObjectiveState{schedule.t100(), schedule.tec(), schedule.aet()}, totals,
+        params.aet_sign);
+    frame.term_t100 = terms.t100;
+    frame.term_tec = terms.tec;
+    frame.term_aet = terms.aet;
+    frame.objective = terms.value;
+    frame.assigned = schedule.num_assigned();
+    frame.t100 = schedule.t100();
+    frame.tec = schedule.tec();
+    frame.aet = schedule.aet();
+    frame.pools_built = step_pools;
+    frame.maps = step_maps;
+    frame.last_pool_size = step_last_pool;
+    if (frontier.has_value()) {
+      frame.frontier_ready = frontier->ready().size();
+      frame.frontier_unreleased = frontier->num_unreleased();
+    } else {
+      frame.frontier_ready = 0;
+      frame.frontier_unreleased = 0;
+    }
+    const sim::EnergyLedger& ledger = schedule.energy();
+    frame.battery_fraction.clear();
+    frame.busy_until.clear();
+    frame.battery_fraction.reserve(static_cast<std::size_t>(num_machines));
+    frame.busy_until.reserve(static_cast<std::size_t>(num_machines));
+    for (MachineId m = 0; m < num_machines; ++m) {
+      const double capacity = ledger.capacity(m);
+      frame.battery_fraction.push_back(
+          capacity > 0.0 ? ledger.available(m) / capacity : 0.0);
+      frame.busy_until.push_back(schedule.machine_ready(m));
+    }
+    recorder->record(frame);
+  };
+
   for (Cycles clock = start_clock;
        !schedule.complete() && clock <= scenario.tau && clock < end_clock;
        clock += params.dt) {
     ++result.iterations;
     if (telemetry.timesteps != nullptr) telemetry.timesteps->add();
+    if (recorder != nullptr) {
+      step_pool_seconds = 0.0;
+      step_pools = step_maps = step_last_pool = 0;
+      step_timed = false;
+    }
     if (frontier.has_value()) frontier->advance_to(clock);
     for (MachineId machine = 0; machine < num_machines; ++machine) {
       if (schedule.complete()) break;
@@ -496,6 +593,14 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
         }
       }
     }
+    if (recorder != nullptr) {
+      // A tick that committed a mapping is always sampled; poll-only and
+      // fully idle ticks are decimated (see Options::idle_stride).
+      if (step_maps > 0 || ++idle_ticks_unsampled >= idle_stride) {
+        record_frame(clock);
+        idle_ticks_unsampled = 0;
+      }
+    }
   }
 }
 
@@ -519,8 +624,14 @@ MappingResult run_slrh(const workload::Scenario& scenario, const SlrhParams& par
 
   auto schedule = make_schedule(scenario);
   MappingResult result;
+  const double run_t0 =
+      params.recorder != nullptr ? params.recorder->now_seconds() : 0.0;
   drive_slrh(scenario, params, *schedule, /*start_clock=*/0,
              /*end_clock=*/scenario.tau + 1, result);
+  if (params.recorder != nullptr) {
+    params.recorder->add_span("run:" + to_string(params.variant), run_t0,
+                              params.recorder->now_seconds() - run_t0);
+  }
 
   result.wall_seconds = timer.seconds();
   result.complete = schedule->complete();

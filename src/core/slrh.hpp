@@ -26,6 +26,10 @@
 #include "support/event_log.hpp"
 #include "workload/scenario.hpp"
 
+namespace ahg::obs {
+class FlightRecorder;
+}  // namespace ahg::obs
+
 namespace ahg::core {
 
 class ScenarioCache;
@@ -50,6 +54,18 @@ struct SlrhParams {
   /// rejection reasons), and stall events, and feeds phase histograms into
   /// sink->metrics() when present.
   obs::Sink* sink = nullptr;
+
+  /// Optional flight recorder (not owned). Null — the default — takes the
+  /// exact pre-recorder code path (one branch per timestep, no clock reads,
+  /// bit-identical schedules; same contract as `sink`). With a recorder
+  /// attached the driver samples one obs::Frame at the END of every ACTIVE
+  /// timestep — idle ticks are decimated per FlightRecorder::Options::
+  /// idle_stride (set it to 1 for literally every tick)
+  /// (objective-term breakdown, progress, pool/frontier sizes, per-machine
+  /// battery fraction and busy-until) and adds a wall-clock span per pool
+  /// build; run_slrh wraps the whole run in a span. Recording only observes
+  /// — no decision reads recorder state.
+  obs::FlightRecorder* recorder = nullptr;
 
   /// Optional precomputed pure-scenario tables (not owned). Null — the
   /// default — makes the driver build its own once per run; supply one to

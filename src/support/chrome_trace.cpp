@@ -1,0 +1,127 @@
+#include "support/chrome_trace.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "support/flight_recorder.hpp"
+#include "support/jsonl.hpp"
+
+namespace ahg::obs {
+
+namespace {
+
+constexpr int kPid = 1;
+constexpr int kTid = 1;
+
+double to_micros(double seconds) { return seconds * 1e6; }
+
+/// One metadata event naming the process or thread track.
+void write_name_event(std::ostream& os, bool& first, std::string_view kind,
+                      std::string_view name) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("name", kind).field("ph", "M").field("pid", kPid).field("tid", kTid);
+  json.key("args").begin_object().field("name", name).end_object();
+  json.end_object();
+  if (!first) os << ",\n";
+  first = false;
+  os << json.str();
+}
+
+/// One counter event: a named track with one or more series in args.
+class CounterEvent {
+ public:
+  CounterEvent(std::string_view track, double ts_micros) {
+    json_.begin_object();
+    json_.field("name", track).field("ph", "C").field("pid", kPid);
+    json_.field("ts", ts_micros);
+    json_.key("args").begin_object();
+  }
+
+  CounterEvent& series(std::string_view name, double value) {
+    json_.field(name, value);
+    return *this;
+  }
+
+  void flush(std::ostream& os, bool& first) {
+    json_.end_object().end_object();
+    if (!first) os << ",\n";
+    first = false;
+    os << json_.str();
+  }
+
+ private:
+  JsonWriter json_;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const FlightRecorder& recorder,
+                        std::string_view process_name) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  write_name_event(os, first, "process_name", process_name);
+  write_name_event(os, first, "thread_name", "heuristic");
+
+  for (const Span& span : recorder.spans()) {
+    JsonWriter json;
+    json.begin_object();
+    json.field("name", span.name).field("ph", "X").field("pid", kPid);
+    json.field("tid", kTid);
+    json.field("ts", to_micros(span.start_seconds));
+    json.field("dur", to_micros(span.duration_seconds));
+    json.key("args").begin_object();
+    if (span.clock >= 0) json.field("clock", static_cast<std::int64_t>(span.clock));
+    if (span.machine != kInvalidMachine) {
+      json.field("machine", static_cast<std::int64_t>(span.machine));
+    }
+    json.end_object().end_object();
+    if (!first) os << ",\n";
+    first = false;
+    os << json.str();
+  }
+
+  for (const Frame& frame : recorder.frames()) {
+    const double ts = to_micros(frame.wall_seconds);
+    CounterEvent objective("objective", ts);
+    objective.series("t100_term", frame.term_t100)
+        .series("tec_term", frame.term_tec)
+        .series("aet_term", frame.term_aet)
+        .series("value", frame.objective);
+    objective.flush(os, first);
+
+    CounterEvent progress("progress", ts);
+    progress.series("assigned", static_cast<double>(frame.assigned))
+        .series("t100", static_cast<double>(frame.t100));
+    progress.flush(os, first);
+
+    CounterEvent pool("pool", ts);
+    pool.series("pools_built", static_cast<double>(frame.pools_built))
+        .series("maps", static_cast<double>(frame.maps))
+        .series("pool_size", static_cast<double>(frame.last_pool_size))
+        .series("frontier_ready", static_cast<double>(frame.frontier_ready));
+    pool.flush(os, first);
+
+    if (!frame.battery_fraction.empty()) {
+      CounterEvent battery("battery", ts);
+      for (std::size_t m = 0; m < frame.battery_fraction.size(); ++m) {
+        std::string label = "m";
+        label += std::to_string(m);
+        battery.series(label, frame.battery_fraction[m]);
+      }
+      battery.flush(os, first);
+    }
+
+    if (frame.departures > 0 || frame.orphaned > 0 || frame.invalidated > 0) {
+      CounterEvent churn("churn", ts);
+      churn.series("departures", static_cast<double>(frame.departures))
+          .series("orphaned", static_cast<double>(frame.orphaned))
+          .series("invalidated", static_cast<double>(frame.invalidated));
+      churn.flush(os, first);
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+}  // namespace ahg::obs

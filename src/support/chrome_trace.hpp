@@ -1,0 +1,30 @@
+#pragma once
+// Chrome trace_event exporter (ahg::obs): renders a FlightRecorder's spans
+// and frames as one `{"traceEvents":[...]}` JSON document loadable in
+// chrome://tracing or Perfetto (legacy JSON mode).
+//
+// Mapping:
+//  - every Span becomes a complete duration event (ph "X", ts/dur in
+//    microseconds from recorder start) on the heuristic thread, with the
+//    simulation clock and machine as args;
+//  - every Frame becomes a set of counter events (ph "C") at its capture
+//    time: an "objective" track with the weighted term breakdown, a
+//    "progress" track (assigned / T100), a "pool" track (re-plans, maps,
+//    pool and frontier sizes), a "battery" track with one series per machine
+//    (available/capacity fraction), and — only when churn has occurred — a
+//    "churn" track with the cumulative tallies;
+//  - process / thread name metadata events label the tracks.
+
+#include <iosfwd>
+#include <string_view>
+
+namespace ahg::obs {
+
+class FlightRecorder;
+
+/// Write the complete trace document. `process_name` labels the process
+/// track in the viewer (e.g. the CLI invocation or scenario name).
+void write_chrome_trace(std::ostream& os, const FlightRecorder& recorder,
+                        std::string_view process_name = "ahg");
+
+}  // namespace ahg::obs

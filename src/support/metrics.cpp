@@ -1,6 +1,7 @@
 #include "support/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <ostream>
 
@@ -110,8 +111,21 @@ void Histogram::merge(const HistogramSnapshot& other) {
 }
 
 double HistogramSnapshot::percentile(double p) const noexcept {
-  if (count == 0) return 0.0;
+  if (count == 0) return 0.0;  // empty: defined zero, never NaN
+  if (std::isnan(p)) p = 0.0;  // NaN p clamps like any out-of-range query
   p = std::clamp(p, 0.0, 100.0);
+  // Sanitize the observed extremes: a torn snapshot (count is incremented
+  // before min/max settle, all relaxed atomics) or a hand-assembled snapshot
+  // can carry non-finite or inverted min/max, which would poison the
+  // interpolation with NaN. Fall back to the bucket bounds in that case.
+  double lo_obs = min;
+  double hi_obs = max;
+  if (!std::isfinite(lo_obs) || !std::isfinite(hi_obs) || lo_obs > hi_obs) {
+    lo_obs = bounds.empty() ? 0.0 : bounds.front();
+    hi_obs = bounds.empty() ? 0.0 : bounds.back();
+  }
+  if (p <= 0.0) return lo_obs;
+  if (p >= 100.0) return hi_obs;
   const double rank = p / 100.0 * static_cast<double>(count);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {
@@ -119,15 +133,16 @@ double HistogramSnapshot::percentile(double p) const noexcept {
     if (in_bucket == 0) continue;
     if (static_cast<double>(seen + in_bucket) >= rank) {
       // Interpolate within [lo, hi) of this bucket, clamped to observations.
-      const double lo = i == 0 ? min : std::max(min, bounds[i - 1]);
-      const double hi = i < bounds.size() ? std::min(max, bounds[i]) : max;
+      const double lo = i == 0 ? lo_obs : std::max(lo_obs, bounds[i - 1]);
+      const double hi = i < bounds.size() ? std::min(hi_obs, bounds[i]) : hi_obs;
       const double into =
           (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
-      return std::clamp(lo + (hi - lo) * std::clamp(into, 0.0, 1.0), min, max);
+      return std::clamp(lo + (hi - lo) * std::clamp(into, 0.0, 1.0), lo_obs,
+                        hi_obs);
     }
     seen += in_bucket;
   }
-  return max;
+  return hi_obs;
 }
 
 // --- MetricsSnapshot ---------------------------------------------------------
@@ -285,9 +300,53 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::merge(const MetricsSnapshot& other) {
-  for (const auto& c : other.counters) counter(c.name).add(c.value);
-  for (const auto& g : other.gauges) gauge(g.name).set(g.value);
-  for (const auto& h : other.histograms) histogram(h.name, h.bounds).merge(h);
+  std::uint64_t conflicts = 0;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& c : other.counters) {
+      if (gauges_.find(c.name) != gauges_.end() ||
+          histograms_.find(c.name) != histograms_.end()) {
+        ++conflicts;
+        continue;
+      }
+      auto it = counters_.find(c.name);
+      if (it == counters_.end()) {
+        it = counters_.emplace(c.name, std::make_unique<Counter>()).first;
+      }
+      it->second->add(c.value);
+    }
+    for (const auto& g : other.gauges) {
+      if (counters_.find(g.name) != counters_.end() ||
+          histograms_.find(g.name) != histograms_.end()) {
+        ++conflicts;
+        continue;
+      }
+      auto it = gauges_.find(g.name);
+      if (it == gauges_.end()) {
+        it = gauges_.emplace(g.name, std::make_unique<Gauge>()).first;
+      }
+      it->second->set(g.value);
+    }
+    for (const auto& h : other.histograms) {
+      if (counters_.find(h.name) != counters_.end() ||
+          gauges_.find(h.name) != gauges_.end()) {
+        ++conflicts;
+        continue;
+      }
+      auto it = histograms_.find(h.name);
+      if (it == histograms_.end()) {
+        it = histograms_.emplace(h.name, std::make_unique<Histogram>(h.bounds))
+                 .first;
+      } else if (!std::equal(h.bounds.begin(), h.bounds.end(),
+                             it->second->bounds().begin(),
+                             it->second->bounds().end())) {
+        ++conflicts;
+        continue;
+      }
+      it->second->merge(h);
+    }
+  }
+  if (conflicts > 0) counter("obs.merge_conflicts").add(conflicts);
 }
 
 }  // namespace ahg::obs

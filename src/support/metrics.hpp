@@ -86,8 +86,10 @@ struct HistogramSnapshot {
     return count > 0 ? sum / static_cast<double>(count) : 0.0;
   }
 
-  /// Bucket-interpolated percentile, p in [0, 100]. Clamped to the observed
-  /// [min, max]; returns 0 for an empty histogram.
+  /// Bucket-interpolated percentile. Never returns NaN: p is clamped to
+  /// [0, 100] (NaN p clamps to 0), an empty histogram returns 0, and
+  /// non-finite/inverted min/max (a torn relaxed-atomics snapshot) fall back
+  /// to the bucket bounds. p<=0 returns the observed min, p>=100 the max.
   double percentile(double p) const noexcept;
 };
 
@@ -172,6 +174,10 @@ class MetricsRegistry {
 
   /// Fold a snapshot into this registry (counters add, gauges last-write,
   /// histograms merge bucket-wise). The reduction mirror of Accumulator::merge.
+  /// Conflicting entries — a name registered here as a different metric kind,
+  /// or a histogram arriving with different bucket bounds — are SKIPPED
+  /// instead of silently clobbering or aborting, and each skip increments the
+  /// "obs.merge_conflicts" counter so the loss is visible in snapshots.
   void merge(const MetricsSnapshot& other);
   void merge(const MetricsRegistry& other) { merge(other.snapshot()); }
 

@@ -1,0 +1,68 @@
+#include "support/openmetrics.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+#include "support/metrics.hpp"
+
+namespace ahg::obs {
+
+namespace {
+
+/// Shortest-round-trip decimal, same strategy as JsonWriter::value(double),
+/// plus the non-finite spellings OpenMetrics allows in sample values.
+std::string format_double(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return ec == std::errc() ? std::string(buf, ptr) : "0";
+}
+
+bool name_char_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+}  // namespace
+
+std::string openmetrics_name(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + name.size() + 1);
+  for (const char c : prefix) out.push_back(name_char_ok(c) ? c : '_');
+  if (!out.empty() && !name.empty()) out.push_back('_');
+  for (const char c : name) out.push_back(name_char_ok(c) ? c : '_');
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+void write_openmetrics(std::ostream& os, const MetricsSnapshot& snapshot,
+                       std::string_view prefix) {
+  for (const auto& c : snapshot.counters) {
+    const std::string name = openmetrics_name(prefix, c.name);
+    os << "# TYPE " << name << " counter\n"
+       << name << "_total " << c.value << "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = openmetrics_name(prefix, g.name);
+    os << "# TYPE " << name << " gauge\n"
+       << name << " " << format_double(g.value) << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = openmetrics_name(prefix, h.name);
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const std::string le =
+          i < h.bounds.size() ? format_double(h.bounds[i]) : "+Inf";
+      os << name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    os << name << "_sum " << format_double(h.sum) << "\n"
+       << name << "_count " << h.count << "\n";
+  }
+  os << "# EOF\n";
+}
+
+}  // namespace ahg::obs

@@ -1,0 +1,33 @@
+#pragma once
+// OpenMetrics text-exposition exporter (ahg::obs): renders any
+// MetricsSnapshot in the OpenMetrics 1.0 text format, scrapable by
+// Prometheus-compatible collectors or diffable as plain text.
+//
+// Mapping:
+//  - Counter   -> `# TYPE <name> counter` + `<name>_total <value>`;
+//  - Gauge     -> `# TYPE <name> gauge` + `<name> <value>`;
+//  - Histogram -> `# TYPE <name> histogram` with cumulative
+//                 `<name>_bucket{le="..."}` series (the registry's fixed
+//                 upper bounds plus `+Inf`), `<name>_sum`, `<name>_count`;
+//  - the exposition ends with the mandatory `# EOF` line.
+//
+// Metric names are sanitized to the OpenMetrics charset: every character
+// outside [a-zA-Z0-9_:] becomes '_' (so "slrh.pool_build_seconds" exports as
+// "ahg_slrh_pool_build_seconds" under the default prefix).
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace ahg::obs {
+
+struct MetricsSnapshot;
+
+/// Sanitized `<prefix>_<name>` exposition name (exposed for tests).
+std::string openmetrics_name(std::string_view prefix, std::string_view name);
+
+/// Write the full exposition, `# EOF` terminator included.
+void write_openmetrics(std::ostream& os, const MetricsSnapshot& snapshot,
+                       std::string_view prefix = "ahg");
+
+}  // namespace ahg::obs

@@ -14,6 +14,7 @@
 #include "core/scenario_cache.hpp"
 #include "core/tuner.hpp"
 #include "core/upper_bound.hpp"
+#include "support/flight_recorder.hpp"
 #include "tests/scenario_fixtures.hpp"
 #include "workload/dynamics.hpp"
 
@@ -126,6 +127,95 @@ TEST(Determinism, MaxMaxCachedMatchesLegacyScan) {
 
     expect_identical(legacy, local, scenario, "Max-Max local tables");
     expect_identical(legacy, cached, scenario, "Max-Max shared tables");
+  }
+}
+
+// The flight recorder's side of the null-handle contract: attaching one —
+// at the default decimated sampling AND at dense every-tick sampling — must
+// leave every schedule bit-identical to the recorder-off run. Recording only
+// observes; no decision may read recorder state or depend on a clock it
+// introduces.
+TEST(Determinism, SlrhRecorderOnMatchesRecorderOff) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    for (const auto variant :
+         {core::SlrhVariant::V1, core::SlrhVariant::V2, core::SlrhVariant::V3}) {
+      core::SlrhParams params;
+      params.variant = variant;
+      params.weights = core::Weights::make(0.6, 0.3);
+      const auto off = core::run_slrh(scenario, params);
+
+      obs::FlightRecorder sampled;  // default idle/span strides
+      params.recorder = &sampled;
+      const auto with_sampled = core::run_slrh(scenario, params);
+
+      obs::FlightRecorder dense(obs::FlightRecorder::dense_options());
+      params.recorder = &dense;
+      const auto with_dense = core::run_slrh(scenario, params);
+
+      expect_identical(off, with_sampled, scenario, to_string(variant).c_str());
+      expect_identical(off, with_dense, scenario, to_string(variant).c_str());
+      EXPECT_GT(dense.frames_recorded(), 0u);
+      EXPECT_GE(dense.frames_recorded(), sampled.frames_recorded());
+    }
+  }
+}
+
+TEST(Determinism, MaxMaxRecorderOnMatchesRecorderOff) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    core::MaxMaxParams params;
+    params.weights = core::Weights::make(0.6, 0.3);
+    const auto off = core::run_maxmax(scenario, params);
+
+    obs::FlightRecorder recorder(obs::FlightRecorder::dense_options());
+    params.recorder = &recorder;
+    const auto on = core::run_maxmax(scenario, params);
+
+    expect_identical(off, on, scenario, "Max-Max recorder on");
+    EXPECT_EQ(recorder.frames_recorded(),
+              static_cast<std::uint64_t>(on.assigned));
+  }
+}
+
+TEST(Determinism, ChurnRecorderOnMatchesRecorderOff) {
+  // Same contract through the churn driver: recovery spans and churn-context
+  // stamping must not perturb the rebuilt schedules.
+  auto scenario = test::small_suite_scenario(sim::GridCase::A, 64, 4242);
+  scenario.machine_windows.assign(scenario.num_machines(),
+                                  workload::Scenario::MachineWindow{});
+  // One mid-run departure so the recovery path actually runs. Early enough
+  // (tau/8) that every variant — V3 finishes mapping fastest — still has
+  // work left afterwards, so post-recovery frames exist to check.
+  scenario.machine_windows[1].depart = scenario.tau / 8;
+  for (const auto variant :
+       {core::SlrhVariant::V1, core::SlrhVariant::V3}) {
+    core::SlrhParams params;
+    params.variant = variant;
+    params.weights = core::Weights::make(0.6, 0.3);
+    const auto off = core::run_slrh_with_churn(scenario, params);
+
+    obs::FlightRecorder recorder(obs::FlightRecorder::dense_options());
+    params.recorder = &recorder;
+    const auto on = core::run_slrh_with_churn(scenario, params);
+
+    EXPECT_GT(off.departures_processed, 0u);
+    EXPECT_EQ(on.departures_processed, off.departures_processed);
+    EXPECT_EQ(on.orphaned, off.orphaned);
+    EXPECT_EQ(on.invalidated, off.invalidated);
+    EXPECT_EQ(on.energy_forfeited, off.energy_forfeited);  // exact
+    expect_identical(off.result, on.result, scenario,
+                     to_string(variant).c_str());
+
+    // The recording saw the churn: later frames carry the cumulative tallies
+    // and a churn_recovery span exists.
+    const auto frames = recorder.frames();
+    ASSERT_FALSE(frames.empty());
+    EXPECT_EQ(frames.back().departures,
+              static_cast<std::uint64_t>(off.departures_processed));
+    bool saw_recovery = false;
+    for (const auto& span : recorder.spans()) {
+      if (span.name == "churn_recovery") saw_recovery = true;
+    }
+    EXPECT_TRUE(saw_recovery);
   }
 }
 

@@ -1,0 +1,156 @@
+// Tests for the two flight-recorder export formats: Chrome trace_event JSON
+// (chrome://tracing / Perfetto legacy mode) and OpenMetrics text exposition.
+// Both are checked structurally — parse the output, don't pattern-match it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/slrh.hpp"
+#include "support/chrome_trace.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/jsonl.hpp"
+#include "support/metrics.hpp"
+#include "support/openmetrics.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace ahg;
+using obs::FlightRecorder;
+using obs::Frame;
+
+void record_run(FlightRecorder& recorder) {
+  workload::SuiteParams params;
+  params.num_tasks = 48;
+  params.num_etc = 1;
+  params.num_dag = 1;
+  const workload::ScenarioSuite suite(params);
+  const auto scenario = suite.make(sim::GridCase::A, 0, 0);
+  core::SlrhParams slrh;
+  slrh.recorder = &recorder;
+  core::run_slrh(scenario, slrh);
+}
+
+TEST(ChromeTrace, DocumentParsesWithDurationAndCounterEvents) {
+  FlightRecorder recorder(FlightRecorder::dense_options());
+  record_run(recorder);
+  std::ostringstream os;
+  obs::write_chrome_trace(os, recorder, "test_process");
+
+  const obs::JsonValue doc = obs::parse_json(os.str());
+  const obs::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::size_t duration_events = 0;
+  std::size_t counter_events = 0;
+  std::size_t metadata_events = 0;
+  bool saw_objective_track = false;
+  bool saw_battery_track = false;
+  bool saw_process_name = false;
+  for (const obs::JsonValue& event : events->as_array()) {
+    const std::string ph = event.get_string("ph");
+    if (ph == "X") {
+      ++duration_events;
+      // Spans carry microsecond timestamps and non-negative durations.
+      EXPECT_GE(event.get_double("ts"), 0.0);
+      EXPECT_GE(event.get_double("dur"), 0.0);
+      EXPECT_FALSE(event.get_string("name").empty());
+    } else if (ph == "C") {
+      ++counter_events;
+      const std::string name = event.get_string("name");
+      if (name == "objective") saw_objective_track = true;
+      if (name == "battery") saw_battery_track = true;
+      ASSERT_NE(event.find("args"), nullptr);
+    } else if (ph == "M") {
+      ++metadata_events;
+      if (event.get_string("name") == "process_name") {
+        const obs::JsonValue* args = event.find("args");
+        ASSERT_NE(args, nullptr);
+        if (args->get_string("name") == "test_process") saw_process_name = true;
+      }
+    }
+  }
+  EXPECT_GT(duration_events, 0u);   // pool builds + the run span
+  EXPECT_GT(counter_events, 0u);    // per-frame tracks
+  EXPECT_GT(metadata_events, 0u);   // track labels
+  EXPECT_TRUE(saw_objective_track);
+  EXPECT_TRUE(saw_battery_track);
+  EXPECT_TRUE(saw_process_name);
+}
+
+TEST(ChromeTrace, EmptyRecorderStillEmitsValidDocument) {
+  FlightRecorder recorder;
+  std::ostringstream os;
+  obs::write_chrome_trace(os, recorder);
+  const obs::JsonValue doc = obs::parse_json(os.str());
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  EXPECT_TRUE(doc.find("traceEvents")->is_array());
+}
+
+TEST(OpenMetrics, ExpositionHasTypesCumulativeBucketsAndEof) {
+  obs::MetricsRegistry registry;
+  registry.counter("slrh.maps").add(7);
+  registry.gauge("load").set(0.75);
+  const std::vector<double> bounds = {0.001, 0.01, 0.1};
+  auto& hist = registry.histogram("pool.seconds", bounds);
+  hist.observe(0.0005);
+  hist.observe(0.05);
+  hist.observe(5.0);  // overflow
+
+  std::ostringstream os;
+  obs::write_openmetrics(os, registry.snapshot());
+  const std::string text = os.str();
+
+  // Structure: one "# TYPE" per family, counter values as _total, histogram
+  // buckets CUMULATIVE with an le="+Inf" bucket equal to count, and the
+  // mandatory EOF marker terminating the exposition.
+  EXPECT_NE(text.find("# TYPE ahg_slrh_maps counter"), std::string::npos);
+  EXPECT_NE(text.find("ahg_slrh_maps_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ahg_load gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ahg_pool_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("ahg_pool_seconds_count 3"), std::string::npos);
+
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<std::uint64_t> bucket_counts;
+  std::string last_nonempty;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) last_nonempty = line;
+    if (line.rfind("ahg_pool_seconds_bucket", 0) == 0) {
+      bucket_counts.push_back(
+          static_cast<std::uint64_t>(std::stoull(line.substr(line.rfind(' ')))));
+    }
+  }
+  ASSERT_EQ(bucket_counts.size(), 4u);  // 3 bounds + +Inf
+  for (std::size_t i = 1; i < bucket_counts.size(); ++i) {
+    EXPECT_GE(bucket_counts[i], bucket_counts[i - 1]) << "bucket " << i;
+  }
+  EXPECT_EQ(bucket_counts.back(), 3u);  // +Inf bucket == count
+  EXPECT_EQ(last_nonempty, "# EOF");
+}
+
+TEST(OpenMetrics, MetricNamesAreSanitized) {
+  obs::MetricsRegistry registry;
+  registry.counter("slrh.pool-builds/total").add(1);
+
+  std::ostringstream os;
+  obs::write_openmetrics(os, registry.snapshot());
+  const std::string text = os.str();
+  // Dots, dashes and slashes all map to underscores.
+  EXPECT_NE(text.find("ahg_slrh_pool_builds_total_total 1"), std::string::npos);
+  EXPECT_EQ(text.find('/'), std::string::npos);
+  EXPECT_EQ(text.find('-'), std::string::npos);
+
+  // A name that would start with a digit (or be empty) gets an underscore
+  // prepended so the exposition name stays valid.
+  EXPECT_EQ(obs::openmetrics_name("", "9lives"), "_9lives");
+  EXPECT_EQ(obs::openmetrics_name("", ""), "_");
+  EXPECT_EQ(obs::openmetrics_name("ahg", "a.b-c/d"), "ahg_a_b_c_d");
+}
+
+}  // namespace

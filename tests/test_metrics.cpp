@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -86,6 +87,32 @@ TEST(Histogram, PercentileEdges) {
   EXPECT_DOUBLE_EQ(snap.percentile(100.0), 100.0);
   EXPECT_LE(snap.percentile(50.0), 1.0);  // inside bucket 0
   EXPECT_GE(snap.percentile(50.0), 0.5);  // clamped at observed min
+}
+
+TEST(Histogram, PercentileNeverNan) {
+  // Hostile queries and hostile snapshots must both produce finite values:
+  // out-of-range p clamps, NaN p behaves like p=0, and a snapshot carrying
+  // torn (non-finite or inverted) min/max falls back to the bucket bounds.
+  obs::Histogram hist(kBounds);
+  hist.observe(0.5);
+  hist.observe(7.0);
+  const auto snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.percentile(-10.0), snap.percentile(0.0));
+  EXPECT_DOUBLE_EQ(snap.percentile(250.0), snap.percentile(100.0));
+  EXPECT_DOUBLE_EQ(snap.percentile(std::nan("")), snap.percentile(0.0));
+
+  obs::HistogramSnapshot torn = snap;
+  torn.min = std::numeric_limits<double>::quiet_NaN();
+  torn.max = std::numeric_limits<double>::infinity();
+  for (double p = 0.0; p <= 100.0; p += 12.5) {
+    EXPECT_TRUE(std::isfinite(torn.percentile(p))) << "p=" << p;
+  }
+  obs::HistogramSnapshot inverted = snap;
+  inverted.min = 9.0;
+  inverted.max = 1.0;  // min > max: sanitized to the bound range
+  for (double p = 0.0; p <= 100.0; p += 12.5) {
+    EXPECT_TRUE(std::isfinite(inverted.percentile(p))) << "p=" << p;
+  }
 }
 
 TEST(Histogram, PercentileMonotoneAcrossBuckets) {
@@ -200,6 +227,34 @@ TEST(MetricsRegistry, MergeMirrorsAccumulator) {
   EXPECT_EQ(lat->count, kWorkers);
   EXPECT_DOUBLE_EQ(lat->min, 0.5);
   EXPECT_DOUBLE_EQ(lat->max, 3.5);
+}
+
+TEST(MetricsRegistry, MergeConflictsAreCountedNotFatal) {
+  // A shard that registered "x" as a gauge while the total holds a counter
+  // "x" must not corrupt either metric: the conflicting entry is skipped and
+  // the collision is surfaced through the obs.merge_conflicts counter so a
+  // snapshot consumer can notice the naming bug.
+  MetricsRegistry total;
+  total.counter("x").add(5);
+  total.histogram("lat", kBounds).observe(1.0);
+
+  MetricsRegistry shard;
+  shard.gauge("x").set(9.0);                                    // type clash
+  shard.histogram("lat", std::vector<double>{1.0}).observe(0.5);  // bounds clash
+  shard.counter("ok").add(2);
+  total.merge(shard.snapshot());
+
+  const auto snap = total.snapshot();
+  EXPECT_EQ(snap.find_counter("x")->value, 5u);  // untouched
+  EXPECT_EQ(snap.find_histogram("lat")->count, 1u);
+  EXPECT_EQ(snap.find_counter("ok")->value, 2u);  // clean entries still merge
+  ASSERT_NE(snap.find_counter("obs.merge_conflicts"), nullptr);
+  EXPECT_EQ(snap.find_counter("obs.merge_conflicts")->value, 2u);
+
+  // Conflict-free merges leave the tally alone (and don't create it).
+  MetricsRegistry clean_total;
+  clean_total.merge(shard.snapshot());
+  EXPECT_EQ(clean_total.snapshot().find_counter("obs.merge_conflicts"), nullptr);
 }
 
 TEST(MetricsSnapshot, WriteJsonRoundTrips) {
