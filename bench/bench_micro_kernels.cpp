@@ -20,6 +20,7 @@
 #include "sim/timeline.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/rng.hpp"
+#include "support/task_ledger.hpp"
 #include "workload/scenario.hpp"
 
 namespace {
@@ -287,6 +288,44 @@ void write_inner_loop_report() {
     report.metrics().counter("bench.recorder_frames").add(frames);
     std::cout << "recorder: off " << off_seconds << " s, on " << on_seconds
               << " s (" << ratio << "x, " << frames << " frames)\n";
+  }
+
+  // Task-ledger overhead guard (ISSUE: <= 1.05x on run_slrh at |T|=1024).
+  // A FRESH ledger per on-rep — unlike the recorder's ring there is no
+  // steady state to reuse; a second run on the same ledger would take the
+  // on_pooled fast path everywhere and undercount. Construction happens
+  // outside the Stopwatch so only the recording cost is timed.
+  {
+    constexpr int kReps = 9;
+    core::SlrhParams params;
+    params.weights = core::Weights::make(0.7, 0.25);
+    double off_seconds = 0.0;
+    double on_seconds = 0.0;
+    std::uint64_t transitions = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const Stopwatch off_timer;
+      const auto off = core::run_slrh(scenario, params);
+      const double off_elapsed = off_timer.seconds();
+      static_cast<void>(off);
+      off_seconds = rep == 0 ? off_elapsed : std::min(off_seconds, off_elapsed);
+
+      obs::TaskLedger ledger(scenario.num_tasks());
+      params.ledger = &ledger;
+      const Stopwatch on_timer;
+      const auto on = core::run_slrh(scenario, params);
+      const double on_elapsed = on_timer.seconds();
+      static_cast<void>(on);
+      params.ledger = nullptr;
+      on_seconds = rep == 0 ? on_elapsed : std::min(on_seconds, on_elapsed);
+      transitions = ledger.transitions_recorded();
+    }
+    const double ratio = off_seconds > 0.0 ? on_seconds / off_seconds : 1.0;
+    report.metrics().gauge("bench.ledger_off_seconds").set(off_seconds);
+    report.metrics().gauge("bench.ledger_on_seconds").set(on_seconds);
+    report.metrics().gauge("bench.ledger_overhead_ratio").set(ratio);
+    report.metrics().counter("bench.ledger_transitions").add(transitions);
+    std::cout << "ledger: off " << off_seconds << " s, on " << on_seconds
+              << " s (" << ratio << "x, " << transitions << " transitions)\n";
   }
 
   std::cout << "wrote " << report.write_json() << "\n";

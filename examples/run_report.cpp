@@ -8,19 +8,24 @@
 //
 // The timeline samples one row per `--every` frames (always including the
 // first and last); `--heuristic` filters a multi-heuristic recording (e.g.
-// trace_export writes SLRH-1 and Max-Max into one stream).
+// trace_export writes SLRH-1 and Max-Max into one stream). `--spans` adds a
+// task-major block from a `.spans.jsonl` ledger export.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "support/args.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/table.hpp"
+#include "support/task_ledger.hpp"
 
 namespace {
 
@@ -29,6 +34,57 @@ double min_battery(const ahg::obs::Frame& frame) {
     return std::numeric_limits<double>::quiet_NaN();
   return *std::min_element(frame.battery_fraction.begin(),
                            frame.battery_fraction.end());
+}
+
+/// Frames without battery samples have no minimum: print "-", not "nan".
+void battery_cell(ahg::TextTable& table, double value) {
+  if (std::isnan(value)) {
+    table.cell("-");
+  } else {
+    table.cell(value, 3);
+  }
+}
+
+/// Task-major summary of a `.spans.jsonl` ledger export: span and task
+/// counts plus total cycles per kind (exec / input / wait).
+int report_spans(const std::string& path) {
+  using namespace ahg;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "run_report: cannot open " << path << "\n";
+    return 2;
+  }
+  const auto spans = obs::read_task_spans_jsonl(in);
+  if (spans.empty()) {
+    std::cout << "spans: none in " << path << "\n";
+    return EXIT_SUCCESS;
+  }
+  std::map<std::string, std::pair<std::uint64_t, Cycles>> by_kind;
+  std::set<TaskId> tasks;
+  std::uint64_t remapped = 0;
+  for (const auto& span : spans) {
+    auto& [count, cycles] = by_kind[span.kind];
+    ++count;
+    cycles += span.finish - span.start;
+    tasks.insert(span.task);
+    if (span.kind == "exec" && span.attempt > 1) ++remapped;
+  }
+  std::cout << "=== spans — " << spans.size() << " span(s) over "
+            << tasks.size() << " task(s) ===\n";
+  TextTable table({"kind", "spans", "cycles"},
+                  {Align::Left, Align::Right, Align::Right});
+  for (const auto& [kind, entry] : by_kind) {
+    table.begin_row();
+    table.cell(kind);
+    table.cell(entry.first);
+    table.cell(static_cast<long long>(entry.second));
+  }
+  table.render(std::cout);
+  if (remapped > 0) {
+    std::cout << remapped << " exec span(s) from remapped placements\n";
+  }
+  std::cout << "\n";
+  return EXIT_SUCCESS;
 }
 
 }  // namespace
@@ -46,8 +102,13 @@ int main(int argc, char** argv) {
   args.add_string("heuristic", "",
                   "only report frames whose heuristic matches exactly (e.g. "
                   "\"SLRH-1\", \"Max-Max\"); default: all, grouped");
+  args.add_string("spans", "",
+                  "also summarise a .spans.jsonl task-ledger export (written "
+                  "by slrh_cli / trace_export via --spans-jsonl): span and "
+                  "task counts per kind");
   if (!args.parse(argc, argv)) return args.error() ? EXIT_FAILURE : EXIT_SUCCESS;
 
+  const std::string spans_path = args.get_string("spans");
   const std::string path = args.get_string("frames");
   std::ifstream in(path);
   if (!in) {
@@ -61,9 +122,13 @@ int main(int argc, char** argv) {
                   [&](const obs::Frame& f) { return f.heuristic != filter; });
   }
   if (frames.empty()) {
-    std::cerr << "run_report: no frames" << (filter.empty() ? "" : " matching --heuristic")
-              << " in " << path << "\n";
-    return 2;
+    // An empty (or fully filtered) stream is a report, not an error: say so
+    // cleanly instead of printing a degenerate table of garbage rows.
+    std::cout << "run_report: no frames"
+              << (filter.empty() ? "" : " matching --heuristic") << " in "
+              << path << " — nothing to report\n";
+    if (!spans_path.empty()) return report_spans(spans_path);
+    return EXIT_SUCCESS;
   }
   const auto every = static_cast<std::size_t>(
       std::max<std::int64_t>(1, args.get_int("every")));
@@ -101,7 +166,7 @@ int main(int argc, char** argv) {
       table.cell(f.pools_built);
       table.cell(f.maps);
       table.cell(f.frontier_ready);
-      table.cell(min_battery(f), 3);
+      battery_cell(table, min_battery(f));
     }
     table.render(std::cout);
 
@@ -136,5 +201,6 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
+  if (!spans_path.empty()) return report_spans(spans_path);
   return EXIT_SUCCESS;
 }

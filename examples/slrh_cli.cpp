@@ -14,6 +14,7 @@
 
 #include "core/baselines.hpp"
 #include "core/churn.hpp"
+#include "core/critical_path.hpp"
 #include "core/heuristics.hpp"
 #include "core/lagrangian.hpp"
 #include "core/upper_bound.hpp"
@@ -23,6 +24,7 @@
 #include "support/event_log.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/openmetrics.hpp"
+#include "support/task_ledger.hpp"
 #include "support/thread_pool.hpp"
 #include "support/version.hpp"
 #include "workload/scenario.hpp"
@@ -85,7 +87,16 @@ int main(int argc, char** argv) {
                   "events, frames as counter tracks");
   args.add_string("openmetrics", "",
                   "write the run's metrics snapshot as OpenMetrics text "
-                  "exposition to this file");
+                  "exposition to this file; with --spans-jsonl or "
+                  "--critical-path the ledger's dwell-time histograms are "
+                  "appended as a second exposition");
+  args.add_string("spans-jsonl", "",
+                  "attach a task ledger (slrh1-3, maxmax; churn-aware) and "
+                  "write its task-major spans (exec/input/wait) as JSONL to "
+                  "this file — analyse with run_report --spans");
+  args.add_flag("critical-path",
+                "attach a task ledger and print the makespan critical path "
+                "with per-category attribution after the run");
   args.add_int("jobs", 0,
                "worker threads for parallel phases (0 = AHG_JOBS env, then "
                "hardware concurrency)");
@@ -209,11 +220,22 @@ int main(int argc, char** argv) {
     recorder_storage.emplace(obs::FlightRecorder::dense_options());
     recorder = &*recorder_storage;
   }
+  // Task ledger: per-subtask lifecycle spans and the critical-path walk's
+  // admission clocks. Also feeds the chrome trace's task-major rows.
+  const std::string spans_path = args.get_string("spans-jsonl");
+  const bool want_critical_path = args.get_flag("critical-path");
+  std::optional<obs::TaskLedger> ledger_storage;
+  obs::TaskLedger* ledger = nullptr;
+  if (!spans_path.empty() || want_critical_path || !chrome_path.empty()) {
+    ledger_storage.emplace(scenario->num_tasks());
+    ledger = &*ledger_storage;
+  }
   const auto aet_sign = core::AetSign::Reward;
-  if ((sink != nullptr || recorder != nullptr) && name != "slrh1" &&
-      name != "slrh2" && name != "slrh3" && name != "maxmax") {
+  if ((sink != nullptr || recorder != nullptr || ledger != nullptr) &&
+      name != "slrh1" && name != "slrh2" && name != "slrh3" && name != "maxmax") {
     std::cerr << "slrh_cli: note: --trace-jsonl/--metrics/--frames-jsonl/"
-                 "--chrome-trace instrument only slrh1-3 and maxmax; '"
+                 "--chrome-trace/--spans-jsonl/--critical-path instrument only "
+                 "slrh1-3 and maxmax; '"
               << name << "' emits no telemetry\n";
   }
 
@@ -233,6 +255,7 @@ int main(int argc, char** argv) {
     params.aet_sign = aet_sign;
     params.sink = sink;
     params.recorder = recorder;
+    params.ledger = ledger;
     if (!churny) return core::run_slrh(*scenario, params);
     const auto outcome = core::run_slrh_with_churn(*scenario, params, recovery);
     std::cout << "churn recovery (" << core::to_string(recovery) << "): "
@@ -252,7 +275,7 @@ int main(int argc, char** argv) {
     result = run_slrh_variant(core::SlrhVariant::V3);
   } else if (name == "maxmax") {
     result = core::run_heuristic(core::HeuristicKind::MaxMax, *scenario, weights,
-                                 clock, aet_sign, sink, nullptr, recorder);
+                                 clock, aet_sign, sink, nullptr, recorder, ledger);
   } else if (name == "minmin") {
     result = core::run_minmin(*scenario);
   } else if (name == "olb") {
@@ -302,16 +325,31 @@ int main(int argc, char** argv) {
   if (!chrome_path.empty()) {
     std::ofstream chrome_stream(chrome_path);
     if (!chrome_stream) return fail("cannot open trace file " + chrome_path);
-    obs::write_chrome_trace(chrome_stream, *recorder, "slrh_cli");
+    obs::write_chrome_trace(chrome_stream, recorder, ledger, "slrh_cli");
     std::cout << "chrome trace: " << recorder->spans_recorded() << " span(s), "
               << recorder->frames_recorded() << " frame(s) -> " << chrome_path
+              << "\n";
+  }
+  if (!spans_path.empty()) {
+    std::ofstream spans_stream(spans_path);
+    if (!spans_stream) return fail("cannot open spans file " + spans_path);
+    ledger->write_spans_jsonl(spans_stream);
+    std::cout << "spans: " << ledger->spans().size() << " span(s), "
+              << ledger->transitions_recorded() << " transition(s) ("
+              << ledger->transitions_dropped() << " dropped) -> " << spans_path
               << "\n";
   }
   if (!openmetrics_path.empty()) {
     std::ofstream om_stream(openmetrics_path);
     if (!om_stream) return fail("cannot open openmetrics file " + openmetrics_path);
     obs::write_openmetrics(om_stream, metrics.snapshot());
+    if (ledger != nullptr) obs::write_ledger_openmetrics(om_stream, *ledger);
     std::cout << "openmetrics -> " << openmetrics_path << "\n";
+  }
+  if (want_critical_path && result.schedule != nullptr) {
+    const auto report =
+        core::analyze_critical_path(*scenario, *result.schedule, ledger);
+    core::write_critical_path_report(std::cout, report);
   }
 
   if (args.get_flag("validate")) {

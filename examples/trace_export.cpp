@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/critical_path.hpp"
 #include "core/heuristics.hpp"
 #include "core/validate.hpp"
 #include "sim/svg.hpp"
@@ -23,6 +24,7 @@
 #include "support/event_log.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/openmetrics.hpp"
+#include "support/task_ledger.hpp"
 #include "workload/scenario.hpp"
 
 int main(int argc, char** argv) {
@@ -50,6 +52,13 @@ int main(int argc, char** argv) {
   args.add_string("openmetrics", "",
                   "write the combined metrics snapshot as OpenMetrics text "
                   "exposition to this file");
+  args.add_string("spans-jsonl", "",
+                  "attach a task ledger per heuristic and write its task-major "
+                  "spans as JSONL; one file per heuristic, the name prefixed "
+                  "with the heuristic (e.g. SLRH-1_spans.jsonl)");
+  args.add_flag("critical-path",
+                "attach a task ledger per heuristic and print each run's "
+                "makespan critical path with per-category attribution");
   if (!args.parse(argc, argv)) return args.error() ? EXIT_FAILURE : EXIT_SUCCESS;
 
   workload::SuiteParams suite_params;
@@ -96,11 +105,41 @@ int main(int argc, char** argv) {
     recorder = &*recorder_storage;
   }
 
+  const std::string spans_path = args.get_string("spans-jsonl");
+  const bool want_critical_path = args.get_flag("critical-path");
+  // A fresh ledger per heuristic run (spans have no heuristic field, so one
+  // shared ledger would let the second run overwrite the first). The last
+  // run's ledger also feeds the chrome trace's task-major rows.
+  std::optional<obs::TaskLedger> ledger_storage;
+
   for (const auto kind : {core::HeuristicKind::Slrh1, core::HeuristicKind::MaxMax}) {
+    obs::TaskLedger* ledger = nullptr;
+    if (!spans_path.empty() || want_critical_path || !chrome_path.empty()) {
+      ledger_storage.emplace(scenario.num_tasks());
+      ledger = &*ledger_storage;
+    }
     const auto result = core::run_heuristic(kind, scenario, weights, {},
                                             core::AetSign::Reward, sink,
-                                            nullptr, recorder);
+                                            nullptr, recorder, ledger);
     const std::string stem = to_string(kind);
+    if (!spans_path.empty()) {
+      const std::filesystem::path given = spans_path;
+      const auto per_run =
+          given.parent_path() / (stem + "_" + given.filename().string());
+      std::ofstream f(per_run);
+      if (!f) {
+        std::cerr << "trace_export: cannot open " << per_run.string() << "\n";
+        return EXIT_FAILURE;
+      }
+      ledger->write_spans_jsonl(f);
+      std::cout << "spans: " << ledger->spans().size() << " span(s) -> "
+                << per_run.string() << "\n";
+    }
+    if (want_critical_path) {
+      std::cout << "--- " << stem << " critical path ---\n";
+      core::write_critical_path_report(
+          std::cout, core::analyze_critical_path(scenario, *result.schedule, ledger));
+    }
 
     const auto assignments_path = out_dir / (stem + "_assignments.csv");
     const auto assignments_jsonl_path = out_dir / (stem + "_assignments.jsonl");
@@ -172,7 +211,11 @@ int main(int argc, char** argv) {
       std::cerr << "trace_export: cannot open " << chrome_path << "\n";
       return EXIT_FAILURE;
     }
-    obs::write_chrome_trace(chrome_stream, *recorder, "trace_export");
+    // Task-major rows reflect the LAST heuristic run (Max-Max): the rows are
+    // keyed by machine, so overlaying both runs would interleave slices.
+    obs::write_chrome_trace(chrome_stream, recorder,
+                            ledger_storage ? &*ledger_storage : nullptr,
+                            "trace_export");
     std::cout << "chrome trace: " << recorder->spans_recorded() << " span(s), "
               << recorder->frames_recorded() << " frame(s) -> " << chrome_path
               << "\n";

@@ -11,6 +11,7 @@
 #include "support/contract.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/stopwatch.hpp"
+#include "support/task_ledger.hpp"
 
 namespace ahg::core {
 
@@ -312,7 +313,21 @@ ChurnRunOutcome run_slrh_with_churn(const workload::Scenario& scenario,
       const bool new_machine =
           std::find(new_departures.begin(), new_departures.end(), a.machine) !=
           new_departures.end();
-      if (new_machine && a.finish > scenario.machine_depart(a.machine)) {
+      const bool is_orphan =
+          new_machine && a.finish > scenario.machine_depart(a.machine);
+      if (params.ledger != nullptr) {
+        // Transition clock = the grid point the loss is DISCOVERED at, same
+        // convention as the recovery span and the event stream.
+        if (is_orphan) {
+          params.ledger->on_orphaned(t, process);
+        } else {
+          params.ledger->on_invalidated(t, process);
+        }
+        if (recovery == ChurnRecovery::Degrade) {
+          params.ledger->on_degraded(t, process);
+        }
+      }
+      if (is_orphan) {
         ++orphans_on[static_cast<std::size_t>(a.machine)];
         ++batch_orphaned;
         if (sink != nullptr && sink->wants(obs::EventKind::OrphanReturn)) {

@@ -1,0 +1,374 @@
+#include "core/critical_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "support/table.hpp"
+#include "support/task_ledger.hpp"
+
+namespace ahg::core {
+
+const char* to_string(SegmentKind kind) noexcept {
+  switch (kind) {
+    case SegmentKind::Exec: return "exec";
+    case SegmentKind::Transfer: return "transfer";
+    case SegmentKind::QueueWait: return "queue-wait";
+    case SegmentKind::HorizonWait: return "horizon-wait";
+    case SegmentKind::ReleaseWait: return "release-wait";
+    case SegmentKind::Recovery: return "recovery";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Precomputed lookup state shared by the per-terminal walks.
+struct WalkContext {
+  const workload::Scenario* scenario = nullptr;
+  const sim::Schedule* schedule = nullptr;
+  const std::vector<obs::TaskRecord>* records = nullptr;  ///< null: no ledger
+  /// Per machine: (finish, task) of every assignment, ascending.
+  std::vector<std::vector<std::pair<Cycles, TaskId>>> by_machine;
+  /// Data-carrying cross-machine transfer per (parent, child) edge.
+  std::unordered_map<std::uint64_t, const sim::CommEvent*> comms;
+};
+
+WalkContext make_context(const workload::Scenario& scenario,
+                         const sim::Schedule& schedule,
+                         const obs::TaskLedger* ledger,
+                         std::vector<obs::TaskRecord>& record_storage) {
+  WalkContext ctx;
+  ctx.scenario = &scenario;
+  ctx.schedule = &schedule;
+  if (ledger != nullptr && ledger->num_tasks() == scenario.num_tasks()) {
+    record_storage = ledger->records();
+    ctx.records = &record_storage;
+  }
+  ctx.by_machine.resize(scenario.num_machines());
+  const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    if (!schedule.is_assigned(t)) continue;
+    const auto& a = schedule.assignment(t);
+    ctx.by_machine[static_cast<std::size_t>(a.machine)].push_back({a.finish, t});
+  }
+  for (auto& lane : ctx.by_machine) std::sort(lane.begin(), lane.end());
+  for (const auto& ev : schedule.comm_events()) {
+    ctx.comms.emplace(sim::edge_key(ev.from_task, ev.to_task), &ev);
+  }
+  return ctx;
+}
+
+/// The ledger record for `task`, but only when it describes THIS placement
+/// (churn may leave a stale record for work that was later invalidated and
+/// never remapped into the final schedule).
+const obs::TaskRecord* matching_record(const WalkContext& ctx, TaskId task,
+                                       const sim::Assignment& a) {
+  if (ctx.records == nullptr) return nullptr;
+  const obs::TaskRecord& r = (*ctx.records)[static_cast<std::size_t>(task)];
+  if (r.attempts == 0 || r.machine != a.machine || r.exec_start != a.start ||
+      r.exec_finish != a.finish) {
+    return nullptr;
+  }
+  return &r;
+}
+
+/// Latest assignment finish <= cursor on `machine` (excluding `self`);
+/// kInvalidTask when the machine was untouched before cursor.
+std::pair<Cycles, TaskId> queue_predecessor(const WalkContext& ctx,
+                                            MachineId machine, Cycles cursor,
+                                            TaskId self) {
+  const auto& lane = ctx.by_machine[static_cast<std::size_t>(machine)];
+  auto it = std::upper_bound(
+      lane.begin(), lane.end(),
+      std::make_pair(cursor, std::numeric_limits<TaskId>::max()));
+  while (it != lane.begin()) {
+    --it;
+    if (it->second != self) return *it;
+  }
+  return {-1, kInvalidTask};
+}
+
+/// One backward walk from `terminal`. Pushes segments newest-first, then
+/// reverses, so the result is a chronological gap-free tiling of
+/// [0, finish(terminal)).
+CriticalPath walk_back(const WalkContext& ctx, TaskId terminal) {
+  const workload::Scenario& scenario = *ctx.scenario;
+  const sim::Schedule& schedule = *ctx.schedule;
+
+  CriticalPath path;
+  path.terminal = terminal;
+  path.makespan = schedule.assignment(terminal).finish;
+
+  TaskId t = terminal;
+  Cycles cursor = path.makespan;
+  // Each iteration consumes one exec window with a strictly smaller finish,
+  // so |T| iterations always suffice; the cap is pure defence.
+  const std::size_t cap = 4 * scenario.num_tasks() + 16;
+  for (std::size_t iter = 0; iter < cap && cursor > 0; ++iter) {
+    const auto& a = schedule.assignment(t);
+
+    // Execution segment (truncated at the cursor, which equals a.finish on
+    // every regular entry).
+    const Cycles exec_start = std::min(a.start, cursor);
+    path.segments.push_back(
+        {SegmentKind::Exec, t, kInvalidTask, a.machine, exec_start, cursor});
+    cursor = exec_start;
+    if (cursor <= 0) break;
+
+    // Binding constraints at this start.
+    // A: latest input-data landing (cross-machine: the transfer's finish;
+    // same-machine: the parent's finish). Zero-bit edges impose no data
+    // constraint, so any parent event past the cursor is skipped.
+    Cycles data_at = -1;
+    TaskId data_parent = kInvalidTask;
+    const sim::CommEvent* data_comm = nullptr;
+    for (const TaskId parent : scenario.dag.parents(t)) {
+      if (!schedule.is_assigned(parent)) continue;
+      const auto& pa = schedule.assignment(parent);
+      const sim::CommEvent* ce = nullptr;
+      Cycles at = pa.finish;
+      if (pa.machine != a.machine &&
+          scenario.edge_bits(parent, t, pa.version) > 0.0) {
+        const auto it = ctx.comms.find(sim::edge_key(parent, t));
+        if (it != ctx.comms.end()) {
+          ce = it->second;
+          at = ce->finish;
+        }
+      }
+      if (at > cursor) continue;  // not binding (zero-bit edge overlap)
+      if (at > data_at || (at == data_at && parent < data_parent)) {
+        data_at = at;
+        data_parent = parent;
+        data_comm = ce;
+      }
+    }
+    // Q: the machine's own previous booking.
+    const auto [queue_at, queue_task] = queue_predecessor(ctx, a.machine, cursor, t);
+    // R: the subtask's arrival.
+    const Cycles release_at = scenario.release(t);
+    // C: the heuristic's admission clock, when the ledger pins it.
+    const obs::TaskRecord* record = matching_record(ctx, t, a);
+    const Cycles admitted_at = record != nullptr ? record->admitted_clock : -1;
+    const bool churned =
+        record != nullptr && record->orphan_count + record->invalidated_count > 0;
+
+    const Cycles base =
+        std::max({data_at, queue_at, release_at, Cycles{0}});
+
+    // Tile the gap (base, cursor): time above every hard constraint. The
+    // admission clock splits it into pre-admission (horizon/timestep
+    // latency) and post-admission (booking/queue) halves; churn-afflicted
+    // tasks charge the whole gap to recovery.
+    if (base < cursor) {
+      const auto wait_kind = [&](SegmentKind fallback) {
+        return churned ? SegmentKind::Recovery : fallback;
+      };
+      if (admitted_at > base && admitted_at < cursor) {
+        path.segments.push_back({wait_kind(SegmentKind::HorizonWait), t,
+                                 kInvalidTask, a.machine, base, admitted_at});
+        path.segments.push_back({wait_kind(SegmentKind::QueueWait), t,
+                                 kInvalidTask, a.machine, admitted_at, cursor});
+      } else if (admitted_at >= 0 && admitted_at <= base) {
+        path.segments.push_back({wait_kind(SegmentKind::QueueWait), t,
+                                 kInvalidTask, a.machine, base, cursor});
+      } else {
+        path.segments.push_back({wait_kind(SegmentKind::HorizonWait), t,
+                                 kInvalidTask, a.machine, base, cursor});
+      }
+      cursor = base;
+    }
+    if (cursor <= 0) break;
+
+    // Continue through the binding constraint; data first (the richest
+    // chain), then the machine queue, then the release.
+    if (data_at == base) {
+      if (data_comm != nullptr) {
+        path.segments.push_back({SegmentKind::Transfer, t, data_parent,
+                                 a.machine, data_comm->start, cursor});
+        cursor = data_comm->start;
+        const Cycles parent_finish = schedule.assignment(data_parent).finish;
+        if (parent_finish < cursor) {
+          // The transfer could not depart at the parent's finish: tx/rx
+          // channel contention (or an outage window).
+          path.segments.push_back({churned ? SegmentKind::Recovery
+                                           : SegmentKind::QueueWait,
+                                   t, data_parent, a.machine, parent_finish,
+                                   cursor});
+          cursor = parent_finish;
+        }
+      }
+      t = data_parent;
+      continue;
+    }
+    if (queue_at == base) {
+      t = queue_task;
+      continue;
+    }
+    // Release-bound: nothing below the arrival to walk into.
+    path.segments.push_back(
+        {SegmentKind::ReleaseWait, t, kInvalidTask, a.machine, 0, cursor});
+    cursor = 0;
+    break;
+  }
+  if (cursor > 0) {
+    // Defensive: the iteration cap fired. Keep the tiling invariant (sum of
+    // durations == makespan) intact.
+    path.segments.push_back(
+        {SegmentKind::HorizonWait, t, kInvalidTask, kInvalidMachine, 0, cursor});
+  }
+  std::reverse(path.segments.begin(), path.segments.end());
+  return path;
+}
+
+}  // namespace
+
+CriticalPathReport analyze_critical_path(const workload::Scenario& scenario,
+                                         const sim::Schedule& schedule,
+                                         const obs::TaskLedger* ledger,
+                                         std::size_t top_k) {
+  CriticalPathReport report;
+  if (schedule.num_assigned() == 0 || top_k == 0) return report;
+
+  std::vector<obs::TaskRecord> record_storage;
+  const WalkContext ctx = make_context(scenario, schedule, ledger, record_storage);
+
+  std::vector<TaskId> terminals;
+  const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    if (schedule.is_assigned(t)) terminals.push_back(t);
+  }
+  std::sort(terminals.begin(), terminals.end(), [&](TaskId x, TaskId y) {
+    const Cycles fx = schedule.assignment(x).finish;
+    const Cycles fy = schedule.assignment(y).finish;
+    if (fx != fy) return fx > fy;
+    return x < y;
+  });
+  if (terminals.size() > top_k) terminals.resize(top_k);
+
+  for (const TaskId terminal : terminals) {
+    report.paths.push_back(walk_back(ctx, terminal));
+  }
+  report.makespan = report.paths.front().makespan;
+
+  for (const PathSegment& seg : report.paths.front().segments) {
+    CategoryShare* share = nullptr;
+    switch (seg.kind) {
+      case SegmentKind::Exec: share = &report.exec; break;
+      case SegmentKind::Transfer: share = &report.comm; break;
+      case SegmentKind::Recovery: share = &report.recovery; break;
+      case SegmentKind::QueueWait:
+      case SegmentKind::HorizonWait:
+      case SegmentKind::ReleaseWait: share = &report.wait; break;
+    }
+    share->cycles += seg.duration();
+
+    if (seg.machine != kInvalidMachine) {
+      auto it = std::find_if(report.per_machine.begin(), report.per_machine.end(),
+                             [&](const MachineAttribution& m) {
+                               return m.machine == seg.machine;
+                             });
+      if (it == report.per_machine.end()) {
+        report.per_machine.push_back({seg.machine, 0, 0, 0, 0});
+        it = std::prev(report.per_machine.end());
+      }
+      switch (seg.kind) {
+        case SegmentKind::Exec: it->exec += seg.duration(); break;
+        case SegmentKind::Transfer: it->comm += seg.duration(); break;
+        case SegmentKind::Recovery: it->recovery += seg.duration(); break;
+        default: it->wait += seg.duration(); break;
+      }
+    }
+  }
+  std::sort(report.per_machine.begin(), report.per_machine.end(),
+            [](const MachineAttribution& x, const MachineAttribution& y) {
+              return x.machine < y.machine;
+            });
+  if (report.makespan > 0) {
+    const auto total = static_cast<double>(report.makespan);
+    report.exec.fraction = static_cast<double>(report.exec.cycles) / total;
+    report.comm.fraction = static_cast<double>(report.comm.cycles) / total;
+    report.wait.fraction = static_cast<double>(report.wait.cycles) / total;
+    report.recovery.fraction = static_cast<double>(report.recovery.cycles) / total;
+  }
+  return report;
+}
+
+void write_critical_path_report(std::ostream& os, const CriticalPathReport& report) {
+  if (report.paths.empty()) {
+    os << "critical path: no assignments\n";
+    return;
+  }
+  const CriticalPath& main = report.paths.front();
+  os << "critical path: terminal t" << main.terminal << ", makespan "
+     << report.makespan << " cycles ("
+     << format_fixed(seconds_from_cycles(report.makespan), 1) << " s), "
+     << main.segments.size() << " segments\n";
+
+  TextTable segments({"start", "finish", "dur", "kind", "task", "detail"},
+                     {Align::Right, Align::Right, Align::Right, Align::Left,
+                      Align::Left, Align::Left});
+  for (const PathSegment& seg : main.segments) {
+    segments.begin_row();
+    segments.cell(static_cast<long long>(seg.start));
+    segments.cell(static_cast<long long>(seg.finish));
+    segments.cell(static_cast<long long>(seg.duration()));
+    segments.cell(std::string(to_string(seg.kind)));
+    segments.cell("t" + std::to_string(seg.task));
+    std::string detail;
+    if (seg.machine != kInvalidMachine) detail += "m" + std::to_string(seg.machine);
+    if (seg.parent != kInvalidTask) {
+      if (!detail.empty()) detail += " ";
+      detail += "from t" + std::to_string(seg.parent);
+    }
+    segments.cell(std::move(detail));
+  }
+  segments.render(os);
+
+  os << "\nmakespan attribution:\n";
+  TextTable attribution({"category", "cycles", "share"},
+                        {Align::Left, Align::Right, Align::Right});
+  const auto row = [&](const char* name, const CategoryShare& share) {
+    attribution.begin_row();
+    attribution.cell(std::string(name));
+    attribution.cell(static_cast<long long>(share.cycles));
+    attribution.cell(format_fixed(share.fraction * 100.0, 1) + "%");
+  };
+  row("exec", report.exec);
+  row("comm", report.comm);
+  row("wait", report.wait);
+  row("recovery", report.recovery);
+  attribution.render(os);
+
+  if (!report.per_machine.empty()) {
+    os << "\nper machine (makespan path):\n";
+    TextTable machines({"machine", "exec", "comm", "wait", "recovery"},
+                       {Align::Left, Align::Right, Align::Right, Align::Right,
+                        Align::Right});
+    for (const MachineAttribution& m : report.per_machine) {
+      machines.begin_row();
+      machines.cell("m" + std::to_string(m.machine));
+      machines.cell(static_cast<long long>(m.exec));
+      machines.cell(static_cast<long long>(m.comm));
+      machines.cell(static_cast<long long>(m.wait));
+      machines.cell(static_cast<long long>(m.recovery));
+    }
+    machines.render(os);
+  }
+
+  if (report.paths.size() > 1) {
+    os << "\nrunner-up paths:\n";
+    for (std::size_t i = 1; i < report.paths.size(); ++i) {
+      const CriticalPath& p = report.paths[i];
+      os << "  #" << i + 1 << "  terminal t" << p.terminal << ", finish "
+         << p.makespan << " cycles, " << p.segments.size() << " segments\n";
+    }
+  }
+}
+
+}  // namespace ahg::core

@@ -1,0 +1,114 @@
+#pragma once
+// DAG critical-path analyzer and makespan attribution (paper Fig. 6/7
+// forensics): starting from the makespan-defining completion, walk the
+// schedule BACKWARDS through the binding constraint at every step —
+//
+//   exec          the task's own execution window
+//   transfer      the cross-machine input transfer that gated its start
+//   queue-wait    the machine (or channel) was busy with other work
+//   horizon-wait  data/machine were free but the heuristic had not admitted
+//                 the task yet (receding-horizon / timestep latency; with a
+//                 TaskLedger attached the admission clock splits the gap
+//                 exactly, without one the gap defaults here)
+//   release-wait  the subtask had not arrived yet
+//   recovery      wait attributable to churn (the task was orphaned or
+//                 invalidated at least once, per the ledger)
+//
+// — yielding a chronological, gap-free segment chain covering [0, finish)
+// whose integer cycle durations sum EXACTLY to the terminal's finish time.
+// For the makespan path (paths[0]) that is the application makespan, which
+// makes the per-category attribution an exact decomposition: exec + comm +
+// wait + recovery == makespan, fractions sum to 1.
+//
+// The analyzer is read-only and deterministic; the ledger is optional and
+// only sharpens wait classification (null ledger ⇒ same segments, with
+// horizon-wait absorbing the unexplained gaps).
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/schedule.hpp"
+#include "support/units.hpp"
+#include "workload/scenario.hpp"
+
+namespace ahg::obs {
+class TaskLedger;
+}  // namespace ahg::obs
+
+namespace ahg::core {
+
+enum class SegmentKind : std::uint8_t {
+  Exec,
+  Transfer,
+  QueueWait,
+  HorizonWait,
+  ReleaseWait,
+  Recovery,
+};
+
+const char* to_string(SegmentKind kind) noexcept;
+
+struct PathSegment {
+  SegmentKind kind = SegmentKind::Exec;
+  TaskId task = kInvalidTask;      ///< the task waiting / executing
+  TaskId parent = kInvalidTask;    ///< transfer segments: the producer
+  MachineId machine = kInvalidMachine;
+  Cycles start = 0;
+  Cycles finish = 0;  ///< exclusive
+
+  Cycles duration() const noexcept { return finish - start; }
+};
+
+/// One backward walk: chronological (oldest-first) segments tiling
+/// [0, makespan) with no gaps or overlaps.
+struct CriticalPath {
+  TaskId terminal = kInvalidTask;
+  Cycles makespan = 0;  ///< the terminal's finish time
+  std::vector<PathSegment> segments;
+};
+
+struct CategoryShare {
+  Cycles cycles = 0;
+  double fraction = 0.0;  ///< of the makespan path's total
+};
+
+struct MachineAttribution {
+  MachineId machine = kInvalidMachine;
+  Cycles exec = 0;
+  Cycles comm = 0;
+  Cycles wait = 0;
+  Cycles recovery = 0;
+};
+
+struct CriticalPathReport {
+  /// Top-k paths ordered by terminal finish descending (ties: smaller task
+  /// id). paths[0] — when any task is assigned — is the makespan path.
+  std::vector<CriticalPath> paths;
+  Cycles makespan = 0;
+
+  /// Exact decomposition of paths[0]: exec + comm + wait + recovery ==
+  /// makespan. "comm" is transfer time; "wait" merges queue / horizon /
+  /// release waits; "recovery" is churn-attributed wait.
+  CategoryShare exec;
+  CategoryShare comm;
+  CategoryShare wait;
+  CategoryShare recovery;
+
+  /// Per-machine split of paths[0] (only machines appearing on the path).
+  std::vector<MachineAttribution> per_machine;
+};
+
+/// Analyze a finished (or partial) schedule. `ledger` may be null — see the
+/// header comment; `top_k` bounds the number of backward walks.
+CriticalPathReport analyze_critical_path(const workload::Scenario& scenario,
+                                         const sim::Schedule& schedule,
+                                         const obs::TaskLedger* ledger = nullptr,
+                                         std::size_t top_k = 3);
+
+/// Human-readable report: the makespan path's segment chain, the category
+/// attribution table (fractions summing to 100%), the per-machine split,
+/// and one summary line per runner-up path.
+void write_critical_path_report(std::ostream& os, const CriticalPathReport& report);
+
+}  // namespace ahg::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/contract.hpp"
+#include "support/task_ledger.hpp"
 
 namespace ahg::core {
 
@@ -36,10 +37,12 @@ ReadyFrontier::ReadyFrontier(const workload::Scenario& scenario,
 }
 
 void ReadyFrontier::advance_to(Cycles clock) {
+  if (ledger_ != nullptr && clock > clock_) clock_ = clock;
   while (cursor_ < release_order_.size() &&
          scenario_->release(release_order_[cursor_]) <= clock) {
     const TaskId t = release_order_[cursor_];
     released_[static_cast<std::size_t>(t)] = 1;
+    if (ledger_ != nullptr) ledger_->on_released(t, scenario_->release(t));
     if (assigned_[static_cast<std::size_t>(t)] != 0) {
       ++assigned_released_;
     } else if (unassigned_parents_[static_cast<std::size_t>(t)] == 0) {
@@ -72,6 +75,9 @@ void ReadyFrontier::on_commit(TaskId task) {
 
 void ReadyFrontier::insert_ready(TaskId task) {
   ready_.insert(std::lower_bound(ready_.begin(), ready_.end(), task), task);
+  // on_commit carries no clock; the last advance_to clock is the tick a
+  // commit-unblocked child actually became ready at.
+  if (ledger_ != nullptr) ledger_->on_frontier_ready(task, clock_);
 }
 
 }  // namespace ahg::core

@@ -28,6 +28,10 @@
 #include "support/units.hpp"
 #include "workload/scenario.hpp"
 
+namespace ahg::obs {
+class TaskLedger;
+}  // namespace ahg::obs
+
 namespace ahg::core {
 
 class ReadyFrontier {
@@ -36,6 +40,13 @@ class ReadyFrontier {
   /// existing, partially filled schedule — the machine-loss extension does).
   /// No task is released until advance_to() is called.
   ReadyFrontier(const workload::Scenario& scenario, const sim::Schedule& schedule);
+
+  /// Optional task-major lifecycle ledger (not owned, may be null — the
+  /// default changes nothing). With a ledger attached, advance_to records a
+  /// released transition per newly released task (stamped with its RELEASE
+  /// time) and every ready-list insertion records a frontier-ready
+  /// transition at the frontier's current clock.
+  void set_ledger(obs::TaskLedger* ledger) noexcept { ledger_ = ledger; }
 
   /// Release every task with release(t) <= clock. Monotone: the clock never
   /// moves backwards, so calls with a smaller clock are no-ops.
@@ -63,6 +74,8 @@ class ReadyFrontier {
   void insert_ready(TaskId task);
 
   const workload::Scenario* scenario_;
+  obs::TaskLedger* ledger_ = nullptr;
+  Cycles clock_ = 0;  ///< last advance_to clock (ledger timestamps only)
   std::vector<TaskId> release_order_;  ///< all tasks, sorted by (release, id)
   std::size_t cursor_ = 0;             ///< first index not yet released
   std::vector<std::uint32_t> unassigned_parents_;

@@ -25,7 +25,8 @@ MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenar
                             const Weights& weights, const SlrhClock& clock,
                             AetSign aet_sign, obs::Sink* sink,
                             const ScenarioCache* cache,
-                            obs::FlightRecorder* recorder) {
+                            obs::FlightRecorder* recorder,
+                            obs::TaskLedger* ledger) {
   switch (kind) {
     case HeuristicKind::Slrh1:
     case HeuristicKind::Slrh2:
@@ -41,6 +42,7 @@ MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenar
       params.sink = sink;
       params.cache = cache;
       params.recorder = recorder;
+      params.ledger = ledger;
       return run_slrh(scenario, params);
     }
     case HeuristicKind::MaxMax: {
@@ -50,6 +52,7 @@ MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenar
       params.sink = sink;
       params.cache = cache;
       params.recorder = recorder;
+      params.ledger = ledger;
       return run_maxmax(scenario, params);
     }
   }

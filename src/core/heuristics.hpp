@@ -40,12 +40,15 @@ struct SlrhClock {
 /// it must have been built from `scenario` and is read-only here, so one
 /// instance may serve concurrent callers. `recorder` (not owned, may be
 /// null) samples per-timestep / per-round obs::Frames — see
-/// SlrhParams::recorder for the null-recorder contract.
+/// SlrhParams::recorder for the null-recorder contract. `ledger` (not
+/// owned, may be null) records per-subtask lifecycle transitions — see
+/// SlrhParams::ledger for the null-ledger contract.
 MappingResult run_heuristic(HeuristicKind kind, const workload::Scenario& scenario,
                             const Weights& weights, const SlrhClock& clock = {},
                             AetSign aet_sign = AetSign::Reward,
                             obs::Sink* sink = nullptr,
                             const ScenarioCache* cache = nullptr,
-                            obs::FlightRecorder* recorder = nullptr);
+                            obs::FlightRecorder* recorder = nullptr,
+                            obs::TaskLedger* ledger = nullptr);
 
 }  // namespace ahg::core

@@ -14,6 +14,7 @@
 #include "support/flight_recorder.hpp"
 #include "support/profile.hpp"
 #include "support/stopwatch.hpp"
+#include "support/task_ledger.hpp"
 
 namespace ahg::core {
 
@@ -106,6 +107,17 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
     if (unmapped_parents[static_cast<std::size_t>(t)] == 0) frontier.push_back(t);
   }
 
+  // Task-ledger milestones (clock-free heuristic: transition clocks carry
+  // the selection round; releases carry the scenario's real release times —
+  // the clairvoyant baseline sees every subtask up front, at round 0).
+  obs::TaskLedger* ledger = params.ledger;
+  if (ledger != nullptr) {
+    for (TaskId t = 0; t < num_tasks; ++t) {
+      ledger->on_released(t, scenario.release(t));
+    }
+    for (const TaskId t : frontier) ledger->on_frontier_ready(t, 0);
+  }
+
   // Deadline admission is CRITICAL-PATH AWARE: a candidate may finish no
   // later than tau minus the cheapest possible execution of its longest
   // descendant chain (each descendant at its secondary version on its
@@ -150,6 +162,12 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
     if (rounds_counter != nullptr) rounds_counter->add();
     const double round_t0 = recorder != nullptr ? recorder->now_seconds() : 0.0;
     const auto pool_size = static_cast<std::uint64_t>(frontier.size());
+    if (ledger != nullptr) {
+      // The whole frontier IS the candidate pool each round; first sighting
+      // only (machine unknown until selection).
+      const auto round = static_cast<Cycles>(result.iterations);
+      for (const TaskId t : frontier) ledger->on_pooled(t, round, kInvalidMachine);
+    }
 
     Triplet best;
     PlacementPlan best_plan;
@@ -253,12 +271,19 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
 
     commit_placement(scenario, *schedule, best_plan);
     excluded.clear();
+    if (ledger != nullptr) {
+      record_placement(*ledger, *schedule, best_plan,
+                       static_cast<Cycles>(result.iterations));
+    }
 
     // Update the frontier.
     frontier.erase(std::find(frontier.begin(), frontier.end(), best.task));
     for (const TaskId child : scenario.dag.children(best.task)) {
       if (--unmapped_parents[static_cast<std::size_t>(child)] == 0) {
         frontier.push_back(child);
+        if (ledger != nullptr) {
+          ledger->on_frontier_ready(child, static_cast<Cycles>(result.iterations));
+        }
       }
     }
     std::sort(frontier.begin(), frontier.end());

@@ -23,6 +23,7 @@
 
 namespace ahg::obs {
 class FlightRecorder;
+class TaskLedger;
 }  // namespace ahg::obs
 
 namespace ahg::core {
@@ -56,6 +57,12 @@ struct MaxMaxParams {
   /// (frame.clock = round index) plus a "select" span per round; the
   /// recorder only observes.
   obs::FlightRecorder* recorder = nullptr;
+
+  /// Optional task-major lifecycle ledger (not owned; same null contract as
+  /// `recorder`). Max-Max is clock-free, so transition clocks carry the
+  /// 1-based selection round index (matching frame.clock); release times are
+  /// still the scenario's real release cycles. See SlrhParams::ledger.
+  obs::TaskLedger* ledger = nullptr;
 
   /// Optional precomputed pure-scenario tables (not owned). Null — the
   /// default — makes the run build its own; supply one to amortise the

@@ -13,6 +13,7 @@
 #include "support/flight_recorder.hpp"
 #include "support/profile.hpp"
 #include "support/stopwatch.hpp"
+#include "support/task_ledger.hpp"
 
 namespace ahg::core {
 
@@ -154,6 +155,8 @@ struct MapTrace {
 /// `memo` non-null skips re-planning candidates already proven
 /// beyond-horizon in this (machine, clock) scope.
 /// `trace` non-null records the decision (telemetry path only).
+/// `committed` non-null receives a copy of the committed plan (task-ledger
+/// path only).
 std::size_t map_first_startable(const workload::Scenario& scenario,
                                 sim::Schedule& schedule, const SlrhParams& params,
                                 const ObjectiveTotals& totals,
@@ -162,7 +165,8 @@ std::size_t map_first_startable(const workload::Scenario& scenario,
                                 const SlrhTelemetry& telemetry,
                                 const ScenarioCache* cache, BeyondHorizonMemo* memo,
                                 std::size_t skip_before = 0,
-                                MapTrace* trace = nullptr) {
+                                MapTrace* trace = nullptr,
+                                PlacementPlan* committed = nullptr) {
   obs::ProfileScope placement_scope(telemetry.placement);
   SubPhaseAccumulator earliest_time(telemetry.earliest_start);
   const auto fits = [&](TaskId task, VersionKind version) {
@@ -227,6 +231,7 @@ std::size_t map_first_startable(const workload::Scenario& scenario,
         trace->candidates.push_back({cand.task, version, cand.score, ""});
       }
       commit_placement(scenario, schedule, plan);
+      if (committed != nullptr) *committed = plan;
       return k;
     }
     if (memo != nullptr) memo->insert(cand.task);
@@ -356,6 +361,7 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
   const bool trace_maps = telemetry.tracing(obs::EventKind::MapDecision);
   const bool trace_stalls = telemetry.tracing(obs::EventKind::Stall);
   obs::FlightRecorder* recorder = params.recorder;
+  obs::TaskLedger* ledger = params.ledger;
   const std::string heuristic_name = params.sink != nullptr || recorder != nullptr
                                          ? to_string(params.variant)
                                          : std::string();
@@ -400,6 +406,7 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
       cache = &*local_cache;
     }
     frontier.emplace(scenario, schedule);
+    if (ledger != nullptr) frontier->set_ledger(ledger);
     memo_storage.emplace(scenario.num_tasks());
   }
   BeyondHorizonMemo* memo = memo_storage.has_value() ? &*memo_storage : nullptr;
@@ -434,6 +441,13 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
       ++step_pools;
       step_last_pool = pool.size();
     }
+    if (ledger != nullptr) {
+      // First sighting per task is a relaxed load + early-out, so sweeping
+      // the whole pool every build stays inside the ≤1.05x overhead budget.
+      for (const SlrhPoolCandidate& cand : pool) {
+        ledger->on_pooled(cand.task, clock, machine);
+      }
+    }
     ++result.pools_built;
     if (telemetry.pools != nullptr) telemetry.pools->add();
     if (trace_pools && (!pool.empty() || rejects.any())) {
@@ -459,14 +473,17 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
                            std::size_t skip_before) {
     const bool tracing = trace_maps || trace_stalls;
     MapTrace trace;
+    PlacementPlan committed;
     const std::size_t mapped =
         map_first_startable(scenario, schedule, params, totals, pool, machine,
                             clock, telemetry, cache, memo, skip_before,
-                            tracing ? &trace : nullptr);
+                            tracing ? &trace : nullptr,
+                            ledger != nullptr ? &committed : nullptr);
     if (mapped != npos) {
       if (frontier.has_value()) frontier->on_commit(pool[mapped].task);
       if (telemetry.maps != nullptr) telemetry.maps->add();
       if (recorder != nullptr) ++step_maps;
+      if (ledger != nullptr) record_placement(*ledger, schedule, committed, clock);
     }
     if (tracing && (mapped != npos ? trace_maps : trace_stalls) &&
         !(mapped == npos && pool.size() == skip_before)) {

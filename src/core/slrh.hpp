@@ -28,6 +28,7 @@
 
 namespace ahg::obs {
 class FlightRecorder;
+class TaskLedger;
 }  // namespace ahg::obs
 
 namespace ahg::core {
@@ -66,6 +67,16 @@ struct SlrhParams {
   /// build; run_slrh wraps the whole run in a span. Recording only observes
   /// — no decision reads recorder state.
   obs::FlightRecorder* recorder = nullptr;
+
+  /// Optional task-major lifecycle ledger (not owned; same null contract as
+  /// `recorder`: one branch per instrumentation point, no locks, no
+  /// allocations, bit-identical schedules — asserted by
+  /// tests/test_determinism.cpp). With a ledger attached the driver records
+  /// each subtask's released / frontier-ready / pooled / admitted /
+  /// transfer / executing / completed transitions plus the causal input
+  /// edges; core/critical_path.hpp consumes the result. Recording only
+  /// observes — no decision reads ledger state.
+  obs::TaskLedger* ledger = nullptr;
 
   /// Optional precomputed pure-scenario tables (not owned). Null — the
   /// default — makes the driver build its own once per run; supply one to

@@ -1,26 +1,37 @@
 #include "support/chrome_trace.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "support/flight_recorder.hpp"
 #include "support/jsonl.hpp"
+#include "support/task_ledger.hpp"
 
 namespace ahg::obs {
 
 namespace {
 
-constexpr int kPid = 1;
-constexpr int kTid = 1;
+/// pid 1: the heuristic process (wall-clock micros). pid 2: the simulated
+/// schedule (1 cycle == 1 trace microsecond).
+constexpr int kHeuristicPid = 1;
+constexpr int kHeuristicTid = 1;
+constexpr int kSchedulePid = 2;
 
 double to_micros(double seconds) { return seconds * 1e6; }
 
+/// pid-2 thread rows: two per machine, compute above its net lane.
+int compute_tid(MachineId machine) { return 2 * machine + 1; }
+int net_tid(MachineId machine) { return 2 * machine + 2; }
+
 /// One metadata event naming the process or thread track.
 void write_name_event(std::ostream& os, bool& first, std::string_view kind,
-                      std::string_view name) {
+                      std::string_view name, int pid, int tid) {
   JsonWriter json;
   json.begin_object();
-  json.field("name", kind).field("ph", "M").field("pid", kPid).field("tid", kTid);
+  json.field("name", kind).field("ph", "M").field("pid", pid).field("tid", tid);
   json.key("args").begin_object().field("name", name).end_object();
   json.end_object();
   if (!first) os << ",\n";
@@ -33,7 +44,7 @@ class CounterEvent {
  public:
   CounterEvent(std::string_view track, double ts_micros) {
     json_.begin_object();
-    json_.field("name", track).field("ph", "C").field("pid", kPid);
+    json_.field("name", track).field("ph", "C").field("pid", kHeuristicPid);
     json_.field("ts", ts_micros);
     json_.key("args").begin_object();
   }
@@ -54,20 +65,19 @@ class CounterEvent {
   JsonWriter json_;
 };
 
-}  // namespace
-
-void write_chrome_trace(std::ostream& os, const FlightRecorder& recorder,
-                        std::string_view process_name) {
-  os << "{\"traceEvents\":[\n";
-  bool first = true;
-  write_name_event(os, first, "process_name", process_name);
-  write_name_event(os, first, "thread_name", "heuristic");
+void write_recorder_events(std::ostream& os, bool& first,
+                           const FlightRecorder& recorder,
+                           std::string_view process_name) {
+  write_name_event(os, first, "process_name", process_name, kHeuristicPid,
+                   kHeuristicTid);
+  write_name_event(os, first, "thread_name", "heuristic", kHeuristicPid,
+                   kHeuristicTid);
 
   for (const Span& span : recorder.spans()) {
     JsonWriter json;
     json.begin_object();
-    json.field("name", span.name).field("ph", "X").field("pid", kPid);
-    json.field("tid", kTid);
+    json.field("name", span.name).field("ph", "X").field("pid", kHeuristicPid);
+    json.field("tid", kHeuristicTid);
     json.field("ts", to_micros(span.start_seconds));
     json.field("dur", to_micros(span.duration_seconds));
     json.key("args").begin_object();
@@ -120,7 +130,144 @@ void write_chrome_trace(std::ostream& os, const FlightRecorder& recorder,
       churn.flush(os, first);
     }
   }
+}
 
+/// One ph-X slice on a pid-2 row.
+void write_slice(std::ostream& os, bool& first, std::string_view name, int tid,
+                 double ts, double dur,
+                 const std::vector<std::pair<std::string_view, std::int64_t>>& args) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("name", name).field("ph", "X").field("pid", kSchedulePid);
+  json.field("tid", tid).field("ts", ts).field("dur", dur);
+  json.key("args").begin_object();
+  for (const auto& [key, value] : args) json.field(key, value);
+  json.end_object().end_object();
+  if (!first) os << ",\n";
+  first = false;
+  os << json.str();
+}
+
+/// One flow event (ph s/t/f) binding parent→child across rows. Flow events
+/// attach to whatever slice encloses (tid, ts), so callers nudge ts half a
+/// microsecond inside the slice.
+void write_flow(std::ostream& os, bool& first, char phase, std::int64_t id,
+                std::string_view name, int tid, double ts, bool bind_enclosing) {
+  JsonWriter json;
+  json.begin_object();
+  const char ph[2] = {phase, '\0'};
+  json.field("name", name).field("cat", "dataflow").field("ph", ph);
+  json.field("id", id).field("pid", kSchedulePid).field("tid", tid);
+  json.field("ts", ts);
+  if (bind_enclosing) json.field("bp", "e");
+  json.end_object();
+  if (!first) os << ",\n";
+  first = false;
+  os << json.str();
+}
+
+void write_ledger_events(std::ostream& os, bool& first, const TaskLedger& ledger) {
+  const std::vector<TaskRecord> records = ledger.records();
+
+  // Rows only for machines that actually host work or relay data.
+  std::vector<MachineId> machines;
+  for (const TaskRecord& r : records) {
+    if (r.machine != kInvalidMachine) machines.push_back(r.machine);
+    for (const TaskInputEdge& e : r.inputs) {
+      if (e.from_machine != kInvalidMachine) machines.push_back(e.from_machine);
+    }
+  }
+  std::sort(machines.begin(), machines.end());
+  machines.erase(std::unique(machines.begin(), machines.end()), machines.end());
+  if (machines.empty()) return;
+
+  write_name_event(os, first, "process_name", "schedule (sim cycles)",
+                   kSchedulePid, 0);
+  for (const MachineId m : machines) {
+    const std::string base = "m" + std::to_string(m);
+    write_name_event(os, first, "thread_name", base + " compute", kSchedulePid,
+                     compute_tid(m));
+    write_name_event(os, first, "thread_name", base + " net", kSchedulePid,
+                     net_tid(m));
+  }
+
+  // Execution slices.
+  for (const TaskRecord& r : records) {
+    if (r.attempts == 0 || r.exec_start < 0 || r.machine == kInvalidMachine) {
+      continue;
+    }
+    std::vector<std::pair<std::string_view, std::int64_t>> args = {
+        {"task", r.task},
+        {"version", r.version},
+        {"attempt", r.attempts},
+        {"admitted", r.admitted_clock},
+    };
+    write_slice(os, first, "t" + std::to_string(r.task), compute_tid(r.machine),
+                static_cast<double>(r.exec_start),
+                static_cast<double>(r.exec_finish - r.exec_start), args);
+  }
+
+  // Transfer slices and parent→child flow arrows. Flow ids must be unique
+  // per edge; (parent, child) packed into 64 bits is.
+  const auto flow_id = [](TaskId parent, TaskId child) {
+    return (static_cast<std::int64_t>(parent) << 32) |
+           static_cast<std::int64_t>(static_cast<std::uint32_t>(child));
+  };
+  for (const TaskRecord& r : records) {
+    if (r.attempts == 0 || r.exec_start < 0 || r.machine == kInvalidMachine) {
+      continue;
+    }
+    for (const TaskInputEdge& e : r.inputs) {
+      if (e.parent == kInvalidTask) continue;
+      const TaskRecord& parent = records[static_cast<std::size_t>(e.parent)];
+      const std::string name =
+          "t" + std::to_string(e.parent) + "->t" + std::to_string(r.task);
+      const std::int64_t id = flow_id(e.parent, r.task);
+      const bool timed = e.finish > e.start;
+      if (timed) {
+        write_slice(os, first, name, net_tid(r.machine),
+                    static_cast<double>(e.start),
+                    static_cast<double>(e.finish - e.start),
+                    {{"parent", e.parent},
+                     {"task", r.task},
+                     {"from_machine", e.from_machine}});
+      }
+      const bool parent_placed =
+          parent.exec_start >= 0 && parent.exec_finish > parent.exec_start;
+      if (parent_placed) {
+        write_flow(os, first, 's', id, name, compute_tid(parent.machine),
+                   static_cast<double>(parent.exec_finish) - 0.5, false);
+        if (timed) {
+          write_flow(os, first, 't', id, name, net_tid(r.machine),
+                     static_cast<double>(e.start) + 0.5, false);
+        }
+        if (r.exec_finish > r.exec_start) {
+          write_flow(os, first, 'f', id, name, compute_tid(r.machine),
+                     static_cast<double>(r.exec_start) + 0.5, true);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const FlightRecorder& recorder,
+                        std::string_view process_name) {
+  write_chrome_trace(os, &recorder, nullptr, process_name);
+}
+
+void write_chrome_trace(std::ostream& os, const FlightRecorder* recorder,
+                        const TaskLedger* ledger, std::string_view process_name) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  if (recorder != nullptr) {
+    write_recorder_events(os, first, *recorder, process_name);
+  } else {
+    write_name_event(os, first, "process_name", process_name, kHeuristicPid,
+                     kHeuristicTid);
+  }
+  if (ledger != nullptr) write_ledger_events(os, first, *ledger);
   os << "\n]}\n";
 }
 

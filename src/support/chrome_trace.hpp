@@ -14,6 +14,14 @@
 //    (available/capacity fraction), and — only when churn has occurred — a
 //    "churn" track with the cumulative tallies;
 //  - process / thread name metadata events label the tracks.
+//
+// With a TaskLedger attached, a second process (pid 2, "schedule") renders
+// the task-major view in SIMULATION time (1 cycle == 1 trace microsecond):
+// two thread rows per machine — "mN compute" carrying one ph-X slice per
+// executed task and "mN net" carrying one slice per timed input transfer —
+// plus flow events (ph "s"/"t"/"f", cat "dataflow") drawing the parent→child
+// causal arrows from the producer's exec slice through the transfer slice to
+// the consumer's exec slice across rows.
 
 #include <iosfwd>
 #include <string_view>
@@ -21,10 +29,18 @@
 namespace ahg::obs {
 
 class FlightRecorder;
+class TaskLedger;
 
 /// Write the complete trace document. `process_name` labels the process
 /// track in the viewer (e.g. the CLI invocation or scenario name).
 void write_chrome_trace(std::ostream& os, const FlightRecorder& recorder,
+                        std::string_view process_name = "ahg");
+
+/// Pointer overload combining both sources; either may be null (a document
+/// with only the available tracks is written). Equivalent to the reference
+/// overload when `ledger` is null.
+void write_chrome_trace(std::ostream& os, const FlightRecorder* recorder,
+                        const TaskLedger* ledger,
                         std::string_view process_name = "ahg");
 
 }  // namespace ahg::obs

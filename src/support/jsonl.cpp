@@ -11,26 +11,101 @@ namespace ahg::obs {
 
 // --- JsonWriter --------------------------------------------------------------
 
+namespace {
+
+void append_escaped_code_point(std::string& out, char32_t cp) {
+  char buf[16];
+  if (cp <= 0xFFFF) {
+    std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(cp));
+  } else {
+    // Astral plane: UTF-16 surrogate pair (the parser's append_utf8 inverse).
+    const char32_t v = cp - 0x10000;
+    std::snprintf(buf, sizeof(buf), "\\u%04x\\u%04x",
+                  static_cast<unsigned>(0xD800 + (v >> 10)),
+                  static_cast<unsigned>(0xDC00 + (v & 0x3FF)));
+  }
+  out += buf;
+}
+
+/// Decode one UTF-8 sequence starting at text[i]; returns the code point and
+/// advances i past it, or returns U+FFFD (advancing one byte) on malformed
+/// input so hostile bytes can never leak into the JSON output raw.
+char32_t decode_utf8(std::string_view text, std::size_t& i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(text[k]);
+  };
+  const unsigned char lead = byte(i);
+  std::size_t len = 0;
+  char32_t cp = 0;
+  if (lead < 0xC0) {
+    ++i;  // lone continuation byte (0x80..0xBF) or invalid lead
+    return 0xFFFD;
+  } else if (lead < 0xE0) {
+    len = 2;
+    cp = lead & 0x1F;
+  } else if (lead < 0xF0) {
+    len = 3;
+    cp = lead & 0x0F;
+  } else if (lead < 0xF8) {
+    len = 4;
+    cp = lead & 0x07;
+  } else {
+    ++i;
+    return 0xFFFD;
+  }
+  if (i + len > text.size()) {
+    ++i;
+    return 0xFFFD;
+  }
+  for (std::size_t k = 1; k < len; ++k) {
+    const unsigned char c = byte(i + k);
+    if ((c & 0xC0) != 0x80) {
+      ++i;
+      return 0xFFFD;
+    }
+    cp = (cp << 6) | (c & 0x3F);
+  }
+  // Reject overlong encodings and surrogate code points.
+  static constexpr char32_t kMin[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (cp < kMin[len] || cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) {
+    ++i;
+    return 0xFFFD;
+  }
+  i += len;
+  return cp;
+}
+
+}  // namespace
+
 std::string JsonWriter::escape(std::string_view text) {
   std::string out;
   out.reserve(text.size());
-  for (const char c : text) {
+  for (std::size_t i = 0; i < text.size();) {
+    const char c = text[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
-          out += buf;
-        } else {
-          out += c;
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 || u == 0x7F) {
+      // Remaining control characters (incl. DEL, which trace viewers choke
+      // on in event names).
+      append_escaped_code_point(out, u);
+      ++i;
+    } else if (u < 0x80) {
+      out += c;
+      ++i;
+    } else {
+      // Non-ASCII: \u-encode so the output is pure printable ASCII however
+      // hostile the input — malformed UTF-8 degrades to U+FFFD instead of
+      // emitting raw bytes. parse_json's \uXXXX decoding round-trips this.
+      append_escaped_code_point(out, decode_utf8(text, i));
     }
   }
   return out;

@@ -1,10 +1,13 @@
 #include "support/openmetrics.hpp"
 
+#include <array>
 #include <charconv>
 #include <cmath>
 #include <ostream>
 
 #include "support/metrics.hpp"
+#include "support/task_ledger.hpp"
+#include "support/units.hpp"
 
 namespace ahg::obs {
 
@@ -63,6 +66,61 @@ void write_openmetrics(std::ostream& os, const MetricsSnapshot& snapshot,
        << name << "_count " << h.count << "\n";
   }
   os << "# EOF\n";
+}
+
+MetricsSnapshot ledger_metrics_snapshot(const TaskLedger& ledger) {
+  // Simulation-seconds buckets (1 cycle = 0.1 s): sub-timestep up to several
+  // horizons.
+  static constexpr std::array<double, 10> kBounds = {
+      0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0};
+
+  MetricsRegistry registry;
+  Histogram& released = registry.histogram("ledger.dwell_released_seconds", kBounds);
+  Histogram& ready = registry.histogram("ledger.dwell_ready_seconds", kBounds);
+  Histogram& pooled = registry.histogram("ledger.dwell_pooled_seconds", kBounds);
+  Histogram& admitted = registry.histogram("ledger.dwell_admitted_seconds", kBounds);
+  Histogram& input = registry.histogram("ledger.input_transfer_seconds", kBounds);
+  Histogram& exec = registry.histogram("ledger.exec_seconds", kBounds);
+
+  const auto observe_delta = [](Histogram& h, Cycles from, Cycles to) {
+    if (from < 0 || to < from) return;  // unobserved, or round-index clocks
+    h.observe(seconds_from_cycles(to - from));
+  };
+
+  std::uint64_t n_released = 0, n_completed = 0, n_orphaned = 0;
+  std::uint64_t n_invalidated = 0, n_remapped = 0, n_degraded = 0;
+  for (const TaskRecord& r : ledger.records()) {
+    if (r.released >= 0) ++n_released;
+    if (r.frontier_ready >= 0) observe_delta(released, r.released, r.frontier_ready);
+    if (r.first_pooled >= 0) observe_delta(ready, r.frontier_ready, r.first_pooled);
+    if (r.admitted_clock >= 0) observe_delta(pooled, r.first_pooled, r.admitted_clock);
+    if (r.exec_start >= 0) {
+      observe_delta(admitted, r.admitted_clock, r.exec_start);
+      observe_delta(exec, r.exec_start, r.exec_finish);
+    }
+    if (r.attempts > 0 && r.state == TaskState::Completed) ++n_completed;
+    if (r.attempts > 1) ++n_remapped;
+    n_orphaned += r.orphan_count;
+    n_invalidated += r.invalidated_count;
+    if (r.degraded) ++n_degraded;
+    for (const TaskInputEdge& e : r.inputs) {
+      if (e.finish > e.start) observe_delta(input, e.start, e.finish);
+    }
+  }
+  registry.counter("ledger.tasks_released").add(n_released);
+  registry.counter("ledger.tasks_completed").add(n_completed);
+  registry.counter("ledger.tasks_orphaned").add(n_orphaned);
+  registry.counter("ledger.tasks_invalidated").add(n_invalidated);
+  registry.counter("ledger.tasks_remapped").add(n_remapped);
+  registry.counter("ledger.tasks_degraded").add(n_degraded);
+  registry.counter("ledger.transitions_recorded").add(ledger.transitions_recorded());
+  registry.counter("ledger.transitions_dropped").add(ledger.transitions_dropped());
+  return registry.snapshot();
+}
+
+void write_ledger_openmetrics(std::ostream& os, const TaskLedger& ledger,
+                              std::string_view prefix) {
+  write_openmetrics(os, ledger_metrics_snapshot(ledger), prefix);
 }
 
 }  // namespace ahg::obs

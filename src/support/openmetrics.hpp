@@ -22,6 +22,7 @@
 namespace ahg::obs {
 
 struct MetricsSnapshot;
+class TaskLedger;
 
 /// Sanitized `<prefix>_<name>` exposition name (exposed for tests).
 std::string openmetrics_name(std::string_view prefix, std::string_view name);
@@ -29,5 +30,21 @@ std::string openmetrics_name(std::string_view prefix, std::string_view name);
 /// Write the full exposition, `# EOF` terminator included.
 void write_openmetrics(std::ostream& os, const MetricsSnapshot& snapshot,
                        std::string_view prefix = "ahg");
+
+/// Distill a TaskLedger into a metrics snapshot: per-state dwell-time
+/// histograms in SIMULATION seconds (`ledger.dwell_released_seconds`
+/// release→ready, `ledger.dwell_ready_seconds` ready→first pool,
+/// `ledger.dwell_pooled_seconds` pool→admission, `ledger.dwell_admitted_seconds`
+/// admission→exec start, `ledger.input_transfer_seconds` per timed input edge,
+/// `ledger.exec_seconds` the execution window) plus lifecycle counters
+/// (`ledger.tasks_released/_completed/_orphaned/_invalidated/_remapped/
+/// _degraded`, `ledger.transitions_recorded/_dropped`). Negative deltas —
+/// possible when a driver stamps round indices rather than sim cycles
+/// (Max-Max) — are skipped, never folded into a histogram.
+MetricsSnapshot ledger_metrics_snapshot(const TaskLedger& ledger);
+
+/// write_openmetrics(os, ledger_metrics_snapshot(ledger), prefix).
+void write_ledger_openmetrics(std::ostream& os, const TaskLedger& ledger,
+                              std::string_view prefix = "ahg");
 
 }  // namespace ahg::obs

@@ -1,0 +1,152 @@
+// Critical-path analyzer tests: the exact-decomposition guarantee (segments
+// tile [0, makespan) gap-free; categories sum to the makespan; fractions sum
+// to 1), null-ledger operation, Max-Max schedules, top-k ordering, and the
+// recovery attribution on a churned run.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/churn.hpp"
+#include "core/critical_path.hpp"
+#include "core/heuristics.hpp"
+#include "support/task_ledger.hpp"
+#include "tests/scenario_fixtures.hpp"
+#include "workload/dynamics.hpp"
+
+namespace ahg {
+namespace {
+
+void expect_exact_decomposition(const core::CriticalPathReport& report) {
+  ASSERT_FALSE(report.paths.empty());
+  for (const auto& path : report.paths) {
+    Cycles cursor = 0;
+    for (const auto& seg : path.segments) {
+      EXPECT_EQ(seg.start, cursor) << "gap/overlap before t" << seg.task;
+      EXPECT_GE(seg.duration(), 0);
+      cursor = seg.finish;
+    }
+    EXPECT_EQ(cursor, path.makespan);
+  }
+  EXPECT_EQ(report.exec.cycles + report.comm.cycles + report.wait.cycles +
+                report.recovery.cycles,
+            report.makespan);
+  if (report.makespan > 0) {
+    EXPECT_NEAR(report.exec.fraction + report.comm.fraction +
+                    report.wait.fraction + report.recovery.fraction,
+                1.0, 1e-9);
+  }
+}
+
+TEST(CriticalPath, SlrhWithLedgerDecomposesExactly) {
+  const auto scenario = test::small_suite_scenario(sim::GridCase::A, 48);
+  obs::TaskLedger ledger(scenario.num_tasks());
+  core::SlrhParams params;
+  params.weights = core::Weights::make(0.6, 0.3);
+  params.ledger = &ledger;
+  const auto result = core::run_slrh(scenario, params);
+  ASSERT_NE(result.schedule, nullptr);
+
+  const auto report =
+      core::analyze_critical_path(scenario, *result.schedule, &ledger);
+  expect_exact_decomposition(report);
+  EXPECT_EQ(report.makespan, result.schedule->aet());
+  EXPECT_GT(report.exec.cycles, 0);
+  EXPECT_EQ(report.recovery.cycles, 0);  // no churn in this scenario
+  // The terminal of the makespan path finishes at the makespan.
+  const auto& main = report.paths.front();
+  EXPECT_EQ(result.schedule->assignment(main.terminal).finish, report.makespan);
+}
+
+TEST(CriticalPath, NullLedgerSameTilingCoarserWaits) {
+  const auto scenario = test::small_suite_scenario(sim::GridCase::B, 48);
+  core::SlrhParams params;
+  params.weights = core::Weights::make(0.6, 0.3);
+  const auto result = core::run_slrh(scenario, params);
+
+  const auto report =
+      core::analyze_critical_path(scenario, *result.schedule, nullptr);
+  expect_exact_decomposition(report);
+  // Without a ledger the admission clock is unknown: no queue/horizon split
+  // is guaranteed, but the decomposition still holds and recovery is empty.
+  EXPECT_EQ(report.recovery.cycles, 0);
+}
+
+TEST(CriticalPath, MaxMaxDecomposesExactly) {
+  const auto scenario = test::small_suite_scenario(sim::GridCase::C, 48);
+  core::MaxMaxParams params;
+  params.weights = core::Weights::make(0.6, 0.3);
+  const auto result = core::run_maxmax(scenario, params);
+
+  const auto report =
+      core::analyze_critical_path(scenario, *result.schedule, nullptr);
+  expect_exact_decomposition(report);
+  EXPECT_EQ(report.makespan, result.schedule->aet());
+}
+
+TEST(CriticalPath, TopKPathsOrderedByTerminalFinish) {
+  const auto scenario = test::small_suite_scenario(sim::GridCase::A, 64);
+  core::SlrhParams params;
+  params.weights = core::Weights::make(0.6, 0.3);
+  const auto result = core::run_slrh(scenario, params);
+
+  const auto report =
+      core::analyze_critical_path(scenario, *result.schedule, nullptr, 5);
+  ASSERT_EQ(report.paths.size(), 5u);
+  for (std::size_t i = 1; i < report.paths.size(); ++i) {
+    EXPECT_GE(report.paths[i - 1].makespan, report.paths[i].makespan);
+  }
+  expect_exact_decomposition(report);
+}
+
+TEST(CriticalPath, EmptyScheduleYieldsEmptyReport) {
+  const auto scenario = test::two_fast_independent(4);
+  const sim::Schedule schedule(scenario.grid, scenario.num_tasks());
+  const auto report = core::analyze_critical_path(scenario, schedule);
+  EXPECT_TRUE(report.paths.empty());
+  EXPECT_EQ(report.makespan, 0);
+
+  std::ostringstream os;
+  core::write_critical_path_report(os, report);
+  EXPECT_NE(os.str().find("no assignments"), std::string::npos);
+}
+
+TEST(CriticalPath, ChurnedRunAttributesRecovery) {
+  auto scenario = test::small_suite_scenario(sim::GridCase::A, 64, 4242);
+  scenario.machine_windows.assign(scenario.num_machines(),
+                                  workload::Scenario::MachineWindow{});
+  scenario.machine_windows[1].depart = scenario.tau / 8;
+
+  obs::TaskLedger ledger(scenario.num_tasks());
+  core::SlrhParams params;
+  params.weights = core::Weights::make(0.6, 0.3);
+  params.ledger = &ledger;
+  const auto outcome = core::run_slrh_with_churn(scenario, params);
+  ASSERT_GT(outcome.departures_processed, 0u);
+
+  const auto report =
+      core::analyze_critical_path(scenario, *outcome.result.schedule, &ledger);
+  expect_exact_decomposition(report);
+}
+
+TEST(CriticalPath, ReportPrintsAttributionTable) {
+  const auto scenario = test::small_suite_scenario(sim::GridCase::A, 48);
+  obs::TaskLedger ledger(scenario.num_tasks());
+  core::SlrhParams params;
+  params.weights = core::Weights::make(0.6, 0.3);
+  params.ledger = &ledger;
+  const auto result = core::run_slrh(scenario, params);
+
+  const auto report =
+      core::analyze_critical_path(scenario, *result.schedule, &ledger);
+  std::ostringstream os;
+  core::write_critical_path_report(os, report);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("makespan attribution"), std::string::npos);
+  EXPECT_NE(text.find("exec"), std::string::npos);
+  EXPECT_NE(text.find("per machine"), std::string::npos);
+  EXPECT_NE(text.find("%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ahg

@@ -15,6 +15,7 @@
 #include "core/tuner.hpp"
 #include "core/upper_bound.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/task_ledger.hpp"
 #include "tests/scenario_fixtures.hpp"
 #include "workload/dynamics.hpp"
 
@@ -216,6 +217,92 @@ TEST(Determinism, ChurnRecorderOnMatchesRecorderOff) {
       if (span.name == "churn_recovery") saw_recovery = true;
     }
     EXPECT_TRUE(saw_recovery);
+  }
+}
+
+// The task ledger's side of the null-handle contract, mirroring the recorder
+// trio: attaching one must leave every schedule bit-identical to the
+// ledger-off run. The ledger only observes; no decision may read its state.
+TEST(Determinism, SlrhLedgerOnMatchesLedgerOff) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    for (const auto variant :
+         {core::SlrhVariant::V1, core::SlrhVariant::V2, core::SlrhVariant::V3}) {
+      core::SlrhParams params;
+      params.variant = variant;
+      params.weights = core::Weights::make(0.6, 0.3);
+      const auto off = core::run_slrh(scenario, params);
+
+      obs::TaskLedger ledger(scenario.num_tasks());
+      params.ledger = &ledger;
+      const auto on = core::run_slrh(scenario, params);
+
+      expect_identical(off, on, scenario, to_string(variant).c_str());
+      EXPECT_GT(ledger.transitions_recorded(), 0u);
+      // Every mapped task carries a full release->completion record.
+      const auto records = ledger.records();
+      for (TaskId t = 0; t < static_cast<TaskId>(scenario.num_tasks()); ++t) {
+        if (!on.schedule->is_assigned(t)) continue;
+        const auto& r = records[static_cast<std::size_t>(t)];
+        EXPECT_EQ(r.state, obs::TaskState::Completed) << "task " << t;
+        EXPECT_EQ(r.exec_start, on.schedule->assignment(t).start) << "task " << t;
+        EXPECT_EQ(r.exec_finish, on.schedule->assignment(t).finish) << "task " << t;
+      }
+    }
+  }
+}
+
+TEST(Determinism, MaxMaxLedgerOnMatchesLedgerOff) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    core::MaxMaxParams params;
+    params.weights = core::Weights::make(0.6, 0.3);
+    const auto off = core::run_maxmax(scenario, params);
+
+    obs::TaskLedger ledger(scenario.num_tasks());
+    params.ledger = &ledger;
+    const auto on = core::run_maxmax(scenario, params);
+
+    expect_identical(off, on, scenario, "Max-Max ledger on");
+    EXPECT_GT(ledger.transitions_recorded(), 0u);
+  }
+}
+
+TEST(Determinism, ChurnLedgerOnMatchesLedgerOff) {
+  // Same contract through the churn driver: orphan/invalidation recording and
+  // the re-armed pool flags must not perturb the rebuilt schedules.
+  auto scenario = test::small_suite_scenario(sim::GridCase::A, 64, 4242);
+  scenario.machine_windows.assign(scenario.num_machines(),
+                                  workload::Scenario::MachineWindow{});
+  scenario.machine_windows[1].depart = scenario.tau / 8;
+  for (const auto variant :
+       {core::SlrhVariant::V1, core::SlrhVariant::V3}) {
+    core::SlrhParams params;
+    params.variant = variant;
+    params.weights = core::Weights::make(0.6, 0.3);
+    const auto off = core::run_slrh_with_churn(scenario, params);
+
+    obs::TaskLedger ledger(scenario.num_tasks());
+    params.ledger = &ledger;
+    const auto on = core::run_slrh_with_churn(scenario, params);
+
+    EXPECT_GT(off.departures_processed, 0u);
+    EXPECT_EQ(on.departures_processed, off.departures_processed);
+    EXPECT_EQ(on.orphaned, off.orphaned);
+    EXPECT_EQ(on.invalidated, off.invalidated);
+    EXPECT_EQ(on.energy_forfeited, off.energy_forfeited);  // exact
+    expect_identical(off.result, on.result, scenario, to_string(variant).c_str());
+
+    // The ledger saw the churn: orphan/invalidation tallies match the
+    // driver's, and remapped work carries attempts > 1.
+    std::uint64_t orphans = 0, invalidated = 0;
+    bool saw_remap = false;
+    for (const auto& r : ledger.records()) {
+      orphans += r.orphan_count;
+      invalidated += r.invalidated_count;
+      if (r.attempts > 1) saw_remap = true;
+    }
+    EXPECT_EQ(orphans, static_cast<std::uint64_t>(off.orphaned));
+    EXPECT_EQ(invalidated, static_cast<std::uint64_t>(off.invalidated));
+    EXPECT_TRUE(saw_remap);
   }
 }
 

@@ -15,6 +15,7 @@
 #include "support/jsonl.hpp"
 #include "support/metrics.hpp"
 #include "support/openmetrics.hpp"
+#include "support/task_ledger.hpp"
 #include "workload/scenario.hpp"
 
 namespace {
@@ -90,6 +91,139 @@ TEST(ChromeTrace, EmptyRecorderStillEmitsValidDocument) {
   const obs::JsonValue doc = obs::parse_json(os.str());
   ASSERT_NE(doc.find("traceEvents"), nullptr);
   EXPECT_TRUE(doc.find("traceEvents")->is_array());
+}
+
+TEST(ChromeTrace, HostileEventNamesAreEscapedToPureAscii) {
+  // Control characters, quotes, backslashes, raw UTF-8, and invalid bytes in
+  // span names must neither break the JSON document nor leak through raw.
+  FlightRecorder recorder;
+  recorder.add_span("tab\there", 0.0, 0.1);
+  recorder.add_span("new\nline \"quoted\" back\\slash", 0.2, 0.1);
+  recorder.add_span("unicode \xc3\xa9\xe2\x82\xac\xf0\x9f\x9a\x80", 0.4, 0.1);
+  recorder.add_span("invalid \xff\xfe bytes", 0.6, 0.1);
+  recorder.add_span(std::string("embedded\0nul", 12), 0.8, 0.1);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, recorder, "proc \x01 \xc2\xa9");
+  const std::string text = os.str();
+  // Pure printable ASCII on the wire: every control/non-ASCII byte was
+  // escaped somewhere upstream.
+  for (const char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    EXPECT_TRUE(u == '\n' || (u >= 0x20 && u < 0x7F))
+        << "raw byte 0x" << std::hex << +u << " leaked into the document";
+  }
+
+  // And the parser round-trips the names (valid UTF-8 exactly; invalid bytes
+  // as U+FFFD).
+  const obs::JsonValue doc = obs::parse_json(text);
+  std::vector<std::string> names;
+  for (const obs::JsonValue& event : doc.find("traceEvents")->as_array()) {
+    if (event.get_string("ph") == "X") names.push_back(event.get_string("name"));
+  }
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "tab\there");
+  EXPECT_EQ(names[1], "new\nline \"quoted\" back\\slash");
+  EXPECT_EQ(names[2], "unicode \xc3\xa9\xe2\x82\xac\xf0\x9f\x9a\x80");
+  EXPECT_EQ(names[3],
+            "invalid \xef\xbf\xbd\xef\xbf\xbd bytes");  // U+FFFD twice
+  EXPECT_EQ(names[4], std::string("embedded\0nul", 12));
+}
+
+TEST(JsonEscape, ControlNonAsciiAndMalformedBytes) {
+  using obs::JsonWriter;
+  EXPECT_EQ(JsonWriter::escape("plain ascii_09AZ"), "plain ascii_09AZ");
+  EXPECT_EQ(JsonWriter::escape("\"\\\b\f\n\r\t"), "\\\"\\\\\\b\\f\\n\\r\\t");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01\x1f\x7f", 3)),
+            "\\u0001\\u001f\\u007f");
+  EXPECT_EQ(JsonWriter::escape("\xc3\xa9"), "\\u00e9");          // é
+  EXPECT_EQ(JsonWriter::escape("\xe2\x82\xac"), "\\u20ac");      // €
+  EXPECT_EQ(JsonWriter::escape("\xf0\x9f\x9a\x80"),
+            "\\ud83d\\ude80");  // 🚀 as a surrogate pair
+  // Malformed sequences degrade byte-wise to U+FFFD, never raw.
+  EXPECT_EQ(JsonWriter::escape("\xff"), "\\ufffd");
+  EXPECT_EQ(JsonWriter::escape("\x80"), "\\ufffd");          // lone continuation
+  EXPECT_EQ(JsonWriter::escape("\xc3"), "\\ufffd");          // truncated lead
+  EXPECT_EQ(JsonWriter::escape("\xc0\xaf"), "\\ufffd\\ufffd");  // overlong
+  EXPECT_EQ(JsonWriter::escape("\xed\xa0\x80"),
+            "\\ufffd\\ufffd\\ufffd");  // encoded surrogate
+}
+
+TEST(ChromeTrace, LedgerAddsTaskRowsAndFlowEvents) {
+  workload::SuiteParams params;
+  params.num_tasks = 48;
+  params.num_etc = 1;
+  params.num_dag = 1;
+  const workload::ScenarioSuite suite(params);
+  const auto scenario = suite.make(sim::GridCase::A, 0, 0);
+  obs::TaskLedger ledger(scenario.num_tasks());
+  core::SlrhParams slrh;
+  slrh.ledger = &ledger;
+  core::run_slrh(scenario, slrh);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, nullptr, &ledger, "ledger_only");
+  const obs::JsonValue doc = obs::parse_json(os.str());
+
+  std::size_t exec_slices = 0;
+  std::size_t flow_starts = 0;
+  std::size_t flow_finishes = 0;
+  bool saw_machine_row = false;
+  for (const obs::JsonValue& event : doc.find("traceEvents")->as_array()) {
+    const std::string ph = event.get_string("ph");
+    if (ph == "X") {
+      EXPECT_EQ(event.get_int("pid"), 2);  // the schedule process
+      ++exec_slices;
+    } else if (ph == "s") {
+      ++flow_starts;
+      EXPECT_EQ(event.get_string("cat"), "dataflow");
+    } else if (ph == "f") {
+      ++flow_finishes;
+      EXPECT_EQ(event.get_string("bp"), "e");
+    } else if (ph == "M" && event.get_string("name") == "thread_name") {
+      const std::string row = event.find("args")->get_string("name");
+      if (row.find("compute") != std::string::npos) saw_machine_row = true;
+    }
+  }
+  EXPECT_GT(exec_slices, 0u);
+  EXPECT_GT(flow_starts, 0u);
+  EXPECT_GT(flow_finishes, 0u);
+  EXPECT_TRUE(saw_machine_row);
+}
+
+TEST(OpenMetrics, LedgerExpositionHasDwellHistogramsAndCounters) {
+  workload::SuiteParams params;
+  params.num_tasks = 48;
+  params.num_etc = 1;
+  params.num_dag = 1;
+  const workload::ScenarioSuite suite(params);
+  const auto scenario = suite.make(sim::GridCase::A, 0, 0);
+  obs::TaskLedger ledger(scenario.num_tasks());
+  core::SlrhParams slrh;
+  slrh.ledger = &ledger;
+  const auto result = core::run_slrh(scenario, slrh);
+
+  std::ostringstream os;
+  obs::write_ledger_openmetrics(os, ledger);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE ahg_ledger_exec_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ahg_ledger_dwell_admitted_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("ahg_ledger_tasks_completed_total " +
+                      std::to_string(result.assigned)),
+            std::string::npos);
+  EXPECT_NE(text.find("ahg_ledger_tasks_orphaned_total 0"), std::string::npos);
+  EXPECT_NE(text.find("# EOF"), std::string::npos);
+
+  const auto snapshot = obs::ledger_metrics_snapshot(ledger);
+  bool exec_hist_populated = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "ledger.exec_seconds") {
+      exec_hist_populated = h.count == static_cast<std::uint64_t>(result.assigned);
+    }
+  }
+  EXPECT_TRUE(exec_hist_populated);
 }
 
 TEST(OpenMetrics, ExpositionHasTypesCumulativeBucketsAndEof) {

@@ -53,6 +53,37 @@ TEST(FlightRecorder, RingKeepsNewestAndCountsDrops) {
   EXPECT_EQ(spans.back().name, "s4");
 }
 
+TEST(FlightRecorder, SpanRingSurvivesMultipleWraps) {
+  // The span ring overwritten many times over: drop accounting must stay
+  // exact and the snapshot must remain the newest entries, oldest-first,
+  // with no seam at the wrap point.
+  FlightRecorder::Options options;
+  options.max_frames = 2;
+  options.max_spans = 8;
+  FlightRecorder recorder(options);
+
+  constexpr int kTotal = 8 * 5 + 3;  // five full wraps plus a partial lap
+  for (int i = 0; i < kTotal; ++i) {
+    recorder.add_span("s" + std::to_string(i), static_cast<double>(i), 0.25,
+                      /*clock=*/i, static_cast<MachineId>(i % 4));
+  }
+  EXPECT_EQ(recorder.spans_recorded(), static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(recorder.spans_dropped(), static_cast<std::uint64_t>(kTotal - 8));
+
+  const auto spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 8u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const int expected = kTotal - 8 + static_cast<int>(i);
+    EXPECT_EQ(spans[i].name, "s" + std::to_string(expected)) << "slot " << i;
+    EXPECT_EQ(spans[i].start_seconds, static_cast<double>(expected));
+    EXPECT_EQ(spans[i].clock, expected);
+    if (i > 0) {
+      EXPECT_LT(spans[i - 1].start_seconds, spans[i].start_seconds)
+          << "oldest-first ordering broken at slot " << i;
+    }
+  }
+}
+
 TEST(FlightRecorder, MemoryBoundScalesWithOptionsAndMachines) {
   FlightRecorder::Options small;
   small.max_frames = 8;
