@@ -127,8 +127,7 @@ int main(int argc, char** argv) {
         const FreshDump dump = load_dump(path);
         const bench::GateBaseline baseline = bench::make_baseline(
             dump.bench, dump.metrics, tolerance, seconds_tolerance);
-        const std::string out_path =
-            baselines_dir + "/BENCH_" + dump.bench + ".json";
+        const std::string out_path = bench::baseline_path(baselines_dir, dump.bench);
         std::ofstream out(out_path);
         AHG_EXPECTS_MSG(out.good(), "cannot write " + out_path);
         bench::write_baseline(out, baseline);
@@ -141,16 +140,24 @@ int main(int argc, char** argv) {
     bool pass = true;
     for (const std::string& path : files) {
       const FreshDump dump = load_dump(path);
-      const std::string base_path =
-          baselines_dir + "/BENCH_" + dump.bench + ".json";
-      const bench::GateBaseline baseline =
-          bench::parse_baseline(obs::parse_json(slurp(base_path)));
-      AHG_EXPECTS_MSG(baseline.bench == dump.bench,
-                      base_path + ": baseline is for bench '" + baseline.bench +
-                          "', fresh dump is '" + dump.bench + "'");
-
-      const bench::GateResult result =
-          bench::check_bench(baseline, dump.metrics, floor);
+      const std::string base_path = bench::baseline_path(baselines_dir, dump.bench);
+      bench::GateResult result;
+      if (!std::filesystem::exists(base_path)) {
+        // A bench with no committed baseline yet is a gate finding, not an
+        // I/O error: every fresh metric reports MISSING(baseline), failing
+        // unless --allow-missing, with the fix spelled out.
+        result = bench::check_without_baseline(dump.metrics);
+        std::cout << "no baseline at " << base_path << " — run\n  " << argv[0]
+                  << " --update --baselines " << baselines_dir << " " << path
+                  << "\nto create it\n";
+      } else {
+        const bench::GateBaseline baseline =
+            bench::parse_baseline(obs::parse_json(slurp(base_path)));
+        AHG_EXPECTS_MSG(baseline.bench == dump.bench,
+                        base_path + ": baseline is for bench '" + baseline.bench +
+                            "', fresh dump is '" + dump.bench + "'");
+        result = bench::check_bench(baseline, dump.metrics, floor);
+      }
       const bool file_ok = result.ok(allow_missing);
       pass = pass && file_ok;
 

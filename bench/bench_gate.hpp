@@ -179,6 +179,30 @@ struct GateResult {
   }
 };
 
+/// Where a bench's committed baseline lives under `dir`. Shared by the
+/// CLI's check and --update modes so they can never disagree on the path.
+inline std::string baseline_path(const std::string& dir, const std::string& bench) {
+  return dir + "/BENCH_" + bench + ".json";
+}
+
+/// Gate verdict for a fresh dump whose baseline file does not exist yet:
+/// every fresh metric is MissingBaseline. A brand-new bench then flows
+/// through the normal finding machinery — failing by default with an
+/// actionable fix (run --update to seed the baseline), tolerated under
+/// --allow-missing — instead of dying on a file-open error.
+inline GateResult check_without_baseline(const obs::MetricsSnapshot& fresh) {
+  GateResult result;
+  for (const auto& [key, value] : flatten_metrics(fresh)) {
+    GateFinding finding;
+    finding.metric = key;
+    finding.fresh = value;
+    finding.verdict = GateVerdict::MissingBaseline;
+    ++result.missing;
+    result.findings.push_back(std::move(finding));
+  }
+  return result;
+}
+
 /// Compare a fresh snapshot against a baseline. `seconds_floor` is the
 /// absolute slack (in seconds) added on top of the relative tolerance for
 /// Upper metrics, so tiny sections don't gate on nanosecond noise.

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <span>
 #include <string_view>
 
 #include "bench/bench_common.hpp"
@@ -59,6 +60,52 @@ void BM_TimelineEarliestFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TimelineEarliestFit)->Arg(64)->Arg(256)->Arg(1024);
+
+// --- earliest fit: linear walk vs ordered hole index ----------------------
+//
+// Same busy set, same probe sequence, both paths. The dense timeline (tight
+// gaps, mostly too small for the probe duration) is the adversarial shape:
+// the walk inspects every gap until far into the timeline, the hole index
+// skips 64-gap blocks via their maxima. The retained walk is also the
+// reference the determinism tests diff against.
+
+sim::Timeline dense_timeline(std::size_t n) {
+  sim::Timeline tl;
+  Rng rng(7);
+  Cycles cursor = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Gaps of 1..4 cycles; one roomy gap every 512 intervals.
+    cursor += i % 512 == 511 ? 60 : rng.uniform_int(1, 4);
+    const Cycles dur = rng.uniform_int(1, 20);
+    tl.insert(cursor, dur);
+    cursor += dur;
+  }
+  return tl;
+}
+
+void BM_EarliestFit_Walk(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sim::Timeline tl = dense_timeline(n);
+  const Cycles horizon = tl.ready_time();
+  Cycles probe = 0;
+  for (auto _ : state) {
+    probe = (probe + 97) % horizon;
+    benchmark::DoNotOptimize(tl.earliest_fit_walk(probe, 50));
+  }
+}
+BENCHMARK(BM_EarliestFit_Walk)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_EarliestFit_HoleIndex(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sim::Timeline tl = dense_timeline(n);
+  const Cycles horizon = tl.ready_time();
+  Cycles probe = 0;
+  for (auto _ : state) {
+    probe = (probe + 97) % horizon;
+    benchmark::DoNotOptimize(tl.earliest_fit(probe, 50));
+  }
+}
+BENCHMARK(BM_EarliestFit_HoleIndex)->Arg(256)->Arg(1024)->Arg(8192);
 
 workload::Scenario bench_scenario(std::size_t num_tasks) {
   workload::SuiteParams params;
@@ -161,6 +208,114 @@ void BM_EnergyNeed_Cached(benchmark::State& state) {
 }
 BENCHMARK(BM_EnergyNeed_Cached);
 
+// --- pool scoring: per-candidate scalar chain vs SoA batch kernel ---------
+//
+// The kernel-only comparison behind the batched tentpole: score every ready
+// task against one machine, excluding the pool sort (identical on both
+// sides) so the ratio is gather+score work alone. Independent tasks make the
+// whole task set ready at clock 0 — the |T|=100k regime's pool shape. The
+// scalar side replicates build_slrh_pool_frontier's admission + two
+// score_candidate chains per task; the batched side is build_candidate_batch
+// + score_batch over the same ready span.
+
+workload::Scenario all_ready_scenario(std::size_t num_tasks) {
+  auto grid = sim::GridConfig::make(4, 4);
+  auto etc = workload::generate_etc({}, num_tasks,
+                                    workload::machine_classes(grid), 99);
+  workload::Scenario scenario{std::move(grid),
+                              workload::Dag(num_tasks),
+                              std::move(etc),
+                              workload::DataSizes{},
+                              workload::VersionModel{},
+                              /*tau=*/cycles_from_seconds(34075.0 *
+                                                          static_cast<double>(num_tasks) /
+                                                          1024.0)};
+  scenario.validate();
+  return scenario;
+}
+
+std::vector<TaskId> all_tasks(std::size_t num_tasks) {
+  std::vector<TaskId> ready(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i) ready[i] = static_cast<TaskId>(i);
+  return ready;
+}
+
+double scalar_score_kernel(const workload::Scenario& scenario,
+                           const core::ScenarioCache& cache,
+                           const sim::Schedule& schedule,
+                           const core::Weights& weights,
+                           const core::ObjectiveTotals& totals,
+                           std::span<const TaskId> ready) {
+  double acc = 0.0;
+  for (const TaskId task : ready) {
+    if (!core::version_fits_energy(cache, schedule, task, /*machine=*/0,
+                                   VersionKind::Secondary)) {
+      continue;
+    }
+    const double secondary = core::score_candidate(
+        cache, scenario, schedule, weights, totals, task, 0,
+        VersionKind::Secondary, /*earliest=*/0);
+    double best = secondary;
+    if (core::version_fits_energy(cache, schedule, task, 0, VersionKind::Primary)) {
+      const double primary = core::score_candidate(
+          cache, scenario, schedule, weights, totals, task, 0,
+          VersionKind::Primary, /*earliest=*/0);
+      if (primary >= secondary) best = primary;
+    }
+    acc += best;
+  }
+  return acc;
+}
+
+double batched_score_kernel(const workload::Scenario& scenario,
+                            const core::ScenarioCache& cache,
+                            const sim::Schedule& schedule,
+                            const core::Weights& weights,
+                            const core::ObjectiveTotals& totals,
+                            std::span<const TaskId> ready,
+                            core::CandidateBatch& batch) {
+  core::build_candidate_batch(cache, scenario, schedule, ready, /*machine=*/0,
+                              /*earliest=*/0, nullptr, batch);
+  core::score_batch(batch, weights, totals, schedule.t100(), schedule.tec(),
+                    schedule.aet());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < batch.size(); ++i) acc += batch.score[i];
+  return acc;
+}
+
+void BM_ScoreBatch_Scalar(benchmark::State& state) {
+  const auto scenario = all_ready_scenario(static_cast<std::size_t>(state.range(0)));
+  const core::ScenarioCache cache(scenario);
+  sim::Schedule schedule(scenario.grid, scenario.num_tasks());
+  const auto totals = core::objective_totals(scenario);
+  const auto weights = core::Weights::make(0.6, 0.3);
+  const auto ready = all_tasks(scenario.num_tasks());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scalar_score_kernel(scenario, cache, schedule, weights, totals, ready));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ScoreBatch_Scalar)->Arg(1024)->Arg(16384);
+
+void BM_ScoreBatch_Batched(benchmark::State& state) {
+  const auto scenario = all_ready_scenario(static_cast<std::size_t>(state.range(0)));
+  const core::ScenarioCache cache(scenario);
+  sim::Schedule schedule(scenario.grid, scenario.num_tasks());
+  const auto totals = core::objective_totals(scenario);
+  const auto weights = core::Weights::make(0.6, 0.3);
+  const auto ready = all_tasks(scenario.num_tasks());
+  core::CandidateBatch batch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batched_score_kernel(scenario, cache, schedule,
+                                                  weights, totals, ready, batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ScoreBatch_Batched)->Arg(1024)->Arg(16384);
+
 void BM_ScoreCandidate(benchmark::State& state) {
   const auto scenario = bench_scenario(256);
   sim::Schedule schedule(scenario.grid, scenario.num_tasks());
@@ -247,6 +402,95 @@ void write_inner_loop_report() {
               << (fast.wall_seconds > 0.0 ? legacy.wall_seconds / fast.wall_seconds
                                           : 0.0)
               << "x)\n";
+  }
+
+  // Score-kernel record (ISSUE: >= 3x on the pool-build/score kernel at
+  // |T|=1024): the scalar per-candidate chain vs the SoA gather+score
+  // kernel over an all-ready pool, sort excluded from both sides (it is
+  // identical work and would dilute the kernel ratio). Min-of-N absorbs
+  // scheduler noise; the speedup gauge is the before/after artifact the
+  // gate tracks (its committed tolerance is wide — machine-dependent).
+  {
+    constexpr int kReps = 15;
+    const auto pool_scenario = all_ready_scenario(1024);
+    const core::ScenarioCache cache(pool_scenario);
+    sim::Schedule schedule(pool_scenario.grid, pool_scenario.num_tasks());
+    const auto totals = core::objective_totals(pool_scenario);
+    const auto weights = core::Weights::make(0.6, 0.3);
+    const auto ready = all_tasks(pool_scenario.num_tasks());
+    core::CandidateBatch batch;
+    double scalar_seconds = 0.0;
+    double batched_seconds = 0.0;
+    double scalar_sum = 0.0;
+    double batched_sum = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const Stopwatch scalar_timer;
+      scalar_sum = scalar_score_kernel(pool_scenario, cache, schedule, weights,
+                                       totals, ready);
+      const double scalar_elapsed = scalar_timer.seconds();
+      scalar_seconds =
+          rep == 0 ? scalar_elapsed : std::min(scalar_seconds, scalar_elapsed);
+
+      const Stopwatch batched_timer;
+      batched_sum = batched_score_kernel(pool_scenario, cache, schedule, weights,
+                                         totals, ready, batch);
+      const double batched_elapsed = batched_timer.seconds();
+      batched_seconds =
+          rep == 0 ? batched_elapsed : std::min(batched_seconds, batched_elapsed);
+    }
+    const double speedup =
+        batched_seconds > 0.0 ? scalar_seconds / batched_seconds : 0.0;
+    report.metrics().gauge("bench.score_kernel_scalar_seconds").set(scalar_seconds);
+    report.metrics().gauge("bench.score_kernel_batched_seconds").set(batched_seconds);
+    report.metrics().gauge("bench.score_kernel_speedup").set(speedup);
+    // The kernels agree bit for bit (the determinism suite asserts this
+    // properly); the counter records it survived this run too.
+    report.metrics()
+        .counter("bench.score_kernel_sums_identical")
+        .add(scalar_sum == batched_sum ? 1 : 0);
+    std::cout << "score kernel @1024: scalar " << scalar_seconds << " s, batched "
+              << batched_seconds << " s (" << speedup << "x)\n";
+  }
+
+  // Earliest-fit record: linear walk vs hole index over a dense 8192-interval
+  // timeline (the |T|=100k placement regime). Same probes on both paths.
+  {
+    constexpr int kReps = 15;
+    constexpr int kProbes = 4096;
+    const sim::Timeline tl = dense_timeline(8192);
+    const Cycles horizon = tl.ready_time();
+    double walk_seconds = 0.0;
+    double index_seconds = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Cycles probe = 0;
+      Cycles walk_acc = 0;
+      const Stopwatch walk_timer;
+      for (int q = 0; q < kProbes; ++q) {
+        probe = (probe + 97) % horizon;
+        walk_acc += tl.earliest_fit_walk(probe, 50);
+      }
+      const double walk_elapsed = walk_timer.seconds();
+      benchmark::DoNotOptimize(walk_acc);
+      walk_seconds = rep == 0 ? walk_elapsed : std::min(walk_seconds, walk_elapsed);
+
+      probe = 0;
+      Cycles index_acc = 0;
+      const Stopwatch index_timer;
+      for (int q = 0; q < kProbes; ++q) {
+        probe = (probe + 97) % horizon;
+        index_acc += tl.earliest_fit(probe, 50);
+      }
+      const double index_elapsed = index_timer.seconds();
+      benchmark::DoNotOptimize(index_acc);
+      index_seconds =
+          rep == 0 ? index_elapsed : std::min(index_seconds, index_elapsed);
+    }
+    const double speedup = index_seconds > 0.0 ? walk_seconds / index_seconds : 0.0;
+    report.metrics().gauge("bench.earliest_fit_walk_seconds").set(walk_seconds);
+    report.metrics().gauge("bench.earliest_fit_index_seconds").set(index_seconds);
+    report.metrics().gauge("bench.earliest_fit_speedup").set(speedup);
+    std::cout << "earliest fit @8192: walk " << walk_seconds << " s, index "
+              << index_seconds << " s (" << speedup << "x)\n";
   }
 
   // Flight-recorder overhead guard (ISSUE: <= 3% on run_slrh at |T|=1024).

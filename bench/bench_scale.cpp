@@ -1,0 +1,132 @@
+// Large-scale end-to-end tier: one SLRH mapping run far above the paper's
+// |T| = 1024 — the ad-hoc-grid regime the batched SoA scoring kernel and the
+// timeline hole index exist for. Default scale maps |T| = 65 536 subtasks
+// onto |M| = 512 machines (128 subtasks per machine, half the paper's
+// per-machine pressure, with tau and batteries scaled to match); smoke scale
+// is the CI-sized run of the same shape. Dumps BENCH_scale.json /
+// BENCH_scale_smoke.json for the regression gate.
+//
+// The scenario generalises the suite's recipe to an arbitrary machine count:
+// a half-fast/half-slow grid, the Gamma-CVB ETC, a layered DAG whose level
+// width scales with |T| (wide levels = large ready frontiers = large pools,
+// the stress this tier measures), and per-machine tau/battery pressure
+// pinned to a constant fraction of the paper's so the runs stay feasible and
+// version-mixed at every size.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "core/scenario_cache.hpp"
+#include "core/slrh.hpp"
+#include "support/env.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace ahg;
+
+struct ScaleShape {
+  std::size_t num_tasks = 0;
+  std::size_t num_machines = 0;
+  const char* bench_name = nullptr;
+};
+
+ScaleShape shape_for(ReproScale scale) {
+  switch (scale) {
+    case ReproScale::Smoke:
+      return {8192, 64, "scale_smoke"};
+    case ReproScale::Default:
+    case ReproScale::Paper:
+      return {65536, 512, "scale"};
+  }
+  return {65536, 512, "scale"};
+}
+
+workload::Scenario make_scale_scenario(std::size_t num_tasks,
+                                       std::size_t num_machines,
+                                       std::uint64_t seed) {
+  // Per-machine pressure relative to the paper's 1024 tasks on 4 machines.
+  const double pressure = (static_cast<double>(num_tasks) /
+                           static_cast<double>(num_machines)) /
+                          256.0;
+  auto grid = sim::GridConfig::make(num_machines / 2,
+                                    num_machines - num_machines / 2)
+                  .with_battery_scale(pressure);
+
+  workload::DagGeneratorParams dag_params;
+  dag_params.num_nodes = num_tasks;
+  // Keep DAG depth roughly constant (~32 levels) as |T| grows, so ready
+  // frontiers — and therefore pool sizes — scale with |T|.
+  dag_params.mean_level_width = std::max<std::size_t>(32, num_tasks / 32);
+  auto dag = workload::generate_dag(dag_params, seed);
+  auto data = workload::generate_data_sizes({}, dag, seed + 1);
+  auto etc = workload::generate_etc({}, num_tasks,
+                                    workload::machine_classes(grid), seed + 2);
+
+  workload::Scenario scenario{std::move(grid),
+                              std::move(dag),
+                              std::move(etc),
+                              std::move(data),
+                              workload::VersionModel{},
+                              cycles_from_seconds(34075.0 * pressure)};
+  scenario.validate();
+  return scenario;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ahg;
+  if (const auto exit_code = bench::handle_bench_flags(argc, argv)) {
+    return *exit_code;
+  }
+  ScaleShape shape = shape_for(repro_scale_from_env());
+  // Local-experiment overrides; the gated CI shapes come from REPRO_SCALE.
+  if (const std::int64_t t = env_int("AHG_SCALE_TASKS", 0); t > 0) {
+    shape.num_tasks = static_cast<std::size_t>(t);
+  }
+  if (const std::int64_t m = env_int("AHG_SCALE_MACHINES", 0); m > 0) {
+    shape.num_machines = static_cast<std::size_t>(m);
+  }
+
+  std::cout << "=== bench_scale (" << shape.bench_name << ") ===\n"
+            << build_description() << "\n"
+            << "|T|=" << shape.num_tasks << ", |M|=" << shape.num_machines
+            << " (REPRO_SCALE=smoke|default to change)\n\n";
+
+  bench::BenchReport report(shape.bench_name);
+  report.meta("num_tasks", static_cast<std::int64_t>(shape.num_tasks));
+  report.meta("num_machines", static_cast<std::int64_t>(shape.num_machines));
+
+  const auto scenario = report.timed_section("scenario_build", [&] {
+    return make_scale_scenario(shape.num_tasks, shape.num_machines, 20040426);
+  });
+  const auto cache = report.timed_section(
+      "cache_build", [&] { return core::ScenarioCache(scenario); });
+
+  for (const auto variant : {core::SlrhVariant::V1, core::SlrhVariant::V3}) {
+    core::SlrhParams params;
+    params.variant = variant;
+    params.weights = core::Weights::make(0.6, 0.3);
+    params.cache = &cache;
+    const std::string name = core::to_string(variant);
+    const auto result = report.timed_section(
+        name + "_run", [&] { return core::run_slrh(scenario, params); });
+    report.metrics().counter("bench." + name + "_assigned").add(result.assigned);
+    report.metrics().counter("bench." + name + "_t100").add(result.t100);
+    report.metrics()
+        .counter("bench." + name + "_pools")
+        .add(static_cast<std::uint64_t>(result.pools_built));
+    report.metrics()
+        .counter("bench." + name + "_complete")
+        .add(result.complete ? 1 : 0);
+    std::cout << name << ": assigned " << result.assigned << "/"
+              << shape.num_tasks << ", t100 " << result.t100 << ", pools "
+              << result.pools_built << "\n";
+  }
+
+  std::cout << "wrote " << report.write_json() << "\n";
+  return 0;
+}

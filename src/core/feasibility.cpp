@@ -5,10 +5,6 @@
 
 namespace ahg::core {
 
-namespace {
-constexpr double kEps = 1e-9;
-}
-
 double worst_case_outgoing_energy(const workload::Scenario& scenario, TaskId task,
                                   MachineId machine, VersionKind version) {
   const auto& spec = scenario.grid.machine(machine);
@@ -33,13 +29,13 @@ bool version_fits_energy(const workload::Scenario& scenario,
                          MachineId machine, VersionKind version) {
   const double need = exec_energy(scenario, task, machine, version) +
                       worst_case_outgoing_energy(scenario, task, machine, version);
-  return need <= schedule.energy().available(machine) + kEps;
+  return need <= schedule.energy().available(machine) + kEnergyFitEps;
 }
 
 bool version_fits_energy(const ScenarioCache& cache, const sim::Schedule& schedule,
                          TaskId task, MachineId machine, VersionKind version) {
   return cache.energy_need(task, machine, version) <=
-         schedule.energy().available(machine) + kEps;
+         schedule.energy().available(machine) + kEnergyFitEps;
 }
 
 bool parents_assigned(const workload::Scenario& scenario, const sim::Schedule& schedule,

@@ -18,6 +18,12 @@ namespace ahg::core {
 
 class ScenarioCache;
 
+/// Slack added to the available-energy side of every admission comparison
+/// (need <= available + eps): absorbs the accumulated rounding of the
+/// energy-need sums. Exposed so batch admission (core/scoring.hpp) performs
+/// the bit-identical comparison.
+inline constexpr double kEnergyFitEps = 1e-9;
+
 /// Worst-case energy the target machine would need to send all of the
 /// subtask's output data items, assuming every child is mapped across the
 /// grid's lowest-bandwidth link.

@@ -16,6 +16,10 @@ ReadyFrontier::ReadyFrontier(const workload::Scenario& scenario,
   released_.assign(n, 0);
   assigned_.assign(n, 0);
   release_order_.resize(n);
+  // Worst-case capacity up front (4 bytes/task): the sorted-insert hot path
+  // never reallocates, and ready() spans stay valid across a whole pool
+  // build even as wide DAG levels release thousands of tasks at once.
+  ready_.reserve(n);
 
   const auto num_tasks = static_cast<TaskId>(n);
   for (TaskId t = 0; t < num_tasks; ++t) {

@@ -176,6 +176,12 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
     for (;;) {
       best = Triplet{};
       for (const TaskId task : frontier) {
+        // Data-arrival lower bound: a pure function of the task's (already
+        // committed) parents, hoisted out of the machine x version sweep.
+        Cycles arrival_lb = scenario.release(task);
+        for (const TaskId parent : scenario.dag.parents(task)) {
+          arrival_lb = std::max(arrival_lb, schedule->assignment(parent).finish);
+        }
         for (MachineId machine = 0; machine < num_machines; ++machine) {
           for (const VersionKind version :
                {VersionKind::Primary, VersionKind::Secondary}) {
@@ -186,17 +192,14 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
                     : version_fits_energy(scenario, *schedule, task, machine,
                                           version);
             if (!fits) continue;
-            // Hole-aware finish estimate: earliest-fit from the latest
-            // parent finish (data arrival lower bound) — Max-Max backfills,
-            // so an append-style "ready + exec" estimate would misprice
-            // every candidate once any machine has a late booking.
+            // Hole-aware finish estimate: earliest-fit (served by the
+            // timeline's ordered hole index) from the latest parent finish —
+            // Max-Max backfills, so an append-style "ready + exec" estimate
+            // would misprice every candidate once any machine has a late
+            // booking.
             const Cycles exec = cache != nullptr
                                     ? cache->exec_cycles(task, machine, version)
                                     : scenario.exec_cycles(task, machine, version);
-            Cycles arrival_lb = scenario.release(task);
-            for (const TaskId parent : scenario.dag.parents(task)) {
-              arrival_lb = std::max(arrival_lb, schedule->assignment(parent).finish);
-            }
             const Cycles start_est =
                 schedule->compute_timeline(machine).earliest_fit(arrival_lb, exec);
             const Cycles finish_est = start_est + exec;
@@ -316,11 +319,11 @@ MappingResult run_maxmax(const workload::Scenario& scenario, const MaxMaxParams&
       frame.maps = 1;
       frame.last_pool_size = pool_size;
       frame.frontier_ready = frontier.size();
-      const sim::EnergyLedger& ledger = schedule->energy();
+      const sim::EnergyLedger& energy = schedule->energy();
       for (MachineId m = 0; m < num_machines; ++m) {
-        const double capacity = ledger.capacity(m);
+        const double capacity = energy.capacity(m);
         frame.battery_fraction.push_back(
-            capacity > 0.0 ? ledger.available(m) / capacity : 0.0);
+            capacity > 0.0 ? energy.available(m) / capacity : 0.0);
         frame.busy_until.push_back(schedule->machine_ready(m));
       }
       recorder->record(std::move(frame));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
 #include "core/feasibility.hpp"
 #include "sim/comm.hpp"
@@ -45,7 +46,10 @@ PlacementPlan plan_placement(const workload::Scenario& scenario,
 
   // Overlay copies: transfers planned for earlier parents occupy channel
   // time that later parents must respect, without touching the real state.
-  sim::Timeline rx_overlay = schedule.rx_timeline(machine);
+  // The rx overlay is copied lazily — a candidate with no cross-machine
+  // data-carrying parent (every root, and most same-machine chains) never
+  // pays for the copy.
+  std::optional<sim::Timeline> rx_overlay;
   std::map<MachineId, sim::Timeline> tx_overlays;
 
   Cycles arrival = 0;
@@ -66,12 +70,13 @@ PlacementPlan plan_placement(const workload::Scenario& scenario,
     auto [it, inserted] = tx_overlays.try_emplace(pa.machine);
     if (inserted) it->second = schedule.tx_timeline(pa.machine);
     sim::Timeline& tx_overlay = it->second;
+    if (!rx_overlay.has_value()) rx_overlay = schedule.rx_timeline(machine);
 
     const Cycles earliest = std::max(not_before, pa.finish);
     const Cycles start =
-        sim::Timeline::earliest_fit_pair(tx_overlay, rx_overlay, earliest, dur);
+        sim::Timeline::earliest_fit_pair(tx_overlay, *rx_overlay, earliest, dur);
     tx_overlay.insert(start, dur);
-    rx_overlay.insert(start, dur);
+    rx_overlay->insert(start, dur);
 
     CommPlan comm;
     comm.parent = parent;

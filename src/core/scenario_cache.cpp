@@ -1,5 +1,6 @@
 #include "core/scenario_cache.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "core/feasibility.hpp"
@@ -12,15 +13,18 @@ ScenarioCache::ScenarioCache(const workload::Scenario& scenario)
   exec_cycles_.resize(cells);
   exec_energy_.resize(cells);
   energy_need_.resize(cells);
-  min_exec_cycles_.resize(num_tasks_ * 2);
+  min_exec_cycles_.assign(num_tasks_ * 2, std::numeric_limits<Cycles>::max());
   primary_compute_energy_.resize(num_tasks_ * num_machines_);
 
   const auto num_tasks = static_cast<TaskId>(num_tasks_);
   const auto num_machines = static_cast<MachineId>(num_machines_);
-  for (TaskId task = 0; task < num_tasks; ++task) {
-    for (const VersionKind version : {VersionKind::Primary, VersionKind::Secondary}) {
-      Cycles min_cycles = std::numeric_limits<Cycles>::max();
-      for (MachineId machine = 0; machine < num_machines; ++machine) {
+  // Machine-outer to match the machine-major table layout (sequential
+  // writes); the per-task minimum accumulates across the machine passes
+  // (min is order-independent — identical values to a task-outer build).
+  for (MachineId machine = 0; machine < num_machines; ++machine) {
+    for (TaskId task = 0; task < num_tasks; ++task) {
+      for (const VersionKind version :
+           {VersionKind::Primary, VersionKind::Secondary}) {
         const std::size_t i = index(task, machine, version);
         // Each entry uses the exact expression (and operation order) of the
         // uncached path so lookups are bit-identical to recomputation.
@@ -29,11 +33,15 @@ ScenarioCache::ScenarioCache(const workload::Scenario& scenario)
         energy_need_[i] =
             exec_energy_[i] +
             worst_case_outgoing_energy(scenario, task, machine, version);
-        min_cycles = std::min(min_cycles, exec_cycles_[i]);
+        const std::size_t m = static_cast<std::size_t>(task) * 2 +
+                              (version == VersionKind::Primary ? 0 : 1);
+        min_exec_cycles_[m] = std::min(min_exec_cycles_[m], exec_cycles_[i]);
       }
-      min_exec_cycles_[static_cast<std::size_t>(task) * 2 +
-                       (version == VersionKind::Primary ? 0 : 1)] = min_cycles;
     }
+  }
+  // This table keeps the task-major layout its consumer (the upper bound's
+  // per-task greedy sweep over machines) reads sequentially.
+  for (TaskId task = 0; task < num_tasks; ++task) {
     for (MachineId machine = 0; machine < num_machines; ++machine) {
       primary_compute_energy_[static_cast<std::size_t>(task) * num_machines_ +
                               static_cast<std::size_t>(machine)] =

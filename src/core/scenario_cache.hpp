@@ -69,18 +69,23 @@ class ScenarioCache {
   }
 
  private:
+  /// MACHINE-major: one machine's whole column is contiguous (stride 2
+  /// entries per task). The SLRH hot path — the batched pool gather — reads
+  /// a fixed machine's entries across many ready tasks, so this layout turns
+  /// the gather into near-sequential loads at |M|=512, where the old
+  /// task-major layout strode |M|*2 entries (a cache line per task).
   std::size_t index(TaskId task, MachineId machine, VersionKind version) const {
-    return (static_cast<std::size_t>(task) * num_machines_ +
-            static_cast<std::size_t>(machine)) *
+    return (static_cast<std::size_t>(machine) * num_tasks_ +
+            static_cast<std::size_t>(task)) *
                2 +
            (version == VersionKind::Primary ? 0 : 1);
   }
 
   std::size_t num_tasks_ = 0;
   std::size_t num_machines_ = 0;
-  std::vector<Cycles> exec_cycles_;           ///< |T| x |M| x 2
-  std::vector<double> exec_energy_;           ///< |T| x |M| x 2
-  std::vector<double> energy_need_;           ///< |T| x |M| x 2
+  std::vector<Cycles> exec_cycles_;           ///< |M| x |T| x 2
+  std::vector<double> exec_energy_;           ///< |M| x |T| x 2
+  std::vector<double> energy_need_;           ///< |M| x |T| x 2
   std::vector<Cycles> min_exec_cycles_;       ///< |T| x 2
   std::vector<double> primary_compute_energy_;  ///< |T| x |M|
 };

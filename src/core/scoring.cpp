@@ -120,4 +120,172 @@ ObjectiveTerms score_candidate_terms_with_finish(
   return objective_terms(weights, state, totals, aet_sign);
 }
 
+// --- batched SoA scoring -----------------------------------------------
+
+void CandidateBatch::clear() noexcept {
+  // Columns keep their high-water storage; only the logical count resets.
+  count_ = 0;
+}
+
+void CandidateBatch::reserve(std::size_t n) {
+  task.reserve(n);
+  finish_secondary.reserve(n);
+  finish_primary.reserve(n);
+  tec_delta_secondary.reserve(n);
+  tec_delta_primary.reserve(n);
+  primary_allowed.reserve(n);
+}
+
+std::size_t build_candidate_batch(const ScenarioCache& cache,
+                                  const workload::Scenario& scenario,
+                                  const sim::Schedule& schedule,
+                                  std::span<const TaskId> ready,
+                                  MachineId machine, Cycles earliest,
+                                  const std::vector<std::uint8_t>* secondary_only,
+                                  CandidateBatch& batch) {
+  batch.machine = machine;
+  // Hoisted per-machine state: pure during a pool build. The admission
+  // comparison and the finish base reproduce version_fits_energy and
+  // score_candidate exactly (available + eps is the scalar path's right-hand
+  // side; max(earliest, ready) is integer — hoisting is exact).
+  batch.headroom = schedule.energy().available(machine) + kEnergyFitEps;
+  batch.start_base = std::max(earliest, schedule.machine_ready(machine));
+  const auto& receiver = scenario.grid.machine(machine);
+
+  // Grow the gather columns to the high-water ready-set size and fill
+  // through raw pointers: a push_back per column per slot re-checks capacity
+  // and bumps the end pointer six times per task, and at ~10ns/task gather
+  // cost that bookkeeping is measurable. Growth is monotone — shrinking to
+  // the slot count and regrowing next build would value-initialize (memset)
+  // the regrown tail on every pool build, which the SLRH driver pays
+  // thousands of times per run.
+  const std::size_t cap = ready.size();
+  if (batch.task.size() < cap) {
+    batch.task.resize(cap);
+    batch.finish_secondary.resize(cap);
+    batch.finish_primary.resize(cap);
+    batch.tec_delta_secondary.resize(cap);
+    batch.tec_delta_primary.resize(cap);
+    batch.primary_allowed.resize(cap);
+  }
+  TaskId* const col_task = batch.task.data();
+  double* const col_fs = batch.finish_secondary.data();
+  double* const col_fp = batch.finish_primary.data();
+  double* const col_ts = batch.tec_delta_secondary.data();
+  double* const col_tp = batch.tec_delta_primary.data();
+  std::uint8_t* const col_allowed = batch.primary_allowed.data();
+  const double headroom = batch.headroom;
+  const Cycles start_base = batch.start_base;
+
+  std::size_t slot = 0;
+  std::size_t rejected_energy = 0;
+  for (const TaskId task : ready) {
+    const double need_s = cache.energy_need(task, machine, VersionKind::Secondary);
+    if (!(need_s <= headroom)) {
+      ++rejected_energy;
+      continue;
+    }
+    const double need_p = cache.energy_need(task, machine, VersionKind::Primary);
+    const bool degraded =
+        secondary_only != nullptr &&
+        (*secondary_only)[static_cast<std::size_t>(task)] != 0;
+
+    // One parent walk feeds both versions' tec-delta chains: each chain
+    // starts from its version's exec energy and adds the identical transfer
+    // energies in parent order — the scalar accumulation order, per version.
+    double tec_s = cache.exec_energy(task, machine, VersionKind::Secondary);
+    double tec_p = cache.exec_energy(task, machine, VersionKind::Primary);
+    for (const TaskId parent : scenario.dag.parents(task)) {
+      AHG_EXPECTS_MSG(schedule.is_assigned(parent), "scoring with unassigned parent");
+      const auto& pa = schedule.assignment(parent);
+      if (pa.machine == machine) continue;
+      const double bits = scenario.edge_bits(parent, task, pa.version);
+      if (bits <= 0.0) continue;
+      const auto& sender = scenario.grid.machine(pa.machine);
+      const double transfer =
+          sim::transfer_energy(sender, sim::transfer_cycles(bits, sender, receiver));
+      tec_s += transfer;
+      tec_p += transfer;
+    }
+
+    col_task[slot] = task;
+    // Exact integer finish estimates, converted once (values < 2^53, so the
+    // conversion is lossless — see the CandidateBatch doc comment).
+    col_fs[slot] = static_cast<double>(
+        start_base + cache.exec_cycles(task, machine, VersionKind::Secondary));
+    col_fp[slot] = static_cast<double>(
+        start_base + cache.exec_cycles(task, machine, VersionKind::Primary));
+    col_ts[slot] = tec_s;
+    col_tp[slot] = tec_p;
+    col_allowed[slot] =
+        !degraded && need_p <= headroom ? std::uint8_t{1} : std::uint8_t{0};
+    ++slot;
+  }
+  batch.count_ = slot;
+  return rejected_energy;
+}
+
+void score_batch(CandidateBatch& batch, const Weights& weights,
+                 const ObjectiveTotals& totals, std::size_t t100_base,
+                 double tec_base, Cycles aet_base, AetSign aet_sign) {
+  AHG_EXPECTS_MSG(totals.num_tasks > 0, "objective needs |T| > 0");
+  AHG_EXPECTS_MSG(totals.tse > 0.0, "objective needs TSE > 0");
+  AHG_EXPECTS_MSG(totals.tau > 0, "objective needs tau > 0");
+  const std::size_t n = batch.size();
+  if (batch.score_secondary.size() < n) {
+    batch.score_secondary.resize(n);
+    batch.score_primary.resize(n);
+    batch.version.resize(n);
+    batch.score.resize(n);
+  }
+
+  // Per-batch constant subtrees of objective_value's expression, hoisted:
+  // a batch has exactly two possible t100 terms (secondary leaves t100,
+  // primary adds one) and one sign*gamma product. Each is computed by the
+  // scalar path's exact operations, so reusing the resulting doubles keeps
+  // every per-slot score bit-identical to objective_value.
+  const double num_tasks = static_cast<double>(totals.num_tasks);
+  const double tau = static_cast<double>(totals.tau);
+  const double alpha_t100_s =
+      weights.alpha * (static_cast<double>(t100_base) / num_tasks);
+  const double alpha_t100_p =
+      weights.alpha * (static_cast<double>(t100_base + 1) / num_tasks);
+  const double sign_gamma =
+      static_cast<double>(static_cast<int>(aet_sign)) * weights.gamma;
+
+  // Two passes so the arithmetic loop is a pure double pipeline the
+  // compiler can keep in SIMD lanes (the divisions dominate the kernel, and
+  // packed division is IEEE correctly-rounded — identical bits to the
+  // scalar path). std::max over the exactly-converted finish estimates
+  // reproduces the integer max's value bit for bit (conversion is exact and
+  // monotone). The select pass carries no divisions and costs little.
+  const double aet_floor = static_cast<double>(aet_base);
+  const double beta = weights.beta;
+  const double tse = totals.tse;
+  const double* const tds = batch.tec_delta_secondary.data();
+  const double* const tdp = batch.tec_delta_primary.data();
+  const double* const fs = batch.finish_secondary.data();
+  const double* const fp = batch.finish_primary.data();
+  double* const out_s = batch.score_secondary.data();
+  double* const out_p = batch.score_primary.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double tec_s = tec_base + tds[i];
+    const double tec_p = tec_base + tdp[i];
+    const double aet_s = std::max(aet_floor, fs[i]);
+    const double aet_p = std::max(aet_floor, fp[i]);
+    out_s[i] = alpha_t100_s - beta * (tec_s / tse) + sign_gamma * (aet_s / tau);
+    out_p[i] = alpha_t100_p - beta * (tec_p / tse) + sign_gamma * (aet_p / tau);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // Admission classification by select: primary iff allowed (degrade mask
+    // + primary admission energy, gathered) and it beats secondary. The
+    // primary score is computed unconditionally but only SELECTED when the
+    // scalar path would have computed it — same choice, same bits.
+    const bool pick_primary =
+        batch.primary_allowed[i] != 0 && out_p[i] >= out_s[i];
+    batch.version[i] = pick_primary ? VersionKind::Primary : VersionKind::Secondary;
+    batch.score[i] = pick_primary ? out_p[i] : out_s[i];
+  }
+}
+
 }  // namespace ahg::core

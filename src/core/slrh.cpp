@@ -303,6 +303,41 @@ std::vector<SlrhPoolCandidate> build_slrh_pool_scan(
   return pool;
 }
 
+std::vector<SlrhPoolCandidate> build_slrh_pool_batched(
+    const workload::Scenario& scenario, const ScenarioCache& cache,
+    const ReadyFrontier& frontier, const sim::Schedule& schedule,
+    const SlrhParams& params, const ObjectiveTotals& totals, MachineId machine,
+    Cycles clock, SlrhPoolRejects* rejects, obs::Histogram* scoring_histogram,
+    CandidateBatch* scratch) {
+  SubPhaseAccumulator scoring_time(scoring_histogram);
+  if (rejects != nullptr) {
+    rejects->unreleased = frontier.num_unreleased();
+    rejects->assigned = frontier.num_assigned_released();
+    rejects->parents = frontier.num_parents_blocked();
+  }
+  CandidateBatch local;
+  CandidateBatch& batch = scratch != nullptr ? *scratch : local;
+  // The scoring histogram covers gather + kernel: both stages together do
+  // the work the scalar path's per-candidate scoring lambda did (the
+  // admission compare folded into the gather is noise). Telemetry only.
+  std::vector<SlrhPoolCandidate> pool = scoring_time.time([&] {
+    const std::size_t rejected_energy = build_candidate_batch(
+        cache, scenario, schedule, frontier.ready(), machine, clock,
+        params.secondary_only, batch);
+    if (rejects != nullptr) rejects->energy = rejected_energy;
+    score_batch(batch, params.weights, totals, schedule.t100(), schedule.tec(),
+                schedule.aet(), params.aet_sign);
+    std::vector<SlrhPoolCandidate> out;
+    out.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out.push_back({batch.task[i], batch.version[i], batch.score[i]});
+    }
+    return out;
+  });
+  sort_pool(pool);
+  return pool;
+}
+
 std::vector<SlrhPoolCandidate> build_slrh_pool_frontier(
     const workload::Scenario& scenario, const ScenarioCache& cache,
     const ReadyFrontier& frontier, const sim::Schedule& schedule,
@@ -411,6 +446,10 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
   }
   BeyondHorizonMemo* memo = memo_storage.has_value() ? &*memo_storage : nullptr;
 
+  // SoA scratch for the batched score kernel, reused across every pool build
+  // of the window (allocation-free steady state).
+  CandidateBatch batch_scratch;
+
   // One pool build, with telemetry when enabled.
   const auto make_pool = [&](MachineId machine, Cycles clock) {
     SlrhPoolRejects rejects;
@@ -420,12 +459,16 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
     {
       obs::ProfileScope scope(telemetry.pool_build);
       SlrhPoolRejects* rej = trace_pools ? &rejects : nullptr;
-      pool = frontier.has_value()
+      pool = !frontier.has_value()
+                 ? build_slrh_pool_scan(scenario, schedule, params, totals, machine,
+                                        clock, rej, telemetry.scoring)
+             : params.scalar_score
                  ? build_slrh_pool_frontier(scenario, *cache, *frontier, schedule,
                                             params, totals, machine, clock, rej,
                                             telemetry.scoring)
-                 : build_slrh_pool_scan(scenario, schedule, params, totals, machine,
-                                        clock, rej, telemetry.scoring);
+                 : build_slrh_pool_batched(scenario, *cache, *frontier, schedule,
+                                           params, totals, machine, clock, rej,
+                                           telemetry.scoring, &batch_scratch);
     }
     if (recorder != nullptr) {
       if (time_this_build) {
@@ -544,15 +587,15 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
       frame.frontier_ready = 0;
       frame.frontier_unreleased = 0;
     }
-    const sim::EnergyLedger& ledger = schedule.energy();
+    const sim::EnergyLedger& energy = schedule.energy();
     frame.battery_fraction.clear();
     frame.busy_until.clear();
     frame.battery_fraction.reserve(static_cast<std::size_t>(num_machines));
     frame.busy_until.reserve(static_cast<std::size_t>(num_machines));
     for (MachineId m = 0; m < num_machines; ++m) {
-      const double capacity = ledger.capacity(m);
+      const double capacity = energy.capacity(m);
       frame.battery_fraction.push_back(
-          capacity > 0.0 ? ledger.available(m) / capacity : 0.0);
+          capacity > 0.0 ? energy.available(m) / capacity : 0.0);
       frame.busy_until.push_back(schedule.machine_ready(m));
     }
     recorder->record(frame);

@@ -35,6 +35,7 @@ namespace ahg::core {
 
 class ScenarioCache;
 class ReadyFrontier;
+struct CandidateBatch;
 
 enum class SlrhVariant : std::uint8_t { V1 = 1, V2 = 2, V3 = 3 };
 
@@ -91,6 +92,14 @@ struct SlrhParams {
   /// Schedules are bit-identical either way — the fast path changes no
   /// decision (asserted by tests/test_determinism.cpp).
   bool legacy_scan = false;
+
+  /// Diff baseline for the batched SoA scoring kernel: keep the frontier
+  /// admission sweep but score candidates one at a time through
+  /// score_candidate (the previous fast path) instead of
+  /// build_candidate_batch + score_batch. Schedules are bit-identical either
+  /// way (asserted by tests/test_determinism.cpp). Ignored when legacy_scan
+  /// is set (the scan path is already scalar).
+  bool scalar_score = false;
 
   /// Optional per-task degrade mask (not owned; indexed by TaskId). A task
   /// whose entry is non-zero is only ever offered at its secondary version —
@@ -162,5 +171,21 @@ std::vector<SlrhPoolCandidate> build_slrh_pool_frontier(
     const SlrhParams& params, const ObjectiveTotals& totals, MachineId machine,
     Cycles clock, SlrhPoolRejects* rejects = nullptr,
     obs::Histogram* scoring_histogram = nullptr);
+
+/// Batched pool construction: same membership sweep as the frontier build,
+/// but admission, gathering, and scoring run through the structure-of-arrays
+/// CandidateBatch + score_batch kernel (core/scoring.hpp) — one parent walk
+/// per task, branch-free scores over contiguous columns. Produces the same
+/// pool, in the same order, with bit-identical scores (the default driver
+/// path; SlrhParams::scalar_score selects the per-candidate build instead).
+/// `scratch` non-null reuses that batch's storage across builds
+/// (allocation-free steady state); null uses a local.
+std::vector<SlrhPoolCandidate> build_slrh_pool_batched(
+    const workload::Scenario& scenario, const ScenarioCache& cache,
+    const ReadyFrontier& frontier, const sim::Schedule& schedule,
+    const SlrhParams& params, const ObjectiveTotals& totals, MachineId machine,
+    Cycles clock, SlrhPoolRejects* rejects = nullptr,
+    obs::Histogram* scoring_histogram = nullptr,
+    CandidateBatch* scratch = nullptr);
 
 }  // namespace ahg::core

@@ -22,6 +22,24 @@ Cycles Timeline::earliest_fit(Cycles not_before, Cycles duration) const {
   AHG_EXPECTS_MSG(not_before >= 0, "not_before must be non-negative");
   AHG_EXPECTS_MSG(duration >= 0, "duration must be non-negative");
   if (duration == 0) return not_before;
+  // First busy interval ending after not_before; everything earlier is
+  // irrelevant. Its preceding gap is truncated at not_before, so it needs a
+  // bespoke check; every later gap has its full indexed length.
+  const auto it = std::lower_bound(
+      busy_.begin(), busy_.end(), not_before,
+      [](const Interval& iv, Cycles value) { return iv.end <= value; });
+  if (it == busy_.end()) return not_before;  // past the whole schedule
+  if (it->start - not_before >= duration) return not_before;
+  const auto first = static_cast<std::size_t>(it - busy_.begin());
+  const std::size_t gap = find_first_fitting_gap(first + 1, duration);
+  if (gap < busy_.size()) return busy_[gap - 1].end;
+  return busy_.back().end;
+}
+
+Cycles Timeline::earliest_fit_walk(Cycles not_before, Cycles duration) const {
+  AHG_EXPECTS_MSG(not_before >= 0, "not_before must be non-negative");
+  AHG_EXPECTS_MSG(duration >= 0, "duration must be non-negative");
+  if (duration == 0) return not_before;
   Cycles candidate = not_before;
   auto it = std::lower_bound(
       busy_.begin(), busy_.end(), candidate,
@@ -31,6 +49,50 @@ Cycles Timeline::earliest_fit(Cycles not_before, Cycles duration) const {
     candidate = std::max(candidate, it->end);
   }
   return candidate;
+}
+
+std::size_t Timeline::find_first_fitting_gap(std::size_t from,
+                                             Cycles duration) const {
+  const std::size_t n = busy_.size();
+  if (from >= n) return n;
+  // Partial leading block: its maximum covers gaps before `from` too, so it
+  // cannot prove a fit — but max < duration still proves NO gap in the
+  // block fits (a suffix maximum is bounded by the block maximum), which
+  // skips the common dense case without scanning. Otherwise scan the suffix.
+  std::size_t block = from / kGapBlock;
+  if (gap_block_max_[block] >= duration) {
+    const std::size_t lead_end = std::min((block + 1) * kGapBlock, n);
+    for (std::size_t gap = from; gap < lead_end; ++gap) {
+      if (gap_length(gap) >= duration) return gap;
+    }
+  }
+  // Whole blocks: skip via the maxima, then scan the first block that fits.
+  const std::size_t num_blocks = gap_block_max_.size();
+  for (++block; block < num_blocks; ++block) {
+    if (gap_block_max_[block] < duration) continue;
+    const std::size_t begin = block * kGapBlock;
+    const std::size_t end = std::min(begin + kGapBlock, n);
+    for (std::size_t gap = begin; gap < end; ++gap) {
+      if (gap_length(gap) >= duration) return gap;
+    }
+    AHG_EXPECTS_MSG(false, "hole index block maximum out of sync with gaps");
+  }
+  return n;
+}
+
+void Timeline::rebuild_gap_blocks_from(std::size_t gap) {
+  const std::size_t n = busy_.size();
+  const std::size_t num_blocks = (n + kGapBlock - 1) / kGapBlock;
+  gap_block_max_.resize(num_blocks);
+  for (std::size_t block = gap / kGapBlock; block < num_blocks; ++block) {
+    const std::size_t begin = block * kGapBlock;
+    const std::size_t end = std::min(begin + kGapBlock, n);
+    Cycles widest = 0;
+    for (std::size_t g = begin; g < end; ++g) {
+      widest = std::max(widest, gap_length(g));
+    }
+    gap_block_max_[block] = widest;
+  }
 }
 
 Cycles Timeline::earliest_fit_pair(const Timeline& a, const Timeline& b,
@@ -58,14 +120,26 @@ void Timeline::insert(Cycles start, Cycles duration) {
   const auto it = std::lower_bound(
       busy_.begin(), busy_.end(), iv,
       [](const Interval& lhs, const Interval& rhs) { return lhs.start < rhs.start; });
+  const auto at = static_cast<std::size_t>(it - busy_.begin());
   busy_.insert(it, iv);
+  // The insertion split gap `at` around the new interval; gaps to its right
+  // shifted by one. Appends touch only the final block.
+  rebuild_gap_blocks_from(at);
 }
 
 void Timeline::erase(Cycles start, Cycles duration) {
   const Interval iv{start, start + duration};
-  const auto it = std::find(busy_.begin(), busy_.end(), iv);
-  AHG_EXPECTS_MSG(it != busy_.end(), "erase of an interval that was never inserted");
+  // Intervals are disjoint and sorted by start, so an exact match can only
+  // sit at the lower bound for `start`.
+  const auto it = std::lower_bound(
+      busy_.begin(), busy_.end(), start,
+      [](const Interval& lhs, Cycles value) { return lhs.start < value; });
+  AHG_EXPECTS_MSG(it != busy_.end() && *it == iv,
+                  "erase of an interval that was never inserted");
+  const auto at = static_cast<std::size_t>(it - busy_.begin());
   busy_.erase(it);
+  // The gaps around the removed interval merged into one; later gaps shifted.
+  rebuild_gap_blocks_from(at);
 }
 
 Cycles Timeline::busy_cycles() const noexcept {

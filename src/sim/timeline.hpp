@@ -8,6 +8,22 @@
 // and non-overlapping. The structure supports both the SLRH append-mostly
 // workload and Max-Max hole-filling ("a sufficiently large hole in the
 // existing schedule", paper §V) through earliest_fit().
+//
+// Hole index: earliest_fit() answers "first free gap of length >= d at or
+// after p" through an ordered gap index instead of walking the busy list.
+// Gap j is the free space immediately before busy_[j] (gap 0 runs from cycle
+// 0; the open gap after the last interval is implicit), so the gaps — keyed
+// by start order — tile the free space exactly, with no adjacent-gap
+// fragmentation: every maximal free range is exactly one gap. The index
+// stores the per-block maximum gap length (blocks of kGapBlock gaps) and is
+// maintained incrementally by insert()/erase(): an insertion splits one gap
+// in two, an erasure merges the two gaps around the removed interval, and
+// only blocks at or after the mutation point are recomputed — O(1) amortised
+// for the append-mostly SLRH workload. A probe scans at most one partial
+// block, then block maxima, then one final block: O(n / kGapBlock +
+// kGapBlock) instead of O(n). earliest_fit_walk() keeps the original linear
+// scan as the reference/diff baseline; the two are asserted equal under
+// randomized insert/erase churn by tests/test_timeline.cpp.
 
 #include <cstddef>
 #include <span>
@@ -40,8 +56,15 @@ class Timeline {
 
   /// Earliest s >= not_before such that [s, s+duration) is free. May land in
   /// an interior hole (Max-Max backfill) or after ready_time(). A zero
-  /// duration fits anywhere: returns not_before.
+  /// duration fits anywhere: returns not_before. Served by the ordered hole
+  /// index (see the header comment); identical results to
+  /// earliest_fit_walk() by construction.
   Cycles earliest_fit(Cycles not_before, Cycles duration) const;
+
+  /// Reference implementation: the original linear walk over the busy list.
+  /// Kept as the diff baseline for the hole index (tests assert equality
+  /// under churn; BM_EarliestFit_Walk measures the gap).
+  Cycles earliest_fit_walk(Cycles not_before, Cycles duration) const;
 
   /// Earliest s >= not_before such that [s, s+duration) is simultaneously
   /// free on both timelines (pairing a sender's tx channel with a receiver's
@@ -62,7 +85,24 @@ class Timeline {
   Cycles busy_cycles() const noexcept;
 
  private:
-  std::vector<Interval> busy_;  // sorted by start, disjoint
+  /// Gaps per index block. 64 keeps a block's gap lengths within one or two
+  /// cache lines of Interval data while dividing the block-maxima scan by 64.
+  static constexpr std::size_t kGapBlock = 64;
+
+  /// Free cycles immediately before busy_[gap] (from cycle 0 for gap 0).
+  Cycles gap_length(std::size_t gap) const noexcept {
+    return gap == 0 ? busy_[0].start : busy_[gap].start - busy_[gap - 1].end;
+  }
+
+  /// Recompute block maxima for every block containing a gap >= `gap`
+  /// (mutations shift all later gaps, so everything to the right is stale).
+  void rebuild_gap_blocks_from(std::size_t gap);
+
+  /// First gap index >= `from` whose length fits `duration`, or size().
+  std::size_t find_first_fitting_gap(std::size_t from, Cycles duration) const;
+
+  std::vector<Interval> busy_;        // sorted by start, disjoint
+  std::vector<Cycles> gap_block_max_; // per-block max gap length
 };
 
 }  // namespace ahg::sim

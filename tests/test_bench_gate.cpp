@@ -181,6 +181,33 @@ TEST(BenchGate, MissingMetricsAreFlaggedBothWays) {
   EXPECT_TRUE(result.ok(true));  // --allow-missing downgrades both kinds
 }
 
+TEST(BenchGate, BaselinePathJoinsDirAndBenchName) {
+  EXPECT_EQ(bench::baseline_path("bench/baselines", "inner_loop"),
+            "bench/baselines/BENCH_inner_loop.json");
+  EXPECT_EQ(bench::baseline_path(".", "scale"), "./BENCH_scale.json");
+}
+
+TEST(BenchGate, CheckWithoutBaselineFlagsEveryFreshMetric) {
+  // A dump for a bench that has never been baselined (bench_check's check
+  // mode hits this when the file is absent): every flattened metric comes
+  // back MISSING(baseline) — a failure by default, tolerated by
+  // --allow-missing, never a hard error.
+  const auto snapshot = sample_snapshot();
+  const auto result = bench::check_without_baseline(snapshot);
+  EXPECT_EQ(result.regressions, 0u);
+  EXPECT_EQ(result.missing, bench::flatten_metrics(snapshot).size());
+  EXPECT_EQ(result.findings.size(), result.missing);
+  for (const auto& f : result.findings) {
+    EXPECT_EQ(f.verdict, GateVerdict::MissingBaseline) << f.metric;
+  }
+  EXPECT_FALSE(result.ok(false));
+  EXPECT_TRUE(result.ok(true));
+  // Seeding the baseline from the same dump (what --update writes) then
+  // passes cleanly — the create-missing-baseline round trip.
+  const GateBaseline seeded = bench::make_baseline("b", snapshot);
+  EXPECT_TRUE(bench::check_bench(seeded, snapshot).ok(false));
+}
+
 TEST(BenchGate, ParseRejectsMalformedBaselines) {
   EXPECT_THROW(bench::parse_baseline(obs::parse_json("[1]")), PreconditionError);
   EXPECT_THROW(bench::parse_baseline(obs::parse_json(R"({"bench":"b"})")),

@@ -112,6 +112,116 @@ TEST(Determinism, ChurnOffDriverMatchesPlainSlrh) {
   }
 }
 
+TEST(Determinism, SlrhBatchedScoringMatchesScalar) {
+  // The SoA score_batch kernel is the default pool builder over the ready
+  // frontier; params.scalar_score forces the per-candidate scalar loop over
+  // the SAME frontier. Both must match the legacy full scan bit for bit —
+  // the batch kernel evaluates the exact scalar expression trees, so any
+  // divergence is a kernel bug, not rounding.
+  for (const auto& scenario : paper_shape_fixtures()) {
+    for (const auto variant :
+         {core::SlrhVariant::V1, core::SlrhVariant::V2, core::SlrhVariant::V3}) {
+      core::SlrhParams params;
+      params.variant = variant;
+      params.weights = core::Weights::make(0.6, 0.3);
+
+      params.legacy_scan = true;
+      const auto legacy = core::run_slrh(scenario, params);
+
+      params.legacy_scan = false;
+      params.scalar_score = true;
+      const auto scalar = core::run_slrh(scenario, params);
+
+      params.scalar_score = false;
+      const auto batched = core::run_slrh(scenario, params);
+
+      expect_identical(legacy, scalar, scenario, to_string(variant).c_str());
+      expect_identical(legacy, batched, scenario, to_string(variant).c_str());
+    }
+  }
+}
+
+TEST(Determinism, ChurnBatchedScoringMatchesScalar) {
+  // Same contract through the churn driver: recovery re-pools orphaned work
+  // with partially-filled timelines, so the batch gather sees mid-run
+  // erase-churned state. A real departure makes the recovery path execute.
+  auto scenario = test::small_suite_scenario(sim::GridCase::A, 64, 4242);
+  scenario.machine_windows.assign(scenario.num_machines(),
+                                  workload::Scenario::MachineWindow{});
+  scenario.machine_windows[1].depart = scenario.tau / 8;
+  for (const auto variant : {core::SlrhVariant::V1, core::SlrhVariant::V3}) {
+    core::SlrhParams params;
+    params.variant = variant;
+    params.weights = core::Weights::make(0.6, 0.3);
+
+    params.scalar_score = true;
+    const auto scalar = core::run_slrh_with_churn(scenario, params);
+
+    params.scalar_score = false;
+    const auto batched = core::run_slrh_with_churn(scenario, params);
+
+    EXPECT_GT(scalar.departures_processed, 0u);
+    EXPECT_EQ(batched.departures_processed, scalar.departures_processed);
+    EXPECT_EQ(batched.orphaned, scalar.orphaned);
+    EXPECT_EQ(batched.invalidated, scalar.invalidated);
+    EXPECT_EQ(batched.energy_forfeited, scalar.energy_forfeited);  // exact
+    expect_identical(scalar.result, batched.result, scenario,
+                     to_string(variant).c_str());
+  }
+}
+
+// Hole-index side of the placement contract: every timeline a real run
+// commits (compute/tx/rx, SLRH and Max-Max, including churn-recovered state)
+// must answer earliest_fit probes identically through the indexed path and
+// the retained linear walk.
+void expect_hole_index_matches_walk(const core::MappingResult& result,
+                                    const workload::Scenario& scenario,
+                                    const char* label) {
+  SCOPED_TRACE(label);
+  ASSERT_NE(result.schedule, nullptr);
+  const auto num_machines = static_cast<MachineId>(scenario.num_machines());
+  for (MachineId m = 0; m < num_machines; ++m) {
+    for (const sim::Timeline* tl :
+         {&result.schedule->compute_timeline(m), &result.schedule->tx_timeline(m),
+          &result.schedule->rx_timeline(m)}) {
+      for (const Cycles p : {Cycles{0}, scenario.tau / 3, scenario.tau}) {
+        for (const Cycles d : {Cycles{1}, Cycles{100}, scenario.tau / 4}) {
+          EXPECT_EQ(tl->earliest_fit(p, d), tl->earliest_fit_walk(p, d))
+              << "machine " << m << " p=" << p << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(Determinism, HoleIndexMatchesWalkOnRunTimelines) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    core::SlrhParams slrh;
+    slrh.weights = core::Weights::make(0.6, 0.3);
+    for (const auto variant :
+         {core::SlrhVariant::V1, core::SlrhVariant::V2, core::SlrhVariant::V3}) {
+      slrh.variant = variant;
+      expect_hole_index_matches_walk(core::run_slrh(scenario, slrh), scenario,
+                                     to_string(variant).c_str());
+    }
+    core::MaxMaxParams maxmax;
+    maxmax.weights = core::Weights::make(0.6, 0.3);
+    expect_hole_index_matches_walk(core::run_maxmax(scenario, maxmax), scenario,
+                                   "Max-Max");
+  }
+  // Churn-recovered schedules hit erase(): the index must stay coherent.
+  auto churned = test::small_suite_scenario(sim::GridCase::A, 64, 4242);
+  churned.machine_windows.assign(churned.num_machines(),
+                                 workload::Scenario::MachineWindow{});
+  churned.machine_windows[1].depart = churned.tau / 8;
+  core::SlrhParams params;
+  params.variant = core::SlrhVariant::V1;
+  params.weights = core::Weights::make(0.6, 0.3);
+  const auto churn = core::run_slrh_with_churn(churned, params);
+  EXPECT_GT(churn.departures_processed, 0u);
+  expect_hole_index_matches_walk(churn.result, churned, "churn recovery");
+}
+
 TEST(Determinism, MaxMaxCachedMatchesLegacyScan) {
   for (const auto& scenario : paper_shape_fixtures()) {
     const core::ScenarioCache shared(scenario);

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/feasibility.hpp"
 #include "core/placement.hpp"
+#include "core/scenario_cache.hpp"
 #include "tests/scenario_fixtures.hpp"
 
 namespace ahg::core {
@@ -94,6 +100,146 @@ TEST(Scoring, EarliestLowerBoundsFinishEstimate) {
       score_candidate(s, schedule, w, totals, 0, 0, VersionKind::Primary, 1000);
   EXPECT_GT(at_thousand, at_zero);  // later clock -> later estimated finish
 }
+
+// --- batched kernel vs scalar path: bit-identity property sweep ---------
+//
+// For randomized suite scenarios (several grid cases, seeds, and sizes) with
+// a partially committed schedule: build_candidate_batch + score_batch must
+// reproduce the scalar pool build EXACTLY — same admission verdicts (batch
+// membership == version_fits_energy), bit-identical scores for every
+// admitted (task, machine, version) triple, and the identical
+// primary/secondary classification — under both AET signs and with a
+// degrade mask (secondary_only) active.
+
+struct BatchedScoringCase {
+  sim::GridCase grid_case;
+  std::size_t num_tasks;
+  std::uint64_t seed;
+};
+
+class BatchedScoringProperty
+    : public ::testing::TestWithParam<BatchedScoringCase> {};
+
+TEST_P(BatchedScoringProperty, MatchesScalarScoringBitForBit) {
+  const auto& cfg = GetParam();
+  const auto s = test::small_suite_scenario(cfg.grid_case, cfg.num_tasks, cfg.seed);
+  const ScenarioCache cache(s);
+  const auto totals = objective_totals(s);
+  const auto num_tasks = static_cast<TaskId>(s.num_tasks());
+  const auto num_machines = static_cast<MachineId>(s.num_machines());
+
+  // Commit roughly the first third of the tasks (in id order, which respects
+  // the generator's topological numbering) round-robin across machines, so
+  // the batch gather sees real parent placements, partially drained
+  // batteries, and busy timelines.
+  sim::Schedule schedule(s.grid, s.num_tasks());
+  const TaskId commit_until = num_tasks / 3;
+  for (TaskId t = 0; t < commit_until; ++t) {
+    const MachineId m = t % num_machines;
+    bool parents_placed = true;
+    for (const TaskId parent : s.dag.parents(t)) {
+      if (!schedule.is_assigned(parent)) parents_placed = false;
+    }
+    if (!parents_placed ||
+        !version_fits_energy(cache, schedule, t, m, VersionKind::Secondary)) {
+      continue;
+    }
+    commit_placement(s, schedule,
+                     plan_placement(s, schedule, t, m, VersionKind::Secondary, 0));
+  }
+
+  std::vector<TaskId> ready;
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    if (schedule.is_assigned(t)) continue;
+    bool parents_placed = true;
+    for (const TaskId parent : s.dag.parents(t)) {
+      if (!schedule.is_assigned(parent)) parents_placed = false;
+    }
+    if (parents_placed) ready.push_back(t);
+  }
+  ASSERT_FALSE(ready.empty());
+
+  // Degrade mask: every third ready task is pinned to its secondary version.
+  std::vector<std::uint8_t> degrade(s.num_tasks(), 0);
+  for (std::size_t i = 0; i < ready.size(); i += 3) {
+    degrade[static_cast<std::size_t>(ready[i])] = 1;
+  }
+
+  const Weights w = Weights::make(0.6, 0.3);
+  CandidateBatch batch;
+  for (MachineId m = 0; m < num_machines; ++m) {
+    for (const Cycles earliest : {Cycles{0}, s.tau / 7}) {
+      for (const AetSign sign : {AetSign::Reward, AetSign::Penalize}) {
+        for (const std::vector<std::uint8_t>* mask :
+             {static_cast<const std::vector<std::uint8_t>*>(nullptr),
+              static_cast<const std::vector<std::uint8_t>*>(&degrade)}) {
+          SCOPED_TRACE("machine " + std::to_string(m) + " earliest " +
+                       std::to_string(earliest) + " sign " +
+                       std::to_string(static_cast<int>(sign)) +
+                       (mask != nullptr ? " masked" : ""));
+          const std::size_t rejected = build_candidate_batch(
+              cache, s, schedule, std::span<const TaskId>(ready), m, earliest,
+              mask, batch);
+          score_batch(batch, w, totals, schedule.t100(), schedule.tec(),
+                      schedule.aet(), sign);
+
+          // Admission: batch membership must equal the scalar verdict, and
+          // every rejection must be counted.
+          std::size_t slot = 0;
+          std::size_t scalar_rejected = 0;
+          for (const TaskId task : ready) {
+            const bool admitted = version_fits_energy(cache, schedule, task, m,
+                                                      VersionKind::Secondary);
+            if (!admitted) {
+              ++scalar_rejected;
+              continue;
+            }
+            ASSERT_LT(slot, batch.size());
+            ASSERT_EQ(batch.task[slot], task);
+
+            const double secondary =
+                score_candidate(cache, s, schedule, w, totals, task, m,
+                                VersionKind::Secondary, earliest, sign);
+            EXPECT_EQ(batch.score_secondary[slot], secondary);  // exact
+
+            const bool degraded =
+                mask != nullptr && (*mask)[static_cast<std::size_t>(task)] != 0;
+            VersionKind expect_version = VersionKind::Secondary;
+            double expect_score = secondary;
+            if (!degraded && version_fits_energy(cache, schedule, task, m,
+                                                 VersionKind::Primary)) {
+              EXPECT_NE(batch.primary_allowed[slot], 0);
+              const double primary =
+                  score_candidate(cache, s, schedule, w, totals, task, m,
+                                  VersionKind::Primary, earliest, sign);
+              EXPECT_EQ(batch.score_primary[slot], primary);  // exact
+              if (primary >= secondary) {
+                expect_version = VersionKind::Primary;
+                expect_score = primary;
+              }
+            } else {
+              EXPECT_EQ(batch.primary_allowed[slot], 0);
+            }
+            EXPECT_EQ(batch.version[slot], expect_version) << "task " << task;
+            EXPECT_EQ(batch.score[slot], expect_score);  // exact
+            ++slot;
+          }
+          EXPECT_EQ(slot, batch.size());
+          EXPECT_EQ(rejected, scalar_rejected);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BatchedScoringProperty,
+    ::testing::Values(BatchedScoringCase{sim::GridCase::A, 48, 20040426},
+                      BatchedScoringCase{sim::GridCase::B, 48, 20040426},
+                      BatchedScoringCase{sim::GridCase::C, 48, 20040426},
+                      BatchedScoringCase{sim::GridCase::A, 96, 777},
+                      BatchedScoringCase{sim::GridCase::B, 64, 31337},
+                      BatchedScoringCase{sim::GridCase::C, 80, 4242}));
 
 TEST(Scoring, RequiresParentsAssigned) {
   const auto s = make_scenario(sim::GridConfig::make(1, 0), 2, {{0, 1, 1e6}},

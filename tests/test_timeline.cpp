@@ -189,5 +189,134 @@ TEST_P(TimelineProperty, PairFitIsFreeOnBothAndMinimal) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TimelineProperty,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
 
+// --- hole-index coherence under churn -----------------------------------
+//
+// The ordered hole index answering earliest_fit() is maintained
+// incrementally by insert()/erase(). These sweeps interleave random
+// insertions with random erasures (the churn driver's un-scheduling) and
+// assert every probe agrees with BOTH the retained linear walk
+// (earliest_fit_walk) and a from-scratch brute-force gap scan.
+
+/// Brute force: the minimal feasible start is not_before itself or some
+/// interval's end — check them all against is_free.
+Cycles brute_force_fit(const Timeline& tl, Cycles not_before, Cycles duration) {
+  Cycles best = std::numeric_limits<Cycles>::max();
+  const auto consider = [&](Cycles s) {
+    if (s >= not_before && tl.is_free(s, duration)) best = std::min(best, s);
+  };
+  consider(not_before);
+  for (const Interval& iv : tl.intervals()) consider(std::max(not_before, iv.end));
+  return best;
+}
+
+class TimelineChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimelineChurnProperty, HoleIndexMatchesWalkAndBruteForce) {
+  Rng rng(GetParam() ^ 0x5eedu);
+  Timeline tl;
+  std::vector<Interval> live;
+  const Cycles span = 4000;
+  for (int step = 0; step < 600; ++step) {
+    const bool do_erase = !live.empty() && rng.uniform_int(0, 9) < 4;
+    if (do_erase) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<Cycles>(live.size()) - 1));
+      const Interval iv = live[pick];
+      tl.erase(iv.start, iv.duration());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      // Up to 3 attempts to land a random non-overlapping interval.
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        const Cycles start = rng.uniform_int(0, span);
+        const Cycles dur = rng.uniform_int(1, 12);
+        if (!tl.is_free(start, dur)) continue;
+        tl.insert(start, dur);
+        live.push_back({start, start + dur});
+        break;
+      }
+    }
+    // Probe after every mutation: the index must be coherent mid-churn, not
+    // just at rest.
+    for (int q = 0; q < 4; ++q) {
+      const Cycles p = rng.uniform_int(0, span + 100);
+      const Cycles d = rng.uniform_int(1, 40);
+      const Cycles indexed = tl.earliest_fit(p, d);
+      ASSERT_EQ(indexed, tl.earliest_fit_walk(p, d))
+          << "hole index diverged from walk at step " << step;
+      ASSERT_EQ(indexed, brute_force_fit(tl, p, d))
+          << "hole index diverged from brute force at step " << step;
+    }
+  }
+}
+
+TEST_P(TimelineChurnProperty, PairFitMatchesWalkComposition) {
+  Rng rng(GetParam() ^ 0xfeedu);
+  Timeline a;
+  Timeline b;
+  std::vector<Interval> live_a;
+  std::vector<Interval> live_b;
+  const auto mutate = [&](Timeline& tl, std::vector<Interval>& live) {
+    if (!live.empty() && rng.uniform_int(0, 9) < 3) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<Cycles>(live.size()) - 1));
+      tl.erase(live[pick].start, live[pick].duration());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      return;
+    }
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const Cycles start = rng.uniform_int(0, 2000);
+      const Cycles dur = rng.uniform_int(1, 10);
+      if (!tl.is_free(start, dur)) continue;
+      tl.insert(start, dur);
+      live.push_back({start, start + dur});
+      break;
+    }
+  };
+  for (int step = 0; step < 300; ++step) {
+    mutate(a, live_a);
+    mutate(b, live_b);
+    const Cycles p = rng.uniform_int(0, 2100);
+    const Cycles d = rng.uniform_int(1, 15);
+    const Cycles fit = Timeline::earliest_fit_pair(a, b, p, d);
+    ASSERT_GE(fit, p);
+    ASSERT_TRUE(a.is_free(fit, d));
+    ASSERT_TRUE(b.is_free(fit, d));
+    for (Cycles s = std::max(p, fit - 30); s < fit; ++s) {
+      ASSERT_FALSE(a.is_free(s, d) && b.is_free(s, d))
+          << "earlier common fit exists at " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineChurnProperty,
+                         ::testing::Values(1u, 7u, 42u, 99u, 12345u));
+
+// A timeline longer than several index blocks (kGapBlock = 64 gaps per
+// block) exercises the block-maxima skip path and the partial leading block.
+TEST(Timeline, HoleIndexAcrossManyBlocks) {
+  Timeline tl;
+  // 400 intervals of length 2 with alternating gap widths 1 and 50.
+  Cycles at = 0;
+  std::vector<Cycles> starts;
+  for (int k = 0; k < 400; ++k) {
+    at += (k % 2 == 0) ? 1 : 50;
+    tl.insert(at, 2);
+    starts.push_back(at);
+    at += 2;
+  }
+  for (const Cycles p : {Cycles{0}, Cycles{500}, Cycles{5000}, at + 10}) {
+    for (const Cycles d : {Cycles{1}, Cycles{2}, Cycles{49}, Cycles{50}, Cycles{51}}) {
+      EXPECT_EQ(tl.earliest_fit(p, d), tl.earliest_fit_walk(p, d))
+          << "p=" << p << " d=" << d;
+    }
+  }
+  // Erase a run in the middle: the merged hole must become visible to
+  // probes that skip whole blocks to reach it.
+  for (int k = 120; k < 140; ++k) tl.erase(starts[static_cast<std::size_t>(k)], 2);
+  for (const Cycles d : {Cycles{60}, Cycles{100}, Cycles{400}, Cycles{1000}}) {
+    EXPECT_EQ(tl.earliest_fit(0, d), tl.earliest_fit_walk(0, d)) << "d=" << d;
+  }
+}
+
 }  // namespace
 }  // namespace ahg::sim
