@@ -10,6 +10,8 @@
 // fresh dumps; commit the result alongside the change that moved the
 // numbers.
 
+#include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -29,7 +31,8 @@ int usage(const char* argv0, int code) {
   (code == 0 ? std::cout : std::cerr)
       << "usage: " << argv0
       << " [--baselines DIR] [--tolerance T] [--seconds-tolerance T]\n"
-         "       [--floor F] [--update] [--allow-missing] BENCH_<name>.json...\n"
+         "       [--floor F] [--update] [--allow-missing] [--plot-scaling]\n"
+         "       BENCH_<name>.json...\n"
          "\n"
          "  --baselines DIR        baseline directory (default bench/baselines)\n"
          "  --tolerance T          default relative tolerance for --update (0.25)\n"
@@ -38,7 +41,11 @@ int usage(const char* argv0, int code) {
          "  --floor F              absolute slack in seconds for upper-gated\n"
          "                         metrics during checks (default 0.005)\n"
          "  --update               rewrite baselines from the fresh dumps\n"
-         "  --allow-missing        metrics missing on one side do not fail\n";
+         "  --allow-missing        metrics missing on one side do not fail\n"
+         "  --plot-scaling         instead of gating, dump phase seconds vs\n"
+         "                         |T| across the given dumps (one row per\n"
+         "                         *_seconds metric per dump; gnuplot/awk\n"
+         "                         friendly: 'phase num_tasks seconds')\n";
   return code;
 }
 
@@ -50,9 +57,17 @@ std::string slurp(const std::string& path) {
   return buffer.str();
 }
 
+std::string format_value(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
 struct FreshDump {
   std::string path;
   std::string bench;
+  std::int64_t num_tasks = 0;  ///< meta.num_tasks; 0 when the dump has none
   obs::MetricsSnapshot metrics;
 };
 
@@ -62,17 +77,50 @@ FreshDump load_dump(const std::string& path) {
   const obs::JsonValue root = obs::parse_json(slurp(path));
   dump.bench = root.get_string("bench");
   AHG_EXPECTS_MSG(!dump.bench.empty(), path + ": no \"bench\" field");
+  if (const obs::JsonValue* meta = root.find("meta")) {
+    dump.num_tasks = meta->get_int("num_tasks", 0);
+  }
   const obs::JsonValue* metrics = root.find("metrics");
   AHG_EXPECTS_MSG(metrics != nullptr, path + ": no \"metrics\" object");
   dump.metrics = obs::snapshot_from_json(*metrics);
   return dump;
 }
 
-std::string format_value(double v) {
-  std::ostringstream os;
-  os.precision(6);
-  os << v;
-  return os.str();
+/// --plot-scaling: the scaling-curve dump. One row per *_seconds histogram
+/// per input file, keyed by the dump's |T| — feed bench_scale dumps from
+/// successive REPRO_SCALE tiers (or AHG_SCALE_TASKS doublings) in and plot
+/// seconds vs |T| per phase to see which phases grow superlinearly.
+int plot_scaling(const std::vector<std::string>& files) {
+  struct Row {
+    std::string phase;
+    std::int64_t tasks;
+    double seconds;
+    std::string bench;
+  };
+  std::vector<Row> rows;
+  for (const std::string& path : files) {
+    const FreshDump dump = load_dump(path);
+    AHG_EXPECTS_MSG(dump.num_tasks > 0,
+                    path + ": no meta.num_tasks — not a scale dump");
+    for (const auto& hist : dump.metrics.histograms) {
+      const std::string suffix = "_seconds";
+      if (hist.name.size() <= suffix.size() ||
+          hist.name.compare(hist.name.size() - suffix.size(), suffix.size(),
+                            suffix) != 0) {
+        continue;
+      }
+      rows.push_back({hist.name, dump.num_tasks, hist.sum, dump.bench});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.phase != b.phase ? a.phase < b.phase : a.tasks < b.tasks;
+  });
+  std::cout << "# phase num_tasks seconds bench\n";
+  for (const Row& row : rows) {
+    std::cout << row.phase << " " << row.tasks << " " << format_value(row.seconds)
+              << " " << row.bench << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -84,6 +132,7 @@ int main(int argc, char** argv) {
   double floor = 5e-3;
   bool update = false;
   bool allow_missing = false;
+  bool scaling = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -108,6 +157,8 @@ int main(int argc, char** argv) {
       update = true;
     } else if (arg == "--allow-missing") {
       allow_missing = true;
+    } else if (arg == "--plot-scaling") {
+      scaling = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << argv[0] << ": unknown argument '" << arg << "'\n";
       return usage(argv[0], 2);
@@ -121,6 +172,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (scaling) return plot_scaling(files);
     if (update) {
       std::filesystem::create_directories(baselines_dir);
       for (const std::string& path : files) {

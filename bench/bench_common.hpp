@@ -84,7 +84,7 @@ inline std::optional<int> handle_bench_flags(int& argc, char** argv,
     if (arg == "--help" && !lenient) {
       std::cout << "usage: " << argv[0]
                 << " [--version] [--jobs N] [--cache|--no-cache] [--cache-dir D]\n"
-                   "env: REPRO_SCALE=smoke|default|paper, REPRO_SEED, AHG_JOBS,\n"
+                   "env: REPRO_SCALE=smoke|default|paper|large, REPRO_SEED, AHG_JOBS,\n"
                    "     AHG_BENCH_CACHE=0|1, AHG_BENCH_CACHE_DIR\n";
       return 0;
     }

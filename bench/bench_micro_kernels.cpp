@@ -107,6 +107,25 @@ void BM_EarliestFit_HoleIndex(benchmark::State& state) {
 }
 BENCHMARK(BM_EarliestFit_HoleIndex)->Arg(256)->Arg(1024)->Arg(8192);
 
+// Mid-timeline mutation: the cost that used to be O(n) per insert under the
+// flat suffix rebuild and is O(chunk) under the chunked structure. A steady
+// insert/erase cycle at the midpoint of an n-interval timeline; sublinear
+// growth 8192 -> 65536 is the acceptance signal (the flat rebuild grew 8x).
+void BM_TimelineInsert_Mid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Timeline tl;
+  for (std::size_t i = 0; i < n; ++i) {
+    tl.insert(static_cast<Cycles>(i) * 40, 10);
+  }
+  const Cycles mid = (static_cast<Cycles>(n) / 2) * 40 + 20;  // interior gap
+  for (auto _ : state) {
+    tl.insert(mid, 10);
+    tl.erase(mid, 10);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_TimelineInsert_Mid)->Arg(8192)->Arg(65536);
+
 workload::Scenario bench_scenario(std::size_t num_tasks) {
   workload::SuiteParams params;
   params.num_tasks = num_tasks;

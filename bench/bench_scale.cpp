@@ -15,11 +15,13 @@
 
 #include <algorithm>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "bench/bench_common.hpp"
 #include "core/scenario_cache.hpp"
 #include "core/slrh.hpp"
+#include "support/contract.hpp"
 #include "support/env.hpp"
 #include "workload/scenario.hpp"
 
@@ -40,9 +42,19 @@ ScaleShape shape_for(ReproScale scale) {
     case ReproScale::Default:
     case ReproScale::Paper:
       return {65536, 512, "scale"};
+    case ReproScale::Large:
+      // The scaling-curve tier (weekly CI). |T| = 1M stays behind
+      // AHG_SCALE_TASKS=1048576 — same shape, one doubling step further.
+      return {262144, 512, "scale_large"};
   }
   return {65536, 512, "scale"};
 }
+
+/// Accepted ranges for the AHG_SCALE_* overrides. 2^20 tasks is the 1M
+/// target shape; anything above it would also blow the int32 TaskId budget
+/// long before memory does.
+constexpr std::int64_t kMaxScaleTasks = 1 << 20;
+constexpr std::int64_t kMaxScaleMachines = 1 << 15;
 
 workload::Scenario make_scale_scenario(std::size_t num_tasks,
                                        std::size_t num_machines,
@@ -84,17 +96,28 @@ int main(int argc, char** argv) {
   }
   ScaleShape shape = shape_for(repro_scale_from_env());
   // Local-experiment overrides; the gated CI shapes come from REPRO_SCALE.
-  if (const std::int64_t t = env_int("AHG_SCALE_TASKS", 0); t > 0) {
-    shape.num_tasks = static_cast<std::size_t>(t);
-  }
-  if (const std::int64_t m = env_int("AHG_SCALE_MACHINES", 0); m > 0) {
-    shape.num_machines = static_cast<std::size_t>(m);
+  // Strictly validated: a malformed or out-of-range value must not silently
+  // fall back to the default shape and masquerade as an override run.
+  try {
+    if (const std::int64_t t =
+            env_int_checked("AHG_SCALE_TASKS", 0, 1, kMaxScaleTasks);
+        t > 0) {
+      shape.num_tasks = static_cast<std::size_t>(t);
+    }
+    if (const std::int64_t m =
+            env_int_checked("AHG_SCALE_MACHINES", 0, 1, kMaxScaleMachines);
+        m > 0) {
+      shape.num_machines = static_cast<std::size_t>(m);
+    }
+  } catch (const PreconditionError& error) {
+    std::cerr << argv[0] << ": " << error.what() << "\n";
+    return 2;
   }
 
   std::cout << "=== bench_scale (" << shape.bench_name << ") ===\n"
-            << build_description() << "\n"
+            << build_description() << ", jobs=" << global_pool_jobs() << "\n"
             << "|T|=" << shape.num_tasks << ", |M|=" << shape.num_machines
-            << " (REPRO_SCALE=smoke|default to change)\n\n";
+            << " (REPRO_SCALE=smoke|default|large to change)\n\n";
 
   bench::BenchReport report(shape.bench_name);
   report.meta("num_tasks", static_cast<std::int64_t>(shape.num_tasks));
@@ -103,14 +126,19 @@ int main(int argc, char** argv) {
   const auto scenario = report.timed_section("scenario_build", [&] {
     return make_scale_scenario(shape.num_tasks, shape.num_machines, 20040426);
   });
-  const auto cache = report.timed_section(
-      "cache_build", [&] { return core::ScenarioCache(scenario); });
+  // ScenarioCache pins atomics for the lazy-build path, so it is neither
+  // movable nor copyable: construct it in place inside the timed section.
+  std::optional<core::ScenarioCache> cache;
+  report.timed_section("cache_build", [&] { cache.emplace(scenario); });
+  report.metrics()
+      .gauge("bench.cache_columns_built")
+      .set(static_cast<double>(cache->columns_built()));
 
   for (const auto variant : {core::SlrhVariant::V1, core::SlrhVariant::V3}) {
     core::SlrhParams params;
     params.variant = variant;
     params.weights = core::Weights::make(0.6, 0.3);
-    params.cache = &cache;
+    params.cache = &*cache;
     const std::string name = core::to_string(variant);
     const auto result = report.timed_section(
         name + "_run", [&] { return core::run_slrh(scenario, params); });

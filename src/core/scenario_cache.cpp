@@ -4,51 +4,108 @@
 #include <limits>
 
 #include "core/feasibility.hpp"
+#include "support/checked.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ahg::core {
 
-ScenarioCache::ScenarioCache(const workload::Scenario& scenario)
+ScenarioCache::ScenarioCache(const workload::Scenario& scenario, CacheBuild mode)
     : num_tasks_(scenario.num_tasks()), num_machines_(scenario.num_machines()) {
-  const std::size_t cells = num_tasks_ * num_machines_ * 2;
+  const std::size_t cells =
+      checked_mul(num_tasks_, num_machines_, 2, "ScenarioCache tables");
   exec_cycles_.resize(cells);
   exec_energy_.resize(cells);
   energy_need_.resize(cells);
-  min_exec_cycles_.assign(num_tasks_ * 2, std::numeric_limits<Cycles>::max());
-  primary_compute_energy_.resize(num_tasks_ * num_machines_);
+  min_exec_cycles_.assign(checked_mul(num_tasks_, 2, "min_exec_cycles table"),
+                          std::numeric_limits<Cycles>::max());
+  primary_compute_energy_.resize(
+      checked_mul(num_tasks_, num_machines_, "primary_compute_energy table"));
 
-  const auto num_tasks = static_cast<TaskId>(num_tasks_);
   const auto num_machines = static_cast<MachineId>(num_machines_);
-  // Machine-outer to match the machine-major table layout (sequential
-  // writes); the per-task minimum accumulates across the machine passes
-  // (min is order-independent — identical values to a task-outer build).
-  for (MachineId machine = 0; machine < num_machines; ++machine) {
-    for (TaskId task = 0; task < num_tasks; ++task) {
+
+  if (mode == CacheBuild::Lazy) {
+    scenario_ = &scenario;
+    column_once_ = std::make_unique<std::once_flag[]>(num_machines_);
+    column_ready_ = std::make_unique<std::atomic<bool>[]>(num_machines_);
+    for (std::size_t m = 0; m < num_machines_; ++m) {
+      column_ready_[m].store(false, std::memory_order_relaxed);
+    }
+  } else if (mode == CacheBuild::Parallel) {
+    // Entries are independent per (task, machine, version) and a machine's
+    // column is one contiguous range, so columns fan out with no ordering
+    // concerns — bit-identical tables to the serial build.
+    global_pool().parallel_for(0, num_machines_, [&](std::size_t machine) {
+      fill_column(scenario, static_cast<MachineId>(machine));
+    });
+    columns_built_.store(num_machines_, std::memory_order_relaxed);
+  } else {
+    // Serial diff baseline: machine-outer to match the machine-major table
+    // layout (sequential writes).
+    for (MachineId machine = 0; machine < num_machines; ++machine) {
+      fill_column(scenario, machine);
+    }
+    columns_built_.store(num_machines_, std::memory_order_relaxed);
+  }
+
+  // The global per-task tables stay eager in every mode: they cost ETC
+  // lookups only (no per-entry child walk), and Max-Max / the upper bound
+  // read them for every task regardless of which machines get probed. The
+  // minimum accumulates over machines in ascending order in every mode —
+  // and min over integers is order-independent anyway — so the values are
+  // bit-identical across modes.
+  const bool parallel = mode == CacheBuild::Parallel;
+  const auto per_task_tables = [&](std::size_t t) {
+    const auto task = static_cast<TaskId>(t);
+    for (MachineId machine = 0; machine < num_machines; ++machine) {
       for (const VersionKind version :
            {VersionKind::Primary, VersionKind::Secondary}) {
-        const std::size_t i = index(task, machine, version);
-        // Each entry uses the exact expression (and operation order) of the
-        // uncached path so lookups are bit-identical to recomputation.
-        exec_cycles_[i] = scenario.exec_cycles(task, machine, version);
-        exec_energy_[i] = core::exec_energy(scenario, task, machine, version);
-        energy_need_[i] =
-            exec_energy_[i] +
-            worst_case_outgoing_energy(scenario, task, machine, version);
         const std::size_t m = static_cast<std::size_t>(task) * 2 +
                               (version == VersionKind::Primary ? 0 : 1);
-        min_exec_cycles_[m] = std::min(min_exec_cycles_[m], exec_cycles_[i]);
+        // The exact expression (and operation order) of the uncached path so
+        // lookups are bit-identical to recomputation.
+        min_exec_cycles_[m] = std::min(
+            min_exec_cycles_[m], scenario.exec_cycles(task, machine, version));
       }
-    }
-  }
-  // This table keeps the task-major layout its consumer (the upper bound's
-  // per-task greedy sweep over machines) reads sequentially.
-  for (TaskId task = 0; task < num_tasks; ++task) {
-    for (MachineId machine = 0; machine < num_machines; ++machine) {
+      // This table keeps the task-major layout its consumer (the upper
+      // bound's per-task greedy sweep over machines) reads sequentially.
       primary_compute_energy_[static_cast<std::size_t>(task) * num_machines_ +
                               static_cast<std::size_t>(machine)] =
           scenario.grid.machine(machine).compute_power *
           scenario.etc.seconds(task, machine);
     }
+  };
+  if (parallel) {
+    global_pool().parallel_for(0, num_tasks_, per_task_tables);
+  } else {
+    for (std::size_t t = 0; t < num_tasks_; ++t) per_task_tables(t);
   }
+}
+
+void ScenarioCache::fill_column(const workload::Scenario& scenario,
+                                MachineId machine) const {
+  const auto num_tasks = static_cast<TaskId>(num_tasks_);
+  for (TaskId task = 0; task < num_tasks; ++task) {
+    for (const VersionKind version :
+         {VersionKind::Primary, VersionKind::Secondary}) {
+      const std::size_t i = index(task, machine, version);
+      // Each entry uses the exact expression (and operation order) of the
+      // uncached path so lookups are bit-identical to recomputation.
+      exec_cycles_[i] = scenario.exec_cycles(task, machine, version);
+      exec_energy_[i] = core::exec_energy(scenario, task, machine, version);
+      energy_need_[i] =
+          exec_energy_[i] +
+          worst_case_outgoing_energy(scenario, task, machine, version);
+    }
+  }
+}
+
+void ScenarioCache::build_column(MachineId machine) const {
+  std::call_once(column_once_[static_cast<std::size_t>(machine)], [&] {
+    fill_column(*scenario_, machine);
+    columns_built_.fetch_add(1, std::memory_order_relaxed);
+    column_ready_[static_cast<std::size_t>(machine)].store(
+        true, std::memory_order_release);
+  });
 }
 
 }  // namespace ahg::core

@@ -6,16 +6,46 @@
 
 namespace ahg::sim {
 
+std::vector<Interval> Timeline::intervals() const {
+  std::vector<Interval> out;
+  out.reserve(size_);
+  for (const Chunk& chunk : chunks_) {
+    out.insert(out.end(), chunk.ivs.begin(), chunk.ivs.end());
+  }
+  return out;
+}
+
+Timeline::Pos Timeline::first_end_after(Cycles value) const noexcept {
+  // First chunk whose last interval ends after `value`; earlier chunks are
+  // entirely in the past.
+  const auto chunk_it = std::lower_bound(
+      chunks_.begin(), chunks_.end(), value,
+      [](const Chunk& chunk, Cycles v) { return chunk.ivs.back().end <= v; });
+  if (chunk_it == chunks_.end()) return Pos{chunks_.size(), 0};
+  const auto slot_it = std::lower_bound(
+      chunk_it->ivs.begin(), chunk_it->ivs.end(), value,
+      [](const Interval& iv, Cycles v) { return iv.end <= v; });
+  return Pos{static_cast<std::size_t>(chunk_it - chunks_.begin()),
+             static_cast<std::size_t>(slot_it - chunk_it->ivs.begin())};
+}
+
+void Timeline::recompute_max_gap(std::size_t c) noexcept {
+  if (c >= chunks_.size()) return;
+  Chunk& chunk = chunks_[c];
+  Cycles widest = chunk.ivs[0].start - pred_end(c, 0);
+  for (std::size_t i = 1; i < chunk.ivs.size(); ++i) {
+    widest = std::max(widest, chunk.ivs[i].start - chunk.ivs[i - 1].end);
+  }
+  chunk.max_gap = widest;
+}
+
 bool Timeline::is_free(Cycles start, Cycles duration) const {
   AHG_EXPECTS_MSG(start >= 0, "interval start must be non-negative");
   AHG_EXPECTS_MSG(duration >= 0, "interval duration must be non-negative");
   if (duration == 0) return true;
-  const Cycles end = start + duration;
-  // First busy interval with busy.end > start could overlap.
-  const auto it = std::lower_bound(
-      busy_.begin(), busy_.end(), start,
-      [](const Interval& iv, Cycles value) { return iv.end <= value; });
-  return it == busy_.end() || it->start >= end;
+  const Pos p = first_end_after(start);
+  if (p.chunk == chunks_.size()) return true;
+  return chunks_[p.chunk].ivs[p.slot].start >= start + duration;
 }
 
 Cycles Timeline::earliest_fit(Cycles not_before, Cycles duration) const {
@@ -25,15 +55,34 @@ Cycles Timeline::earliest_fit(Cycles not_before, Cycles duration) const {
   // First busy interval ending after not_before; everything earlier is
   // irrelevant. Its preceding gap is truncated at not_before, so it needs a
   // bespoke check; every later gap has its full indexed length.
-  const auto it = std::lower_bound(
-      busy_.begin(), busy_.end(), not_before,
-      [](const Interval& iv, Cycles value) { return iv.end <= value; });
-  if (it == busy_.end()) return not_before;  // past the whole schedule
-  if (it->start - not_before >= duration) return not_before;
-  const auto first = static_cast<std::size_t>(it - busy_.begin());
-  const std::size_t gap = find_first_fitting_gap(first + 1, duration);
-  if (gap < busy_.size()) return busy_[gap - 1].end;
-  return busy_.back().end;
+  const Pos p = first_end_after(not_before);
+  if (p.chunk == chunks_.size()) return not_before;  // past the whole schedule
+  const Chunk& lead = chunks_[p.chunk];
+  if (lead.ivs[p.slot].start - not_before >= duration) return not_before;
+  // Partial leading chunk: its maximum covers gaps at or before p.slot too,
+  // so it cannot prove a fit — but max < duration still proves NO gap in the
+  // chunk fits (a suffix maximum is bounded by the chunk maximum), which
+  // skips the common dense case without scanning.
+  if (lead.max_gap >= duration) {
+    for (std::size_t i = p.slot + 1; i < lead.ivs.size(); ++i) {
+      if (lead.ivs[i].start - lead.ivs[i - 1].end >= duration) {
+        return lead.ivs[i - 1].end;
+      }
+    }
+  }
+  // Whole chunks: skip via the maxima, then scan the first chunk that fits.
+  for (std::size_t c = p.chunk + 1; c < chunks_.size(); ++c) {
+    const Chunk& chunk = chunks_[c];
+    if (chunk.max_gap < duration) continue;
+    if (chunk.ivs[0].start - pred_end(c, 0) >= duration) return pred_end(c, 0);
+    for (std::size_t i = 1; i < chunk.ivs.size(); ++i) {
+      if (chunk.ivs[i].start - chunk.ivs[i - 1].end >= duration) {
+        return chunk.ivs[i - 1].end;
+      }
+    }
+    AHG_EXPECTS_MSG(false, "hole index chunk maximum out of sync with gaps");
+  }
+  return chunks_.back().ivs.back().end;
 }
 
 Cycles Timeline::earliest_fit_walk(Cycles not_before, Cycles duration) const {
@@ -41,58 +90,15 @@ Cycles Timeline::earliest_fit_walk(Cycles not_before, Cycles duration) const {
   AHG_EXPECTS_MSG(duration >= 0, "duration must be non-negative");
   if (duration == 0) return not_before;
   Cycles candidate = not_before;
-  auto it = std::lower_bound(
-      busy_.begin(), busy_.end(), candidate,
-      [](const Interval& iv, Cycles value) { return iv.end <= value; });
-  for (; it != busy_.end(); ++it) {
-    if (it->start - candidate >= duration) return candidate;  // fits in the gap
-    candidate = std::max(candidate, it->end);
+  Pos p = first_end_after(candidate);
+  for (std::size_t c = p.chunk; c < chunks_.size(); ++c) {
+    const Chunk& chunk = chunks_[c];
+    for (std::size_t i = (c == p.chunk ? p.slot : 0); i < chunk.ivs.size(); ++i) {
+      if (chunk.ivs[i].start - candidate >= duration) return candidate;
+      candidate = std::max(candidate, chunk.ivs[i].end);
+    }
   }
   return candidate;
-}
-
-std::size_t Timeline::find_first_fitting_gap(std::size_t from,
-                                             Cycles duration) const {
-  const std::size_t n = busy_.size();
-  if (from >= n) return n;
-  // Partial leading block: its maximum covers gaps before `from` too, so it
-  // cannot prove a fit — but max < duration still proves NO gap in the
-  // block fits (a suffix maximum is bounded by the block maximum), which
-  // skips the common dense case without scanning. Otherwise scan the suffix.
-  std::size_t block = from / kGapBlock;
-  if (gap_block_max_[block] >= duration) {
-    const std::size_t lead_end = std::min((block + 1) * kGapBlock, n);
-    for (std::size_t gap = from; gap < lead_end; ++gap) {
-      if (gap_length(gap) >= duration) return gap;
-    }
-  }
-  // Whole blocks: skip via the maxima, then scan the first block that fits.
-  const std::size_t num_blocks = gap_block_max_.size();
-  for (++block; block < num_blocks; ++block) {
-    if (gap_block_max_[block] < duration) continue;
-    const std::size_t begin = block * kGapBlock;
-    const std::size_t end = std::min(begin + kGapBlock, n);
-    for (std::size_t gap = begin; gap < end; ++gap) {
-      if (gap_length(gap) >= duration) return gap;
-    }
-    AHG_EXPECTS_MSG(false, "hole index block maximum out of sync with gaps");
-  }
-  return n;
-}
-
-void Timeline::rebuild_gap_blocks_from(std::size_t gap) {
-  const std::size_t n = busy_.size();
-  const std::size_t num_blocks = (n + kGapBlock - 1) / kGapBlock;
-  gap_block_max_.resize(num_blocks);
-  for (std::size_t block = gap / kGapBlock; block < num_blocks; ++block) {
-    const std::size_t begin = block * kGapBlock;
-    const std::size_t end = std::min(begin + kGapBlock, n);
-    Cycles widest = 0;
-    for (std::size_t g = begin; g < end; ++g) {
-      widest = std::max(widest, gap_length(g));
-    }
-    gap_block_max_[block] = widest;
-  }
 }
 
 Cycles Timeline::earliest_fit_pair(const Timeline& a, const Timeline& b,
@@ -112,39 +118,107 @@ Cycles Timeline::earliest_fit_pair(const Timeline& a, const Timeline& b,
   }
 }
 
+void Timeline::split_chunk(std::size_t c) {
+  Chunk& chunk = chunks_[c];
+  const std::size_t half = chunk.ivs.size() / 2;
+  Chunk tail;
+  tail.ivs.assign(chunk.ivs.begin() + static_cast<std::ptrdiff_t>(half),
+                  chunk.ivs.end());
+  chunk.ivs.erase(chunk.ivs.begin() + static_cast<std::ptrdiff_t>(half),
+                  chunk.ivs.end());
+  chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(c) + 1,
+                 std::move(tail));
+  recompute_max_gap(c);
+  recompute_max_gap(c + 1);
+}
+
 void Timeline::insert(Cycles start, Cycles duration) {
   AHG_EXPECTS_MSG(start >= 0, "interval start must be non-negative");
   AHG_EXPECTS_MSG(duration > 0, "inserted interval must have positive duration");
   AHG_EXPECTS_MSG(is_free(start, duration), "overlapping timeline insertion");
   const Interval iv{start, start + duration};
-  const auto it = std::lower_bound(
-      busy_.begin(), busy_.end(), iv,
-      [](const Interval& lhs, const Interval& rhs) { return lhs.start < rhs.start; });
-  const auto at = static_cast<std::size_t>(it - busy_.begin());
-  busy_.insert(it, iv);
-  // The insertion split gap `at` around the new interval; gaps to its right
-  // shifted by one. Appends touch only the final block.
-  rebuild_gap_blocks_from(at);
+  ++size_;
+  if (chunks_.empty()) {
+    chunks_.push_back(Chunk{{iv}, start});
+    return;
+  }
+  // Append fast path (the SLRH workload): the new interval follows the last;
+  // the only new gap is its own leading one, so the chunk maximum updates in
+  // O(1) and no other chunk is affected.
+  if (start >= chunks_.back().ivs.back().end) {
+    if (chunks_.back().ivs.size() >= kChunkCap) split_chunk(chunks_.size() - 1);
+    Chunk& last = chunks_.back();
+    last.max_gap = std::max(last.max_gap, start - last.ivs.back().end);
+    last.ivs.push_back(iv);
+    return;
+  }
+  // Interior insert. The target chunk is the first whose last interval
+  // starts after `start` (equality is impossible: it would overlap). The
+  // append path above handled start past every interval, so one exists.
+  std::size_t c = static_cast<std::size_t>(
+      std::lower_bound(chunks_.begin(), chunks_.end(), start,
+                       [](const Chunk& chunk, Cycles v) {
+                         return chunk.ivs.back().start < v;
+                       }) -
+      chunks_.begin());
+  if (chunks_[c].ivs.size() >= kChunkCap) {
+    split_chunk(c);
+    if (start > chunks_[c].ivs.back().start) ++c;
+  }
+  Chunk& chunk = chunks_[c];
+  const auto slot_it = std::lower_bound(
+      chunk.ivs.begin(), chunk.ivs.end(), start,
+      [](const Interval& lhs, Cycles v) { return lhs.start < v; });
+  chunk.ivs.insert(slot_it, iv);
+  // The insertion split one of the chunk's gaps in two; both pieces belong
+  // to this chunk (the slot is never past the chunk's last interval), so
+  // only this chunk's maximum is stale.
+  recompute_max_gap(c);
 }
 
 void Timeline::erase(Cycles start, Cycles duration) {
   const Interval iv{start, start + duration};
   // Intervals are disjoint and sorted by start, so an exact match can only
   // sit at the lower bound for `start`.
-  const auto it = std::lower_bound(
-      busy_.begin(), busy_.end(), start,
-      [](const Interval& lhs, Cycles value) { return lhs.start < value; });
-  AHG_EXPECTS_MSG(it != busy_.end() && *it == iv,
-                  "erase of an interval that was never inserted");
-  const auto at = static_cast<std::size_t>(it - busy_.begin());
-  busy_.erase(it);
-  // The gaps around the removed interval merged into one; later gaps shifted.
-  rebuild_gap_blocks_from(at);
+  const auto chunk_it = std::lower_bound(
+      chunks_.begin(), chunks_.end(), start,
+      [](const Chunk& chunk, Cycles v) { return chunk.ivs.back().start < v; });
+  bool found = false;
+  std::size_t c = 0;
+  std::size_t slot = 0;
+  if (chunk_it != chunks_.end()) {
+    const auto slot_it = std::lower_bound(
+        chunk_it->ivs.begin(), chunk_it->ivs.end(), start,
+        [](const Interval& lhs, Cycles v) { return lhs.start < v; });
+    if (slot_it != chunk_it->ivs.end() && *slot_it == iv) {
+      found = true;
+      c = static_cast<std::size_t>(chunk_it - chunks_.begin());
+      slot = static_cast<std::size_t>(slot_it - chunk_it->ivs.begin());
+    }
+  }
+  AHG_EXPECTS_MSG(found, "erase of an interval that was never inserted");
+  --size_;
+  Chunk& chunk = chunks_[c];
+  chunk.ivs.erase(chunk.ivs.begin() + static_cast<std::ptrdiff_t>(slot));
+  if (chunk.ivs.empty()) {
+    // The chunk dissolved; its neighbour gaps merged into the successor's
+    // leading boundary gap.
+    chunks_.erase(chunks_.begin() + static_cast<std::ptrdiff_t>(c));
+    recompute_max_gap(c);
+    return;
+  }
+  // The two gaps around the removed interval merged. The merged gap belongs
+  // to this chunk — unless the chunk's LAST interval was removed, in which
+  // case it became the successor's leading boundary gap.
+  recompute_max_gap(c);
+  if (slot == chunk.ivs.size()) recompute_max_gap(c + 1);
 }
 
 Cycles Timeline::busy_cycles() const noexcept {
   Cycles total = 0;
-  for (const auto& iv : busy_) total += iv.duration();
+  for (const Chunk& chunk : chunks_) {
+    for (const Interval& iv : chunk.ivs) total += iv.duration();
+  }
   return total;
 }
 

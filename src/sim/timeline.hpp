@@ -9,24 +9,30 @@
 // workload and Max-Max hole-filling ("a sufficiently large hole in the
 // existing schedule", paper §V) through earliest_fit().
 //
-// Hole index: earliest_fit() answers "first free gap of length >= d at or
-// after p" through an ordered gap index instead of walking the busy list.
-// Gap j is the free space immediately before busy_[j] (gap 0 runs from cycle
-// 0; the open gap after the last interval is implicit), so the gaps — keyed
-// by start order — tile the free space exactly, with no adjacent-gap
-// fragmentation: every maximal free range is exactly one gap. The index
-// stores the per-block maximum gap length (blocks of kGapBlock gaps) and is
-// maintained incrementally by insert()/erase(): an insertion splits one gap
-// in two, an erasure merges the two gaps around the removed interval, and
-// only blocks at or after the mutation point are recomputed — O(1) amortised
-// for the append-mostly SLRH workload. A probe scans at most one partial
-// block, then block maxima, then one final block: O(n / kGapBlock +
-// kGapBlock) instead of O(n). earliest_fit_walk() keeps the original linear
-// scan as the reference/diff baseline; the two are asserted equal under
-// randomized insert/erase churn by tests/test_timeline.cpp.
+// Storage is CHUNKED: the sorted interval sequence is partitioned into
+// consecutive chunks of at most kChunkCap intervals, each carrying the
+// maximum length of the gaps it owns. A gap is the free space immediately
+// before an interval (the chunk's first interval owns the boundary gap from
+// the previous chunk's last end; the global first interval's gap runs from
+// cycle 0; the open gap after the last interval is implicit). Keyed by start
+// order, the gaps tile the free space exactly with no adjacent-gap
+// fragmentation: every maximal free range is exactly one gap.
+//
+// Why chunks instead of the earlier flat vector + block maxima: a flat
+// array makes EVERY mid-timeline mutation O(n) twice over — the vector
+// memmove of the interval suffix and the rebuild of every gap block after
+// the mutation point (gap indices shift, so all later block maxima are
+// stale). Chunked storage confines both costs to one chunk: a mutation
+// memmoves at most kChunkCap intervals and recomputes at most two chunk
+// maxima (the mutated chunk and its successor, whose leading boundary gap
+// may have changed), independent of n. Appends — the SLRH hot path — update
+// the last chunk's maximum in O(1). Queries skip whole chunks via their
+// maxima exactly as the flat index skipped blocks: O(n / kChunkCap +
+// kChunkCap) probes. earliest_fit_walk() keeps the original linear scan as
+// the reference/diff baseline; the two are asserted equal under randomized
+// insert/erase churn by tests/test_timeline.cpp.
 
 #include <cstddef>
-#include <span>
 #include <vector>
 
 #include "support/units.hpp"
@@ -42,13 +48,19 @@ struct Interval {
 
 class Timeline {
  public:
-  bool empty() const noexcept { return busy_.empty(); }
-  std::size_t size() const noexcept { return busy_.size(); }
-  std::span<const Interval> intervals() const noexcept { return busy_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// The busy intervals in start order, materialized into one flat vector
+  /// (the storage itself is chunked). Consumers iterate for rendering and
+  /// test oracles; none sit on a hot path.
+  std::vector<Interval> intervals() const;
 
   /// End of the last busy interval (0 when empty): the earliest time at
   /// which an append-only scheduler may start new work.
-  Cycles ready_time() const noexcept { return busy_.empty() ? 0 : busy_.back().end; }
+  Cycles ready_time() const noexcept {
+    return chunks_.empty() ? 0 : chunks_.back().ivs.back().end;
+  }
 
   /// True iff [start, start+duration) does not overlap any busy interval.
   /// Zero-duration queries are always free.
@@ -56,14 +68,14 @@ class Timeline {
 
   /// Earliest s >= not_before such that [s, s+duration) is free. May land in
   /// an interior hole (Max-Max backfill) or after ready_time(). A zero
-  /// duration fits anywhere: returns not_before. Served by the ordered hole
+  /// duration fits anywhere: returns not_before. Served by the chunked hole
   /// index (see the header comment); identical results to
   /// earliest_fit_walk() by construction.
   Cycles earliest_fit(Cycles not_before, Cycles duration) const;
 
-  /// Reference implementation: the original linear walk over the busy list.
-  /// Kept as the diff baseline for the hole index (tests assert equality
-  /// under churn; BM_EarliestFit_Walk measures the gap).
+  /// Reference implementation: a linear walk over the busy list. Kept as
+  /// the diff baseline for the hole index (tests assert equality under
+  /// churn; BM_EarliestFit_Walk measures the gap).
   Cycles earliest_fit_walk(Cycles not_before, Cycles duration) const;
 
   /// Earliest s >= not_before such that [s, s+duration) is simultaneously
@@ -85,24 +97,41 @@ class Timeline {
   Cycles busy_cycles() const noexcept;
 
  private:
-  /// Gaps per index block. 64 keeps a block's gap lengths within one or two
-  /// cache lines of Interval data while dividing the block-maxima scan by 64.
-  static constexpr std::size_t kGapBlock = 64;
+  /// Split threshold. 256 intervals (4 KiB) keep a chunk's memmove and
+  /// max-gap recompute within a few cache lines of work while dividing the
+  /// chunk-maxima scan of a 64k-interval timeline into ~256-512 chunks.
+  static constexpr std::size_t kChunkCap = 256;
 
-  /// Free cycles immediately before busy_[gap] (from cycle 0 for gap 0).
-  Cycles gap_length(std::size_t gap) const noexcept {
-    return gap == 0 ? busy_[0].start : busy_[gap].start - busy_[gap - 1].end;
+  /// One run of consecutive intervals plus the widest gap it owns.
+  struct Chunk {
+    std::vector<Interval> ivs;  ///< sorted, disjoint, never empty
+    Cycles max_gap = 0;         ///< max over the gaps before each interval
+  };
+
+  struct Pos {
+    std::size_t chunk = 0;  ///< == chunks_.size() when past the end
+    std::size_t slot = 0;
+  };
+
+  /// End of the interval preceding slot (c, i) in global order (0 at the
+  /// global front). The chunk's first slot reaches into the previous chunk.
+  Cycles pred_end(std::size_t c, std::size_t i) const noexcept {
+    if (i > 0) return chunks_[c].ivs[i - 1].end;
+    return c > 0 ? chunks_[c - 1].ivs.back().end : 0;
   }
 
-  /// Recompute block maxima for every block containing a gap >= `gap`
-  /// (mutations shift all later gaps, so everything to the right is stale).
-  void rebuild_gap_blocks_from(std::size_t gap);
+  /// Recompute chunks_[c].max_gap from its gaps (no-op past the end).
+  void recompute_max_gap(std::size_t c) noexcept;
 
-  /// First gap index >= `from` whose length fits `duration`, or size().
-  std::size_t find_first_fitting_gap(std::size_t from, Cycles duration) const;
+  /// First interval (in global order) whose end > value, or a past-the-end
+  /// Pos. Binary search over the chunk directory, then within the chunk.
+  Pos first_end_after(Cycles value) const noexcept;
 
-  std::vector<Interval> busy_;        // sorted by start, disjoint
-  std::vector<Cycles> gap_block_max_; // per-block max gap length
+  /// Split chunks_[c] into two halves (directory insert + max recompute).
+  void split_chunk(std::size_t c);
+
+  std::vector<Chunk> chunks_;  ///< start-ordered, non-empty chunks
+  std::size_t size_ = 0;       ///< total interval count across chunks
 };
 
 }  // namespace ahg::sim

@@ -1,6 +1,11 @@
 #include "support/env.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <string>
+
+#include "support/contract.hpp"
 
 namespace ahg {
 
@@ -10,6 +15,7 @@ ReproScale repro_scale_from_env() {
   const std::string value(raw);
   if (value == "smoke") return ReproScale::Smoke;
   if (value == "paper" || value == "full") return ReproScale::Paper;
+  if (value == "large") return ReproScale::Large;
   return ReproScale::Default;
 }
 
@@ -18,6 +24,7 @@ std::string to_string(ReproScale scale) {
     case ReproScale::Smoke: return "smoke";
     case ReproScale::Default: return "default";
     case ReproScale::Paper: return "paper";
+    case ReproScale::Large: return "large";
   }
   return "default";
 }
@@ -30,6 +37,7 @@ ScaleParams scale_params(ReproScale scale) {
     case ReproScale::Default:
       return ScaleParams{256, 3, 3, 0.1, 0.0, seed};
     case ReproScale::Paper:
+    case ReproScale::Large:  // figure benches have no larger grid to run
       return ScaleParams{1024, 10, 10, 0.1, 0.02, seed};
   }
   return ScaleParams{256, 3, 3, 0.1, 0.0, seed};
@@ -42,6 +50,25 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   const long long value = std::strtoll(raw, &end, 10);
   if (end == raw || (end != nullptr && *end != '\0')) return fallback;
   return value;
+}
+
+std::int64_t env_int_checked(const char* name, std::int64_t fallback,
+                             std::int64_t min, std::int64_t max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(raw, &end, 10);
+  // Whole-string decimal only: no leading whitespace (strtoll would skip
+  // it), no trailing junk, no out-of-long-long values.
+  const bool parsed = !std::isspace(static_cast<unsigned char>(*raw)) &&
+                      end != raw && end != nullptr && *end == '\0' &&
+                      errno == 0;
+  AHG_EXPECTS_MSG(parsed && value >= min && value <= max,
+                  std::string(name) + "='" + raw +
+                      "' is not an integer in [" + std::to_string(min) + ", " +
+                      std::to_string(max) + "]");
+  return static_cast<std::int64_t>(value);
 }
 
 }  // namespace ahg

@@ -3,14 +3,16 @@
 //
 // REPRO_SCALE selects how much of the paper's full experimental grid a bench
 // runs: "smoke" (seconds, CI), "default" (about a core-minute per bench),
-// "paper" (the full 10 ETC x 10 DAG grid at |T| = 1024 — hours on one core).
+// "paper" (the full 10 ETC x 10 DAG grid at |T| = 1024 — hours on one core),
+// "large" (bench_scale only: the 262144-task scaling shape; figure benches
+// treat it as "paper").
 
 #include <cstdint>
 #include <string>
 
 namespace ahg {
 
-enum class ReproScale { Smoke, Default, Paper };
+enum class ReproScale { Smoke, Default, Paper, Large };
 
 /// Parse REPRO_SCALE from the environment; unknown values fall back to
 /// Default (and the bench prints the scale it resolved, so a typo is visible).
@@ -33,5 +35,15 @@ ScaleParams scale_params(ReproScale scale);
 /// Integer env knob with default (e.g. REPRO_SEED); returns `fallback` when
 /// unset or unparsable.
 std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Strict integer env knob for values that silently falling back would
+/// corrupt (bench shapes, baselines): unset returns `fallback` untouched,
+/// but a SET value must parse completely as a decimal integer and land in
+/// [min, max] — anything else throws PreconditionError naming the variable
+/// and the accepted range, so a typo'd AHG_SCALE_TASKS=10000000000 or
+/// AHG_SCALE_MACHINES=64k fails loudly instead of benchmarking the wrong
+/// shape.
+std::int64_t env_int_checked(const char* name, std::int64_t fallback,
+                             std::int64_t min, std::int64_t max);
 
 }  // namespace ahg

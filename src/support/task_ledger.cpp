@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "support/checked.hpp"
 #include "support/contract.hpp"
 #include "support/jsonl.hpp"
 
@@ -204,10 +205,14 @@ std::uint64_t TaskLedger::transitions_dropped() const {
   return transitions_dropped_;
 }
 
-std::size_t TaskLedger::memory_bound_bytes() const noexcept {
-  return num_tasks_ * (sizeof(TaskRecord) +
-                       options_.max_transitions * sizeof(TaskTransition) +
-                       sizeof(std::atomic<std::uint8_t>));
+std::size_t TaskLedger::memory_bound_bytes() const {
+  return checked_mul(num_tasks_,
+                     sizeof(TaskRecord) +
+                         checked_mul(options_.max_transitions,
+                                     sizeof(TaskTransition),
+                                     "ledger transition history") +
+                         sizeof(std::atomic<std::uint8_t>),
+                     "ledger capacity");
 }
 
 std::vector<TaskSpan> TaskLedger::spans() const {

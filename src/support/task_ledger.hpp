@@ -193,7 +193,7 @@ class TaskLedger {
 
   /// Documented worst-case heap footprint of the record table (input-edge
   /// lists are additionally bounded by the DAG's total in-degree).
-  std::size_t memory_bound_bytes() const noexcept;
+  std::size_t memory_bound_bytes() const;  ///< throws on size overflow
 
   /// Derived task-major spans (exec / input / wait), ordered by task id.
   std::vector<TaskSpan> spans() const;

@@ -7,8 +7,51 @@
 
 namespace ahg::workload {
 
-Dag::Dag(std::size_t num_nodes) : parents_(num_nodes), children_(num_nodes) {
+Dag::Dag(std::size_t num_nodes)
+    : num_nodes_(num_nodes), parents_(num_nodes), children_(num_nodes) {
   AHG_EXPECTS_MSG(num_nodes > 0, "DAG needs at least one node");
+}
+
+Dag::Dag(std::size_t num_nodes, std::span<const DagEdge> edges)
+    : num_nodes_(num_nodes), num_edges_(edges.size()), bulk_(true) {
+  AHG_EXPECTS_MSG(num_nodes > 0, "DAG needs at least one node");
+  for (const DagEdge& e : edges) {
+    check_node(e.parent);
+    check_node(e.child);
+    AHG_EXPECTS_MSG(e.parent != e.child, "self-loop");
+  }
+  // Counting-sort the stream into CSR arenas: degree pass, exclusive scan,
+  // then a stable fill — each bucket keeps its edges in stream order, which
+  // is exactly the adjacency order an incremental build would produce.
+  parent_off_.assign(num_nodes_ + 1, 0);
+  child_off_.assign(num_nodes_ + 1, 0);
+  for (const DagEdge& e : edges) {
+    ++parent_off_[static_cast<std::size_t>(e.child) + 1];
+    ++child_off_[static_cast<std::size_t>(e.parent) + 1];
+  }
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    parent_off_[i + 1] += parent_off_[i];
+    child_off_[i + 1] += child_off_[i];
+  }
+  parent_arena_.resize(num_edges_);
+  child_arena_.resize(num_edges_);
+  std::vector<std::size_t> parent_cur(parent_off_.begin(),
+                                      parent_off_.end() - 1);
+  std::vector<std::size_t> child_cur(child_off_.begin(), child_off_.end() - 1);
+  for (const DagEdge& e : edges) {
+    parent_arena_[parent_cur[static_cast<std::size_t>(e.child)]++] = e.parent;
+    child_arena_[child_cur[static_cast<std::size_t>(e.parent)]++] = e.child;
+  }
+  // Duplicate check over the parent lists (fan-in is small; the child lists
+  // mirror the same edge set, so checking one side covers both).
+  for (std::size_t node = 0; node < num_nodes_; ++node) {
+    const auto list = parents(static_cast<TaskId>(node));
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        AHG_EXPECTS_MSG(list[i] != list[j], "duplicate edge");
+      }
+    }
+  }
 }
 
 void Dag::check_node(TaskId node) const {
@@ -17,6 +60,7 @@ void Dag::check_node(TaskId node) const {
 }
 
 void Dag::add_edge(TaskId parent, TaskId child) {
+  AHG_EXPECTS_MSG(!bulk_, "add_edge on a bulk-built DAG");
   check_node(parent);
   check_node(child);
   AHG_EXPECTS_MSG(parent != child, "self-loop");
@@ -29,24 +73,36 @@ void Dag::add_edge(TaskId parent, TaskId child) {
 bool Dag::has_edge(TaskId parent, TaskId child) const {
   check_node(parent);
   check_node(child);
-  const auto& kids = children_[static_cast<std::size_t>(parent)];
+  const auto kids = children(parent);
   return std::find(kids.begin(), kids.end(), child) != kids.end();
 }
 
 std::span<const TaskId> Dag::parents(TaskId node) const {
   check_node(node);
-  return parents_[static_cast<std::size_t>(node)];
+  const auto i = static_cast<std::size_t>(node);
+  if (bulk_) {
+    return {parent_arena_.data() + parent_off_[i],
+            parent_off_[i + 1] - parent_off_[i]};
+  }
+  return parents_[i];
 }
 
 std::span<const TaskId> Dag::children(TaskId node) const {
   check_node(node);
-  return children_[static_cast<std::size_t>(node)];
+  const auto i = static_cast<std::size_t>(node);
+  if (bulk_) {
+    return {child_arena_.data() + child_off_[i],
+            child_off_[i + 1] - child_off_[i]};
+  }
+  return children_[i];
 }
 
 std::vector<TaskId> Dag::roots() const {
   std::vector<TaskId> out;
   for (std::size_t i = 0; i < num_nodes(); ++i) {
-    if (parents_[i].empty()) out.push_back(static_cast<TaskId>(i));
+    if (parents(static_cast<TaskId>(i)).empty()) {
+      out.push_back(static_cast<TaskId>(i));
+    }
   }
   return out;
 }
@@ -54,14 +110,18 @@ std::vector<TaskId> Dag::roots() const {
 std::vector<TaskId> Dag::leaves() const {
   std::vector<TaskId> out;
   for (std::size_t i = 0; i < num_nodes(); ++i) {
-    if (children_[i].empty()) out.push_back(static_cast<TaskId>(i));
+    if (children(static_cast<TaskId>(i)).empty()) {
+      out.push_back(static_cast<TaskId>(i));
+    }
   }
   return out;
 }
 
 bool Dag::is_acyclic() const {
   std::vector<std::size_t> indegree(num_nodes());
-  for (std::size_t i = 0; i < num_nodes(); ++i) indegree[i] = parents_[i].size();
+  for (std::size_t i = 0; i < num_nodes(); ++i) {
+    indegree[i] = parents(static_cast<TaskId>(i)).size();
+  }
   std::queue<TaskId> ready;
   for (std::size_t i = 0; i < num_nodes(); ++i) {
     if (indegree[i] == 0) ready.push(static_cast<TaskId>(i));
@@ -71,7 +131,7 @@ bool Dag::is_acyclic() const {
     const TaskId node = ready.front();
     ready.pop();
     ++visited;
-    for (const TaskId child : children_[static_cast<std::size_t>(node)]) {
+    for (const TaskId child : children(node)) {
       if (--indegree[static_cast<std::size_t>(child)] == 0) ready.push(child);
     }
   }
@@ -80,7 +140,9 @@ bool Dag::is_acyclic() const {
 
 std::vector<TaskId> Dag::topological_order() const {
   std::vector<std::size_t> indegree(num_nodes());
-  for (std::size_t i = 0; i < num_nodes(); ++i) indegree[i] = parents_[i].size();
+  for (std::size_t i = 0; i < num_nodes(); ++i) {
+    indegree[i] = parents(static_cast<TaskId>(i)).size();
+  }
   // min-heap on node id for a deterministic order
   std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
   for (std::size_t i = 0; i < num_nodes(); ++i) {
@@ -92,7 +154,7 @@ std::vector<TaskId> Dag::topological_order() const {
     const TaskId node = ready.top();
     ready.pop();
     order.push_back(node);
-    for (const TaskId child : children_[static_cast<std::size_t>(node)]) {
+    for (const TaskId child : children(node)) {
       if (--indegree[static_cast<std::size_t>(child)] == 0) ready.push(child);
     }
   }
@@ -105,7 +167,7 @@ std::size_t Dag::depth() const {
   std::vector<std::size_t> level(num_nodes(), 1);
   std::size_t best = 1;
   for (const TaskId node : order) {
-    for (const TaskId child : children_[static_cast<std::size_t>(node)]) {
+    for (const TaskId child : children(node)) {
       auto& lc = level[static_cast<std::size_t>(child)];
       lc = std::max(lc, level[static_cast<std::size_t>(node)] + 1);
       best = std::max(best, lc);

@@ -14,18 +14,42 @@
 
 namespace ahg::workload {
 
+/// One precedence edge parent -> child (bulk-construction input).
+struct DagEdge {
+  TaskId parent = 0;
+  TaskId child = 0;
+};
+
 /// Immutable-after-build DAG with O(1) parent/child adjacency.
+///
+/// Two builds share one query interface:
+///  - incremental: Dag(n) + add_edge() per edge — per-node vectors, used by
+///    hand-built fixtures and the scenario file reader;
+///  - bulk: Dag(n, edges) — a single pass over the edge stream into flat
+///    CSR arenas sized up front (two counting passes, no per-node vector
+///    growth), the O(|T|)-allocation path the streaming generator uses at
+///    the 1M-task tier. Adjacency ORDER matches the incremental build fed
+///    the same stream: each node's parents appear in stream order, each
+///    node's children in stream order — so downstream consumers that
+///    iterate adjacency (e.g. the data-size generator's RNG draws) see
+///    identical sequences whichever build produced the DAG.
 class Dag {
  public:
-  /// An empty DAG over `num_nodes` isolated nodes.
+  /// An empty DAG over `num_nodes` isolated nodes (incremental build).
   explicit Dag(std::size_t num_nodes);
 
-  std::size_t num_nodes() const noexcept { return parents_.size(); }
+  /// Bulk build from an edge stream. Rejects self-loops, out-of-range ids,
+  /// and duplicate edges (same contract as add_edge); cycle detection is
+  /// deferred to is_acyclic() as with the incremental build.
+  Dag(std::size_t num_nodes, std::span<const DagEdge> edges);
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
   std::size_t num_edges() const noexcept { return num_edges_; }
 
   /// Add edge parent -> child. Rejects self-loops, out-of-range ids, and
   /// duplicate edges. Cycle detection is deferred to validate() (adding edges
   /// in generator order is always forward, but hand-built DAGs are checked).
+  /// Incremental builds only — a bulk-built DAG's arenas are immutable.
   void add_edge(TaskId parent, TaskId child);
 
   bool has_edge(TaskId parent, TaskId child) const;
@@ -49,9 +73,19 @@ class Dag {
 
  private:
   void check_node(TaskId node) const;
+
+  std::size_t num_nodes_ = 0;
+  std::size_t num_edges_ = 0;
+
+  // Incremental storage (empty when bulk_).
   std::vector<std::vector<TaskId>> parents_;
   std::vector<std::vector<TaskId>> children_;
-  std::size_t num_edges_ = 0;
+
+  // Bulk CSR storage: node i's parents live at
+  // parent_arena_[parent_off_[i] .. parent_off_[i+1]), children likewise.
+  bool bulk_ = false;
+  std::vector<std::size_t> parent_off_, child_off_;  ///< num_nodes_ + 1 each
+  std::vector<TaskId> parent_arena_, child_arena_;   ///< num_edges_ each
 };
 
 }  // namespace ahg::workload

@@ -18,7 +18,6 @@ Dag generate_dag(const DagGeneratorParams& params, std::uint64_t seed) {
                   "probability out of range");
 
   Rng rng(seed);
-  Dag dag(params.num_nodes);
 
   // Partition the node ids [0, N) into consecutive layers. Node ids increase
   // with layer index, so every generated edge points forward and the result
@@ -38,7 +37,17 @@ Dag generate_dag(const DagGeneratorParams& params, std::uint64_t seed) {
     }
   }
 
-  // Connect each non-first-layer node to parents from earlier layers.
+  // Connect each non-first-layer node to parents from earlier layers,
+  // streaming the edges into one pre-sized arena; the DAG is bulk-built from
+  // the stream in a single counting-sort pass (no per-node vector growth).
+  // The RNG draw sequence is identical to the old incremental build, and the
+  // dedup is too: every edge targets the CURRENT node, so "has_edge(parent,
+  // node)" can only see parents drawn in this node's own loop — a scan of
+  // the node's drawn parents is the same predicate.
+  std::vector<DagEdge> edges;
+  edges.reserve(params.num_nodes * params.max_fan_in);
+  std::vector<TaskId> drawn;
+  drawn.reserve(params.max_fan_in);
   for (std::size_t layer = 1; layer < layers.size(); ++layer) {
     const auto [begin, end] = layers[layer];
     for (TaskId node = begin; node < end; ++node) {
@@ -46,6 +55,7 @@ Dag generate_dag(const DagGeneratorParams& params, std::uint64_t seed) {
       while (fan_in < params.max_fan_in && rng.bernoulli(params.extra_parent_prob)) {
         ++fan_in;
       }
+      drawn.clear();
       for (std::size_t k = 0; k < fan_in; ++k) {
         // Pick the source layer: usually the previous one, occasionally a
         // uniformly chosen earlier layer (long-range edge).
@@ -56,11 +66,15 @@ Dag generate_dag(const DagGeneratorParams& params, std::uint64_t seed) {
         }
         const auto [sb, se] = layers[src_layer];
         const auto parent = static_cast<TaskId>(rng.uniform_int(sb, se - 1));
-        if (!dag.has_edge(parent, node)) dag.add_edge(parent, node);
+        if (std::find(drawn.begin(), drawn.end(), parent) == drawn.end()) {
+          drawn.push_back(parent);
+          edges.push_back(DagEdge{parent, node});
+        }
       }
     }
   }
 
+  Dag dag(params.num_nodes, edges);
   AHG_ENSURES_MSG(dag.is_acyclic(), "generated DAG must be acyclic");
   return dag;
 }

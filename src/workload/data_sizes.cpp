@@ -24,6 +24,7 @@ DataSizes generate_data_sizes(const DataSizeParams& params, const Dag& dag,
   Rng rng(seed);
   const GammaDist dist = GammaDist::from_mean_cv(params.mean_bits, params.cv);
   DataSizes sizes;
+  sizes.reserve(dag.num_edges());
   for (std::size_t node = 0; node < dag.num_nodes(); ++node) {
     const auto parent = static_cast<TaskId>(node);
     for (const TaskId child : dag.children(parent)) {

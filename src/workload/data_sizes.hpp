@@ -21,6 +21,10 @@ class DataSizes {
 
   void set_bits(TaskId parent, TaskId child, double bits);
 
+  /// Pre-size the edge map (the generator knows dag.num_edges() up front, so
+  /// the fill never rehashes).
+  void reserve(std::size_t num_edges) { bits_.reserve(num_edges); }
+
   /// Bits transferred parent -> child when the parent ran its primary
   /// version. Zero if the edge carries no data (or does not exist).
   double bits(TaskId parent, TaskId child) const noexcept;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/checked.hpp"
 #include "support/contract.hpp"
 #include "support/distributions.hpp"
 #include "support/rng.hpp"
@@ -26,20 +27,24 @@ EtcMatrix generate_etc(const EtcGeneratorParams& params,
   const GammaDist ratio_dist =
       GammaDist::from_mean_cv(params.speed_ratio_mean, params.speed_ratio_cv);
 
-  EtcMatrix etc(num_tasks, machine_classes.size());
+  // Stream the samples into one pre-sized row-major arena (identical draw
+  // order and values to per-cell stores) and bulk-adopt it.
+  const std::size_t num_machines = machine_classes.size();
+  std::vector<double> seconds(
+      checked_mul(num_tasks, num_machines, "ETC matrix"));
+  std::size_t cell = 0;
   for (std::size_t i = 0; i < num_tasks; ++i) {
     const double nominal = std::max(params.min_task_seconds, task_dist.sample(rng));
     const double ratio = sample_truncated_gamma(rng, ratio_dist, params.speed_ratio_min,
                                                 params.speed_ratio_max);
-    for (std::size_t j = 0; j < machine_classes.size(); ++j) {
+    for (std::size_t j = 0; j < num_machines; ++j) {
       const double noise = machine_dist.sample(rng);
       const double base =
           machine_classes[j] == sim::MachineClass::Fast ? nominal / ratio : nominal;
-      const double secs = std::max(params.min_task_seconds, base * noise);
-      etc.set_seconds(static_cast<TaskId>(i), static_cast<MachineId>(j), secs);
+      seconds[cell++] = std::max(params.min_task_seconds, base * noise);
     }
   }
-  return etc;
+  return EtcMatrix(num_tasks, num_machines, std::move(seconds));
 }
 
 std::vector<sim::MachineClass> machine_classes(const sim::GridConfig& grid) {

@@ -1,5 +1,6 @@
 #include "workload/etc_matrix.hpp"
 
+#include "support/checked.hpp"
 #include "support/contract.hpp"
 
 namespace ahg::workload {
@@ -7,9 +8,24 @@ namespace ahg::workload {
 EtcMatrix::EtcMatrix(std::size_t num_tasks, std::size_t num_machines)
     : num_tasks_(num_tasks),
       num_machines_(num_machines),
-      seconds_(num_tasks * num_machines, 0.0) {
+      seconds_(checked_mul(num_tasks, num_machines, "ETC matrix"), 0.0) {
   AHG_EXPECTS_MSG(num_tasks > 0, "ETC needs at least one task");
   AHG_EXPECTS_MSG(num_machines > 0, "ETC needs at least one machine");
+}
+
+EtcMatrix::EtcMatrix(std::size_t num_tasks, std::size_t num_machines,
+                     std::vector<double> seconds)
+    : num_tasks_(num_tasks),
+      num_machines_(num_machines),
+      seconds_(std::move(seconds)) {
+  AHG_EXPECTS_MSG(num_tasks > 0, "ETC needs at least one task");
+  AHG_EXPECTS_MSG(num_machines > 0, "ETC needs at least one machine");
+  AHG_EXPECTS_MSG(
+      seconds_.size() == checked_mul(num_tasks, num_machines, "ETC matrix"),
+      "ETC table size must be num_tasks * num_machines");
+  for (const double secs : seconds_) {
+    AHG_EXPECTS_MSG(secs > 0.0, "execution time must be positive");
+  }
 }
 
 std::size_t EtcMatrix::index(TaskId task, MachineId machine) const {

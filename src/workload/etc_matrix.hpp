@@ -14,6 +14,12 @@ class EtcMatrix {
  public:
   EtcMatrix(std::size_t num_tasks, std::size_t num_machines);
 
+  /// Bulk build from a pre-filled row-major [task][machine] table (the
+  /// generator's streaming path: one positivity sweep instead of per-cell
+  /// bounds-checked stores). The vector is adopted, not copied.
+  EtcMatrix(std::size_t num_tasks, std::size_t num_machines,
+            std::vector<double> seconds);
+
   std::size_t num_tasks() const noexcept { return num_tasks_; }
   std::size_t num_machines() const noexcept { return num_machines_; }
 

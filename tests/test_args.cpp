@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
+
+#include "support/env.hpp"
 
 namespace ahg {
 namespace {
@@ -116,6 +120,56 @@ TEST(Args, DuplicateDeclarationThrows) {
   ArgParser p("prog", "dup");
   p.add_flag("x", "first");
   EXPECT_THROW(p.add_int("x", 0, "second"), PreconditionError);
+}
+
+// --- strict env knobs (the bench_scale AHG_SCALE_* overrides) --------------
+//
+// env_int() deliberately falls back on junk (a typo'd REPRO_SEED is
+// harmless); the scale-shape overrides must NOT — a malformed
+// AHG_SCALE_TASKS silently benchmarking the default shape poisons the
+// baseline comparison. env_int_checked throws instead, naming the range.
+
+class EnvIntChecked : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv(kVar); }
+  static constexpr const char* kVar = "AHG_TEST_ENV_INT_CHECKED";
+};
+
+TEST_F(EnvIntChecked, UnsetOrEmptyReturnsFallbackUnvalidated) {
+  ::unsetenv(kVar);
+  EXPECT_EQ(env_int_checked(kVar, 0, 1, 100), 0);  // fallback may be out of range
+  ::setenv(kVar, "", 1);
+  EXPECT_EQ(env_int_checked(kVar, -5, 1, 100), -5);
+}
+
+TEST_F(EnvIntChecked, InRangeValueParses) {
+  ::setenv(kVar, "262144", 1);
+  EXPECT_EQ(env_int_checked(kVar, 0, 1, 1 << 20), 262144);
+  ::setenv(kVar, "1", 1);
+  EXPECT_EQ(env_int_checked(kVar, 0, 1, 1 << 20), 1);
+  ::setenv(kVar, "1048576", 1);
+  EXPECT_EQ(env_int_checked(kVar, 0, 1, 1 << 20), 1048576);
+}
+
+TEST_F(EnvIntChecked, MalformedValueThrowsNamingTheRange) {
+  for (const char* bad : {"64k", "abc", "12abc", "1.5", "0x40", " 64"}) {
+    ::setenv(kVar, bad, 1);
+    try {
+      env_int_checked(kVar, 0, 1, 1 << 20);
+      FAIL() << "expected PreconditionError for '" << bad << "'";
+    } catch (const PreconditionError& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find(kVar), std::string::npos) << bad;
+      EXPECT_NE(what.find("[1, 1048576]"), std::string::npos) << bad;
+    }
+  }
+}
+
+TEST_F(EnvIntChecked, ZeroNegativeAndOutOfRangeThrow) {
+  for (const char* bad : {"0", "-1", "-262144", "1048577", "99999999999999999999"}) {
+    ::setenv(kVar, bad, 1);
+    EXPECT_THROW(env_int_checked(kVar, 0, 1, 1 << 20), PreconditionError) << bad;
+  }
 }
 
 }  // namespace

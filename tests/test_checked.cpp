@@ -1,0 +1,57 @@
+#include "support/checked.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "support/contract.hpp"
+#include "support/units.hpp"
+
+namespace ahg {
+namespace {
+
+TEST(CheckedMul, SmallProductsPassThrough) {
+  EXPECT_EQ(checked_mul(0, 0, "t"), 0u);
+  EXPECT_EQ(checked_mul(0, 17, "t"), 0u);
+  EXPECT_EQ(checked_mul(7, 6, "t"), 42u);
+  EXPECT_EQ(checked_mul(3, 4, 5, "t"), 60u);
+}
+
+// The regression shape: |T| = 1M on |M| = 2048 machines yields a
+// |T|x|M|x2 element count of 2^32 — past the 2^31 boundary where any int32
+// intermediate in the sizing chain would have wrapped (to 0 here, the
+// nastiest case: a silently EMPTY table). Pure arithmetic, no allocation.
+TEST(CheckedMul, ElementCountPastTwoToThe31DoesNotWrap) {
+  const std::size_t tasks = std::size_t{1} << 20;     // 1 048 576
+  const std::size_t machines = std::size_t{1} << 11;  // 2 048
+  const std::size_t cells = checked_mul(tasks, machines, 2, "cache tables");
+  EXPECT_EQ(cells, std::size_t{1} << 32);
+  EXPECT_GT(cells, static_cast<std::size_t>(
+                       std::numeric_limits<std::int32_t>::max()));
+  // The same count computed through the machine-major index formula for the
+  // LAST element must agree — i.e. the index arithmetic spans the table.
+  const std::size_t last =
+      ((machines - 1) * tasks + (tasks - 1)) * 2 + 1;
+  EXPECT_EQ(last, cells - 1);
+}
+
+TEST(CheckedMul, OverflowThrowsNamingTheTable) {
+  const std::size_t half = std::numeric_limits<std::size_t>::max() / 2;
+  try {
+    checked_mul(half, 3, "ScenarioCache tables");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("ScenarioCache tables"),
+              std::string::npos);
+  }
+  // Chained form: overflow in either factor pair throws.
+  EXPECT_THROW(checked_mul(half, 2, 2, "t"), PreconditionError);
+  EXPECT_THROW(checked_mul(2, half, 2, "t"), PreconditionError);
+  // Boundary: SIZE_MAX * 1 is representable.
+  EXPECT_EQ(checked_mul(std::numeric_limits<std::size_t>::max(), 1, "t"),
+            std::numeric_limits<std::size_t>::max());
+}
+
+}  // namespace
+}  // namespace ahg

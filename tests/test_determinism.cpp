@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "core/churn.hpp"
@@ -523,6 +525,125 @@ TEST(Determinism, TunerWithSharedCacheMatchesLegacySolvers) {
     EXPECT_EQ(legacy.evaluated[i].feasible, cached.evaluated[i].feasible)
         << "point " << i;
   }
+}
+
+// --- ScenarioCache build modes -------------------------------------------
+//
+// Entries are independent per (task, machine, version) and every mode runs
+// the same expressions, so serial / parallel / lazy builds must be
+// bit-identical — tables AND the schedules driven off them.
+
+void expect_identical_tables(const core::ScenarioCache& a,
+                             const core::ScenarioCache& b,
+                             const workload::Scenario& scenario,
+                             const char* label) {
+  SCOPED_TRACE(label);
+  const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
+  const auto num_machines = static_cast<MachineId>(scenario.num_machines());
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    for (MachineId m = 0; m < num_machines; ++m) {
+      for (const VersionKind v : {VersionKind::Primary, VersionKind::Secondary}) {
+        ASSERT_EQ(a.exec_cycles(t, m, v), b.exec_cycles(t, m, v));
+        ASSERT_EQ(a.exec_energy(t, m, v), b.exec_energy(t, m, v));  // exact
+        ASSERT_EQ(a.energy_need(t, m, v), b.energy_need(t, m, v));  // exact
+      }
+      ASSERT_EQ(a.primary_compute_energy(t, m), b.primary_compute_energy(t, m));
+    }
+    ASSERT_EQ(a.min_exec_cycles(t, VersionKind::Primary),
+              b.min_exec_cycles(t, VersionKind::Primary));
+    ASSERT_EQ(a.min_exec_cycles(t, VersionKind::Secondary),
+              b.min_exec_cycles(t, VersionKind::Secondary));
+  }
+}
+
+TEST(Determinism, ParallelCacheBuildMatchesSerial) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    const core::ScenarioCache serial(scenario, core::CacheBuild::Serial);
+    const core::ScenarioCache parallel(scenario, core::CacheBuild::Parallel);
+    const core::ScenarioCache lazy(scenario, core::CacheBuild::Lazy);
+    EXPECT_EQ(serial.columns_built(), scenario.num_machines());
+    EXPECT_EQ(parallel.columns_built(), scenario.num_machines());
+    // Reading the lazy tables below faults every column in.
+    expect_identical_tables(serial, parallel, scenario, "parallel vs serial");
+    expect_identical_tables(serial, lazy, scenario, "lazy vs serial");
+    EXPECT_EQ(lazy.columns_built(), scenario.num_machines());
+
+    for (const auto variant : {core::SlrhVariant::V1, core::SlrhVariant::V3}) {
+      core::SlrhParams params;
+      params.variant = variant;
+      params.weights = core::Weights::make(0.6, 0.3);
+      params.cache = &serial;
+      const auto via_serial = core::run_slrh(scenario, params);
+      params.cache = &parallel;
+      const auto via_parallel = core::run_slrh(scenario, params);
+      expect_identical(via_serial, via_parallel, scenario,
+                       to_string(variant).c_str());
+    }
+  }
+}
+
+TEST(Determinism, LazyCacheSkipsDepartedMachineColumns) {
+  // A machine absent for the whole mapping horizon (the extreme of churn
+  // departure) is skipped by the sweep's availability check before any cache
+  // probe, so in lazy mode its column is never materialized — the
+  // "churn-departed machines never pay" claim.
+  auto scenario = test::small_suite_scenario(sim::GridCase::A, 64, 4242);
+  scenario.machine_windows.assign(scenario.num_machines(),
+                                  workload::Scenario::MachineWindow{});
+  scenario.machine_windows[1].join = scenario.tau * 8;  // beyond the horizon
+  scenario.machine_windows[1].depart = scenario.tau * 8 + 1;
+  core::SlrhParams params;
+  params.variant = core::SlrhVariant::V1;
+  params.weights = core::Weights::make(0.6, 0.3);
+
+  const core::ScenarioCache eager(scenario, core::CacheBuild::Serial);
+  params.cache = &eager;
+  const auto via_eager = core::run_slrh_with_churn(scenario, params);
+
+  const core::ScenarioCache lazy(scenario, core::CacheBuild::Lazy);
+  params.cache = &lazy;
+  const auto via_lazy = core::run_slrh_with_churn(scenario, params);
+
+  expect_identical(via_eager.result, via_lazy.result, scenario, "lazy churn");
+  EXPECT_FALSE(lazy.column_built(1));
+  EXPECT_LT(lazy.columns_built(), scenario.num_machines());
+  EXPECT_TRUE(lazy.column_built(0));
+}
+
+TEST(Determinism, ConcurrentLazyCacheTouchIsRaceFreeAndIdentical) {
+  // TSan coverage: many threads fault in overlapping column sets through the
+  // accessors at once. call_once must serialize each column's single fill,
+  // and every reader must see fully built values (acquire on the ready
+  // flag); the result must match a serial build bit for bit.
+  const auto scenario = test::small_suite_scenario(sim::GridCase::B, 48);
+  const core::ScenarioCache serial(scenario, core::CacheBuild::Serial);
+  const core::ScenarioCache lazy(scenario, core::CacheBuild::Lazy);
+  const auto num_tasks = static_cast<TaskId>(scenario.num_tasks());
+  const auto num_machines = static_cast<MachineId>(scenario.num_machines());
+
+  std::vector<std::thread> readers;
+  std::atomic<int> mismatches{0};
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      // Each thread starts at a different machine so first-touches collide.
+      for (MachineId step = 0; step < num_machines; ++step) {
+        const auto m = static_cast<MachineId>((step + r) % num_machines);
+        for (TaskId t = 0; t < num_tasks; ++t) {
+          for (const VersionKind v :
+               {VersionKind::Primary, VersionKind::Secondary}) {
+            if (lazy.exec_cycles(t, m, v) != serial.exec_cycles(t, m, v) ||
+                lazy.exec_energy(t, m, v) != serial.exec_energy(t, m, v) ||
+                lazy.energy_need(t, m, v) != serial.energy_need(t, m, v)) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(lazy.columns_built(), scenario.num_machines());
 }
 
 }  // namespace

@@ -288,6 +288,75 @@ TEST_P(TimelineChurnProperty, PairFitMatchesWalkComposition) {
   }
 }
 
+/// Brute force for the pair query: the minimal common start is not_before or
+/// some interval end of EITHER timeline — check all of them on both sides.
+Cycles brute_force_pair_fit(const Timeline& a, const Timeline& b,
+                            Cycles not_before, Cycles duration) {
+  Cycles best = std::numeric_limits<Cycles>::max();
+  const auto consider = [&](Cycles s) {
+    if (s >= not_before && a.is_free(s, duration) && b.is_free(s, duration)) {
+      best = std::min(best, s);
+    }
+  };
+  consider(not_before);
+  for (const Interval& iv : a.intervals()) consider(std::max(not_before, iv.end));
+  for (const Interval& iv : b.intervals()) consider(std::max(not_before, iv.end));
+  return best;
+}
+
+TEST_P(TimelineChurnProperty, PairFitMatchesBruteForcePairScan) {
+  Rng rng(GetParam() ^ 0x9a12u);
+  Timeline a;
+  Timeline b;
+  std::vector<Interval> live_a;
+  std::vector<Interval> live_b;
+  const Cycles span = 1500;
+  const auto erase_one = [&](Timeline& tl, std::vector<Interval>& live) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<Cycles>(live.size()) - 1));
+    tl.erase(live[pick].start, live[pick].duration());
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+  };
+  for (int step = 0; step < 400; ++step) {
+    const bool on_a = rng.uniform_int(0, 1) == 0;
+    Timeline& tl = on_a ? a : b;
+    std::vector<Interval>& live = on_a ? live_a : live_b;
+    if (!live.empty() && rng.uniform_int(0, 9) < 3) {
+      erase_one(tl, live);
+    } else {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        Cycles start = rng.uniform_int(0, span);
+        const Cycles dur = rng.uniform_int(1, 10);
+        // Half of b's inserts snap to one of a's interval boundaries (and
+        // vice versa): candidate gaps on the two timelines then share edges
+        // or overlap partially — the regime where the alternating pair walk
+        // is easiest to get wrong.
+        const std::vector<Interval>& other = on_a ? live_b : live_a;
+        if (!other.empty() && rng.uniform_int(0, 1) == 0) {
+          const Interval& anchor = other[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<Cycles>(other.size()) - 1))];
+          start = rng.uniform_int(0, 1) == 0 ? anchor.end
+                                             : std::max<Cycles>(0, anchor.start - dur);
+        }
+        if (!tl.is_free(start, dur)) continue;
+        tl.insert(start, dur);
+        live.push_back({start, start + dur});
+        break;
+      }
+    }
+    for (int q = 0; q < 3; ++q) {
+      const Cycles p = rng.uniform_int(0, span + 100);
+      const Cycles d = rng.uniform_int(1, 20);
+      const Cycles fit = Timeline::earliest_fit_pair(a, b, p, d);
+      ASSERT_EQ(fit, brute_force_pair_fit(a, b, p, d))
+          << "pair fit diverged from brute-force pair scan at step " << step
+          << " (p=" << p << " d=" << d << ")";
+      ASSERT_TRUE(a.is_free(fit, d));
+      ASSERT_TRUE(b.is_free(fit, d));
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, TimelineChurnProperty,
                          ::testing::Values(1u, 7u, 42u, 99u, 12345u));
 
