@@ -23,6 +23,7 @@
 #include "core/slrh.hpp"
 #include "support/contract.hpp"
 #include "support/env.hpp"
+#include "support/event_log.hpp"
 #include "workload/scenario.hpp"
 
 namespace {
@@ -98,28 +99,50 @@ int main(int argc, char** argv) {
   // Local-experiment overrides; the gated CI shapes come from REPRO_SCALE.
   // Strictly validated: a malformed or out-of-range value must not silently
   // fall back to the default shape and masquerade as an override run.
+  bool overridden = false;
   try {
     if (const std::int64_t t =
             env_int_checked("AHG_SCALE_TASKS", 0, 1, kMaxScaleTasks);
         t > 0) {
       shape.num_tasks = static_cast<std::size_t>(t);
+      overridden = true;
     }
     if (const std::int64_t m =
             env_int_checked("AHG_SCALE_MACHINES", 0, 1, kMaxScaleMachines);
         m > 0) {
       shape.num_machines = static_cast<std::size_t>(m);
+      overridden = true;
     }
   } catch (const PreconditionError& error) {
     std::cerr << argv[0] << ": " << error.what() << "\n";
     return 2;
   }
+  // An overridden shape dumps (and gates) under its own name — the weekly
+  // 1M run must not overwrite the 262k tier's BENCH_scale_large.json or be
+  // compared against its baseline.
+  std::string bench_name = shape.bench_name;
+  if (overridden) {
+    bench_name = "scale_" + std::to_string(shape.num_tasks) + "x" +
+                 std::to_string(shape.num_machines);
+  }
 
-  std::cout << "=== bench_scale (" << shape.bench_name << ") ===\n"
+  // The accelerated runs are the default; AHG_SCALE_SERIAL_REF=1 adds a
+  // serial-path re-run of every variant (sweep_parallel and pool_reuse off)
+  // plus a bench.<variant>_sweep_speedup gauge. Defaults on for the gated
+  // smoke/default tiers — where the serial run is minutes, not hours — and
+  // off for the large/1M shapes whose serial reference would blow the CI
+  // window.
+  const bool default_serial_ref =
+      !overridden && repro_scale_from_env() != ReproScale::Large;
+  const bool serial_ref =
+      env_int("AHG_SCALE_SERIAL_REF", default_serial_ref ? 1 : 0) != 0;
+
+  std::cout << "=== bench_scale (" << bench_name << ") ===\n"
             << build_description() << ", jobs=" << global_pool_jobs() << "\n"
             << "|T|=" << shape.num_tasks << ", |M|=" << shape.num_machines
             << " (REPRO_SCALE=smoke|default|large to change)\n\n";
 
-  bench::BenchReport report(shape.bench_name);
+  bench::BenchReport report(bench_name);
   report.meta("num_tasks", static_cast<std::int64_t>(shape.num_tasks));
   report.meta("num_machines", static_cast<std::int64_t>(shape.num_machines));
 
@@ -134,11 +157,17 @@ int main(int argc, char** argv) {
       .gauge("bench.cache_columns_built")
       .set(static_cast<double>(cache->columns_built()));
 
+  // Phase sink: routes the driver's slrh.*_seconds histograms (pool build,
+  // scoring, sweep_parallel) and the pool_reuse/spec_abort counters into the
+  // dump, so bench_check --plot-scaling can break the curve into phases.
+  obs::ForwardSink phase_sink(&report.metrics(), nullptr);
+
   for (const auto variant : {core::SlrhVariant::V1, core::SlrhVariant::V3}) {
     core::SlrhParams params;
     params.variant = variant;
     params.weights = core::Weights::make(0.6, 0.3);
     params.cache = &*cache;
+    params.sink = &phase_sink;
     const std::string name = core::to_string(variant);
     const auto result = report.timed_section(
         name + "_run", [&] { return core::run_slrh(scenario, params); });
@@ -148,11 +177,39 @@ int main(int argc, char** argv) {
         .counter("bench." + name + "_pools")
         .add(static_cast<std::uint64_t>(result.pools_built));
     report.metrics()
+        .counter("bench." + name + "_pools_reused")
+        .add(static_cast<std::uint64_t>(result.pools_reused));
+    report.metrics()
+        .counter("bench." + name + "_spec_aborts")
+        .add(static_cast<std::uint64_t>(result.spec_aborted));
+    report.metrics()
         .counter("bench." + name + "_complete")
         .add(result.complete ? 1 : 0);
     std::cout << name << ": assigned " << result.assigned << "/"
               << shape.num_tasks << ", t100 " << result.t100 << ", pools "
-              << result.pools_built << "\n";
+              << result.pools_built << " (+" << result.pools_reused
+              << " reused, " << result.spec_aborted << " spec aborts)\n";
+
+    if (serial_ref) {
+      core::SlrhParams serial = params;
+      serial.sink = nullptr;  // time the bare serial loop, no telemetry
+      serial.pool_reuse = false;
+      serial.sweep_parallel = false;
+      const auto serial_result = report.timed_section(
+          name + "_serial_run", [&] { return core::run_slrh(scenario, serial); });
+      AHG_EXPECTS_MSG(serial_result.assigned == result.assigned &&
+                          serial_result.t100 == result.t100 &&
+                          serial_result.tec == result.tec,
+                      "serial reference diverged from accelerated run");
+      const double speedup =
+          result.wall_seconds > 0.0
+              ? serial_result.wall_seconds / result.wall_seconds
+              : 0.0;
+      report.metrics().gauge("bench." + name + "_sweep_speedup").set(speedup);
+      std::cout << name << " serial reference: " << serial_result.wall_seconds
+                << " s vs " << result.wall_seconds << " s accelerated ("
+                << speedup << "x)\n";
+    }
   }
 
   std::cout << "wrote " << report.write_json() << "\n";

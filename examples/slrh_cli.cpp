@@ -21,6 +21,7 @@
 #include "core/validate.hpp"
 #include "support/args.hpp"
 #include "support/chrome_trace.hpp"
+#include "support/env.hpp"
 #include "support/event_log.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/openmetrics.hpp"
@@ -102,12 +103,14 @@ int main(int argc, char** argv) {
                "hardware concurrency)");
   args.add_flag("version", "print build identity and exit");
   if (!args.parse(argc, argv)) return args.error() ? EXIT_FAILURE : EXIT_SUCCESS;
+  // --jobs wins over the AHG_JOBS environment override; either sizes the
+  // global pool (speculative sweep fan-out, cache builds) before first use.
+  std::int64_t jobs = args.get_int("jobs");
+  if (jobs <= 0) jobs = env_int("AHG_JOBS", 0);
+  if (jobs > 0) configure_global_pool(static_cast<std::size_t>(jobs));
   if (args.get_flag("version")) {
-    std::cout << build_description() << "\n";
+    std::cout << build_description() << ", jobs=" << global_pool_jobs() << "\n";
     return EXIT_SUCCESS;
-  }
-  if (const auto jobs = args.get_int("jobs"); jobs > 0) {
-    configure_global_pool(static_cast<std::size_t>(jobs));
   }
 
   // --- scenario -----------------------------------------------------------

@@ -58,6 +58,7 @@ void ReadyFrontier::advance_to(Cycles clock) {
 
 void ReadyFrontier::on_commit(TaskId task) {
   const auto i = static_cast<std::size_t>(task);
+  ++revision_;
   AHG_EXPECTS_MSG(task >= 0 && i < assigned_.size(), "task id out of range");
   AHG_EXPECTS_MSG(assigned_[i] == 0, "task committed twice");
   assigned_[i] = 1;
@@ -78,6 +79,7 @@ void ReadyFrontier::on_commit(TaskId task) {
 }
 
 void ReadyFrontier::insert_ready(TaskId task) {
+  ++revision_;
   ready_.insert(std::lower_bound(ready_.begin(), ready_.end(), task), task);
   // on_commit carries no clock; the last advance_to clock is the tick a
   // commit-unblocked child actually became ready at.

@@ -21,6 +21,7 @@
 //   num_parents_blocked() == |{ t : release(t) <= clock, !assigned(t),
 //                                  some parent unassigned }|
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -62,6 +63,13 @@ class ReadyFrontier {
   /// ascending task id.
   std::span<const TaskId> ready() const noexcept { return ready_; }
 
+  /// Monotone counter bumped on every commit and on every ready-list
+  /// insertion (releases and commit-unblocked children alike). Two equal
+  /// revisions bracket a window in which the ready set — the
+  /// machine-independent half of pool admission — did not change; the sweep
+  /// accelerator (core/sweep.hpp) tags its cached verdicts with it.
+  std::uint64_t revision() const noexcept { return revision_; }
+
   std::size_t num_unreleased() const noexcept {
     return release_order_.size() - cursor_;
   }
@@ -83,6 +91,7 @@ class ReadyFrontier {
   std::vector<std::uint8_t> assigned_;
   std::vector<TaskId> ready_;
   std::size_t assigned_released_ = 0;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace ahg::core

@@ -101,6 +101,30 @@ struct SlrhParams {
   /// is set (the scan path is already scalar).
   bool scalar_score = false;
 
+  /// Cross-tick pool reuse (core/sweep.hpp): when a (machine, timestep)
+  /// scope ends without a commit, remember the smallest beyond-horizon
+  /// arrival it proved, tagged with the frontier revision and the machine's
+  /// energy epoch; while both epochs stand, a later tick whose clock + H
+  /// stays below that arrival skips the machine's pool build outright — the
+  /// serial sweep would provably commit nothing there. Schedules are
+  /// bit-identical either way (asserted by tests/test_determinism.cpp); only
+  /// pool-build counts and their telemetry differ (MappingResult::
+  /// pools_reused tallies the skipped scopes). Ignored when legacy_scan is
+  /// set.
+  bool pool_reuse = true;
+
+  /// Parallel speculative sweep (core/sweep.hpp): build every pending
+  /// machine's pool of a tick concurrently on the global work-stealing pool
+  /// (ahg::global_pool()), then walk the machines serially in index order,
+  /// consuming a speculative pool only when no commit intervened since the
+  /// fan-out — otherwise the pool is discarded (MappingResult::spec_aborted)
+  /// and rebuilt inline. Decisions are taken in exactly the serial order, so
+  /// schedules are bit-identical either way (asserted by
+  /// tests/test_determinism.cpp). Engages only when a tick has >= 2 pending
+  /// machines and the pool has >= 2 workers. Ignored when legacy_scan is
+  /// set.
+  bool sweep_parallel = true;
+
   /// Optional per-task degrade mask (not owned; indexed by TaskId). A task
   /// whose entry is non-zero is only ever offered at its secondary version —
   /// the churn driver's "degrade" recovery policy marks re-mapped orphans so

@@ -181,6 +181,40 @@ TEST(BenchGate, MissingMetricsAreFlaggedBothWays) {
   EXPECT_TRUE(result.ok(true));  // --allow-missing downgrades both kinds
 }
 
+TEST(BenchGate, FreshOnlyPhaseSecondsDoNotFailTheGate) {
+  // An older baseline gating a dump that grew a NEW wall-clock phase (e.g.
+  // slrh.sweep_parallel_seconds from the sweep accelerator): the phase is
+  // reported as MISSING(baseline) for visibility but never fails the gate —
+  // its time already rolls up into the gated run totals. A fresh-only
+  // TwoSided metric still counts as missing.
+  const GateBaseline baseline = bench::make_baseline("b", sample_snapshot());
+  obs::MetricsRegistry grown;
+  grown.counter("slrh.maps").add(100);
+  grown.gauge("bench.inner_loop_seconds").set(0.01);
+  grown.gauge("bench.recorder_overhead_ratio").set(1.02);
+  grown.histogram("pool.size", kPoolBounds).observe(20.0);
+  grown.histogram("slrh.sweep_parallel_seconds", kPoolBounds).observe(0.5);
+
+  const auto result = bench::check_bench(baseline, grown.snapshot());
+  EXPECT_EQ(result.regressions, 0u);
+  std::size_t phase_findings = 0;
+  for (const auto& f : result.findings) {
+    if (f.verdict == GateVerdict::MissingBaseline) {
+      EXPECT_NE(f.metric.find("_seconds"), std::string::npos) << f.metric;
+      ++phase_findings;
+    }
+  }
+  EXPECT_GT(phase_findings, 0u);  // reported...
+  EXPECT_EQ(result.missing, 0u);  // ...but not counted
+  EXPECT_TRUE(result.ok(false));
+
+  // Contrast: a fresh-only counter is a real gap.
+  grown.counter("brand.new").add(1);
+  const auto with_counter = bench::check_bench(baseline, grown.snapshot());
+  EXPECT_EQ(with_counter.missing, 1u);
+  EXPECT_FALSE(with_counter.ok(false));
+}
+
 TEST(BenchGate, BaselinePathJoinsDirAndBenchName) {
   EXPECT_EQ(bench::baseline_path("bench/baselines", "inner_loop"),
             "bench/baselines/BENCH_inner_loop.json");

@@ -18,11 +18,23 @@
 #include "core/upper_bound.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/task_ledger.hpp"
+#include "support/thread_pool.hpp"
 #include "tests/scenario_fixtures.hpp"
 #include "workload/dynamics.hpp"
 
 namespace ahg {
 namespace {
+
+// Pin the process-wide pool to four workers BEFORE anything builds it (each
+// test file is its own binary, so this static initializer runs first). The
+// speculative sweep fan-out only engages at >= 2 workers; without the pin,
+// single-core CI hosts would silently test the serial fallback and call it
+// coverage. Every test in this binary therefore runs with a real multi-
+// worker pool — which is exactly what the TSan job wants to race-check.
+[[maybe_unused]] const bool kForceParallelPool = [] {
+  configure_global_pool(4);
+  return true;
+}();
 
 std::vector<workload::Scenario> paper_shape_fixtures() {
   std::vector<workload::Scenario> fixtures;
@@ -644,6 +656,131 @@ TEST(Determinism, ConcurrentLazyCacheTouchIsRaceFreeAndIdentical) {
   for (auto& reader : readers) reader.join();
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_EQ(lazy.columns_built(), scenario.num_machines());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep accelerator: the speculative parallel fan-out and the cross-tick
+// pool-reuse verdicts are pure accelerations of the per-tick machine sweep —
+// each must leave every schedule bit-identical to the serial rebuild-
+// everything sweep, with recorder AND ledger attached (the accelerator
+// defers all observer side effects to serial commit order, so the observers
+// must not be able to tell the difference either).
+
+core::SlrhParams serial_sweep_params(core::SlrhVariant variant) {
+  core::SlrhParams params;
+  params.variant = variant;
+  params.weights = core::Weights::make(0.6, 0.3);
+  params.pool_reuse = false;
+  params.sweep_parallel = false;
+  return params;
+}
+
+TEST(Determinism, SlrhParallelSweepMatchesSerial) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    for (const auto variant :
+         {core::SlrhVariant::V1, core::SlrhVariant::V2, core::SlrhVariant::V3}) {
+      auto params = serial_sweep_params(variant);
+      const auto serial = core::run_slrh(scenario, params);
+
+      obs::FlightRecorder recorder(obs::FlightRecorder::dense_options());
+      obs::TaskLedger ledger(scenario.num_tasks());
+      params.recorder = &recorder;
+      params.ledger = &ledger;
+      params.sweep_parallel = true;
+      const auto parallel = core::run_slrh(scenario, params);
+
+      expect_identical(serial, parallel, scenario, to_string(variant).c_str());
+      // Speculation never changes WHAT is built, only where: every consumed
+      // or aborted slot is accounted exactly once, in serial machine order.
+      EXPECT_EQ(parallel.pools_built, serial.pools_built);
+      EXPECT_EQ(parallel.pools_reused, 0u);
+      EXPECT_GT(recorder.frames_recorded(), 0u);
+    }
+  }
+}
+
+TEST(Determinism, SlrhPoolReuseMatchesRebuild) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    for (const auto variant :
+         {core::SlrhVariant::V1, core::SlrhVariant::V2, core::SlrhVariant::V3}) {
+      auto params = serial_sweep_params(variant);
+      const auto serial = core::run_slrh(scenario, params);
+
+      obs::FlightRecorder recorder(obs::FlightRecorder::dense_options());
+      obs::TaskLedger ledger(scenario.num_tasks());
+      params.recorder = &recorder;
+      params.ledger = &ledger;
+      params.pool_reuse = true;
+      const auto reused = core::run_slrh(scenario, params);
+
+      expect_identical(serial, reused, scenario, to_string(variant).c_str());
+      // A skipped scope is one the serial path would have built exactly one
+      // pool for and committed nothing from, so the forgone builds are
+      // countable: built + reused must equal the serial build count.
+      EXPECT_EQ(reused.pools_built + reused.pools_reused, serial.pools_built);
+      EXPECT_GT(reused.pools_reused, 0u);
+    }
+  }
+}
+
+TEST(Determinism, ChurnParallelSweepMatchesSerial) {
+  // Same contract through the churn driver: a real mid-run departure makes
+  // the recovery path erase timelines and re-pool orphans, and each post-
+  // churn segment gets a fresh SweepContext whose speculation must still
+  // match the serial sweep bit for bit.
+  auto scenario = test::small_suite_scenario(sim::GridCase::A, 64, 4242);
+  scenario.machine_windows.assign(scenario.num_machines(),
+                                  workload::Scenario::MachineWindow{});
+  scenario.machine_windows[1].depart = scenario.tau / 8;
+  for (const auto variant : {core::SlrhVariant::V1, core::SlrhVariant::V3}) {
+    auto params = serial_sweep_params(variant);
+    const auto serial = core::run_slrh_with_churn(scenario, params);
+
+    obs::FlightRecorder recorder(obs::FlightRecorder::dense_options());
+    obs::TaskLedger ledger(scenario.num_tasks());
+    params.recorder = &recorder;
+    params.ledger = &ledger;
+    params.sweep_parallel = true;
+    const auto parallel = core::run_slrh_with_churn(scenario, params);
+
+    EXPECT_GT(serial.departures_processed, 0u);
+    EXPECT_EQ(parallel.departures_processed, serial.departures_processed);
+    EXPECT_EQ(parallel.orphaned, serial.orphaned);
+    EXPECT_EQ(parallel.invalidated, serial.invalidated);
+    EXPECT_EQ(parallel.energy_forfeited, serial.energy_forfeited);  // exact
+    expect_identical(serial.result, parallel.result, scenario,
+                     to_string(variant).c_str());
+    EXPECT_EQ(parallel.result.pools_built, serial.result.pools_built);
+  }
+}
+
+TEST(Determinism, ChurnPoolReuseMatchesRebuild) {
+  auto scenario = test::small_suite_scenario(sim::GridCase::A, 64, 4242);
+  scenario.machine_windows.assign(scenario.num_machines(),
+                                  workload::Scenario::MachineWindow{});
+  scenario.machine_windows[1].depart = scenario.tau / 8;
+  for (const auto variant : {core::SlrhVariant::V1, core::SlrhVariant::V3}) {
+    auto params = serial_sweep_params(variant);
+    const auto serial = core::run_slrh_with_churn(scenario, params);
+
+    obs::FlightRecorder recorder(obs::FlightRecorder::dense_options());
+    obs::TaskLedger ledger(scenario.num_tasks());
+    params.recorder = &recorder;
+    params.ledger = &ledger;
+    params.pool_reuse = true;
+    const auto reused = core::run_slrh_with_churn(scenario, params);
+
+    EXPECT_GT(serial.departures_processed, 0u);
+    EXPECT_EQ(reused.departures_processed, serial.departures_processed);
+    EXPECT_EQ(reused.orphaned, serial.orphaned);
+    EXPECT_EQ(reused.invalidated, serial.invalidated);
+    EXPECT_EQ(reused.energy_forfeited, serial.energy_forfeited);  // exact
+    expect_identical(serial.result, reused.result, scenario,
+                     to_string(variant).c_str());
+    EXPECT_EQ(reused.result.pools_built + reused.result.pools_reused,
+              serial.result.pools_built);
+    EXPECT_GT(reused.result.pools_reused, 0u);
+  }
 }
 
 }  // namespace
