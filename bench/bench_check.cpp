@@ -68,6 +68,9 @@ struct FreshDump {
   std::string path;
   std::string bench;
   std::int64_t num_tasks = 0;  ///< meta.num_tasks; 0 when the dump has none
+  double peak_rss_bytes = 0.0;  ///< meta.peak_rss_bytes (0 on old dumps)
+  double cpu_seconds = 0.0;     ///< meta.cpu_seconds
+  double wall_seconds = 0.0;    ///< meta.wall_seconds
   obs::MetricsSnapshot metrics;
 };
 
@@ -79,6 +82,9 @@ FreshDump load_dump(const std::string& path) {
   AHG_EXPECTS_MSG(!dump.bench.empty(), path + ": no \"bench\" field");
   if (const obs::JsonValue* meta = root.find("meta")) {
     dump.num_tasks = meta->get_int("num_tasks", 0);
+    dump.peak_rss_bytes = meta->get_double("peak_rss_bytes", 0.0);
+    dump.cpu_seconds = meta->get_double("cpu_seconds", 0.0);
+    dump.wall_seconds = meta->get_double("wall_seconds", 0.0);
   }
   const obs::JsonValue* metrics = root.find("metrics");
   AHG_EXPECTS_MSG(metrics != nullptr, path + ": no \"metrics\" object");
@@ -110,6 +116,23 @@ int plot_scaling(const std::vector<std::string>& files) {
         continue;
       }
       rows.push_back({hist.name, dump.num_tasks, hist.sum, dump.bench});
+    }
+    // Resource-footprint rows from the meta block (PR 10): memory growth and
+    // parallel efficiency (cpu/wall, ideal = jobs) per |T|, plotted on the
+    // same phase/value axes. Old dumps without the fields emit nothing.
+    if (dump.peak_rss_bytes > 0.0) {
+      rows.push_back(
+          {"meta.peak_rss_bytes", dump.num_tasks, dump.peak_rss_bytes, dump.bench});
+    }
+    if (dump.wall_seconds > 0.0) {
+      rows.push_back(
+          {"meta.wall_seconds", dump.num_tasks, dump.wall_seconds, dump.bench});
+      if (dump.cpu_seconds > 0.0) {
+        rows.push_back(
+            {"meta.cpu_seconds", dump.num_tasks, dump.cpu_seconds, dump.bench});
+        rows.push_back({"meta.parallel_efficiency", dump.num_tasks,
+                        dump.cpu_seconds / dump.wall_seconds, dump.bench});
+      }
     }
   }
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -16,10 +17,12 @@
 #include <variant>
 #include <vector>
 
+#include "support/chrome_trace.hpp"
 #include "support/env.hpp"
 #include "support/jsonl.hpp"
 #include "support/metrics.hpp"
 #include "support/profile.hpp"
+#include "support/runtime_profiler.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 #include "support/version.hpp"
@@ -36,6 +39,8 @@ struct BenchFlags {
   /// --cache forces on, --no-cache forces off.
   std::optional<bool> cache;
   std::string cache_dir;  ///< --cache-dir; empty = AHG_BENCH_CACHE_DIR, then .bench_cache
+  std::string worker_trace;  ///< --worker-trace: wall-clock Chrome trace output
+  std::string heartbeat;     ///< --heartbeat: live heartbeat.json path
 };
 
 inline BenchFlags& bench_flags() {
@@ -84,6 +89,7 @@ inline std::optional<int> handle_bench_flags(int& argc, char** argv,
     if (arg == "--help" && !lenient) {
       std::cout << "usage: " << argv[0]
                 << " [--version] [--jobs N] [--cache|--no-cache] [--cache-dir D]\n"
+                   "       [--worker-trace FILE] [--heartbeat FILE]\n"
                    "env: REPRO_SCALE=smoke|default|paper|large, REPRO_SEED, AHG_JOBS,\n"
                    "     AHG_BENCH_CACHE=0|1, AHG_BENCH_CACHE_DIR\n";
       return 0;
@@ -123,6 +129,30 @@ inline std::optional<int> handle_bench_flags(int& argc, char** argv,
       }
       continue;
     }
+    if (arg == "--worker-trace" || arg.rfind("--worker-trace=", 0) == 0) {
+      if (arg == "--worker-trace") {
+        if (i + 1 >= argc) {
+          std::cerr << argv[0] << ": --worker-trace needs a value\n";
+          return 2;
+        }
+        flags.worker_trace = argv[++i];
+      } else {
+        flags.worker_trace = arg.substr(15);
+      }
+      continue;
+    }
+    if (arg == "--heartbeat" || arg.rfind("--heartbeat=", 0) == 0) {
+      if (arg == "--heartbeat") {
+        if (i + 1 >= argc) {
+          std::cerr << argv[0] << ": --heartbeat needs a value\n";
+          return 2;
+        }
+        flags.heartbeat = argv[++i];
+      } else {
+        flags.heartbeat = arg.substr(12);
+      }
+      continue;
+    }
     if (!lenient) {
       std::cerr << argv[0] << ": unknown argument '" << arg
                 << "' (try --help)\n";
@@ -138,6 +168,59 @@ inline std::optional<int> handle_bench_flags(int& argc, char** argv,
   if (flags.jobs != 0) configure_global_pool(flags.jobs);
   return exit_code;
 }
+
+/// RAII wall-clock observability for one bench process: when the common
+/// --worker-trace / --heartbeat flags are set, attaches a RuntimeProfiler to
+/// the global pool (and a Heartbeat wired to it) for the life of the bench;
+/// destruction detaches at the bench's quiescent end and writes the pid-3
+/// worker Chrome trace. With neither flag set this is a complete no-op (the
+/// pool keeps its null handle; schedules are bit-identical).
+class RuntimeSession {
+ public:
+  RuntimeSession() {
+    const BenchFlags& flags = bench_flags();
+    if (!flags.worker_trace.empty() || !flags.heartbeat.empty()) {
+      profiler_ = std::make_unique<obs::RuntimeProfiler>(global_pool().size());
+      global_pool().set_profiler(profiler_.get());
+    }
+    if (!flags.heartbeat.empty()) {
+      obs::Heartbeat::Options options;
+      options.path = flags.heartbeat;
+      options.interval_seconds = 1.0;
+      heartbeat_ = std::make_unique<obs::Heartbeat>(options, profiler_.get());
+    }
+  }
+  ~RuntimeSession() {
+    heartbeat_.reset();  // stop the sampler before the profiler goes away
+    if (profiler_ != nullptr) {
+      global_pool().set_profiler(nullptr);
+      if (const std::string& path = bench_flags().worker_trace; !path.empty()) {
+        std::ofstream os(path);
+        if (os) {
+          obs::write_chrome_trace(os, nullptr, nullptr, profiler_.get(),
+                                  "bench");
+          std::cout << "worker trace -> " << path << "\n";
+        } else {
+          std::cerr << "bench: cannot open worker trace file " << path << "\n";
+        }
+      }
+    }
+  }
+  RuntimeSession(const RuntimeSession&) = delete;
+  RuntimeSession& operator=(const RuntimeSession&) = delete;
+
+  obs::RuntimeProfiler* profiler() const noexcept { return profiler_.get(); }
+  obs::Heartbeat* heartbeat() const noexcept { return heartbeat_.get(); }
+
+  /// Forwarded to the heartbeat when one is attached (no-op otherwise).
+  void set_phase(std::string_view phase) {
+    if (heartbeat_ != nullptr) heartbeat_->set_phase(phase);
+  }
+
+ private:
+  std::unique_ptr<obs::RuntimeProfiler> profiler_;
+  std::unique_ptr<obs::Heartbeat> heartbeat_;
+};
 
 struct BenchContext {
   ReproScale scale;
@@ -207,6 +290,10 @@ class BenchReport {
   void merge(const obs::MetricsSnapshot& snapshot) { metrics_.merge(snapshot); }
 
   /// Write BENCH_<name>.json into the working directory and return the path.
+  /// The meta block always carries the process resource footprint —
+  /// peak_rss_bytes (VmHWM), cpu_seconds (user+system), and wall_seconds
+  /// since this report was constructed — so bench_check --plot-scaling can
+  /// chart memory growth and parallel efficiency (cpu/wall) per |T|.
   std::string write_json() const {
     const std::string path = "BENCH_" + name_ + ".json";
     std::ofstream os(path);
@@ -214,7 +301,10 @@ class BenchReport {
        << "\"schema\":" << kBenchSchemaVersion << ",\"version\":\""
        << obs::JsonWriter::escape(kProjectVersion) << "\",\"build_type\":\""
        << obs::JsonWriter::escape(build_type()) << "\",\"hardware_concurrency\":"
-       << std::thread::hardware_concurrency() << ",\"jobs\":" << global_pool_jobs();
+       << std::thread::hardware_concurrency() << ",\"jobs\":" << global_pool_jobs()
+       << ",\"peak_rss_bytes\":" << obs::process_peak_rss_bytes()
+       << ",\"cpu_seconds\":" << obs::process_cpu_seconds()
+       << ",\"wall_seconds\":" << wall_.seconds();
     for (const auto& [key, value] : meta_) {
       os << ",\"" << obs::JsonWriter::escape(key) << "\":";
       if (const auto* text = std::get_if<std::string>(&value)) {
@@ -233,6 +323,7 @@ class BenchReport {
   std::string name_;
   obs::MetricsRegistry metrics_;
   std::map<std::string, std::variant<std::string, std::int64_t>> meta_;
+  Stopwatch wall_;  ///< construction-to-write_json = the bench's wall clock
 };
 
 }  // namespace ahg::bench

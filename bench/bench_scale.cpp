@@ -146,11 +146,18 @@ int main(int argc, char** argv) {
   report.meta("num_tasks", static_cast<std::int64_t>(shape.num_tasks));
   report.meta("num_machines", static_cast<std::int64_t>(shape.num_machines));
 
+  // --worker-trace / --heartbeat observability: live progress for the
+  // multi-hour 262k/1M tiers, and the per-worker wall-clock trace for the CI
+  // evidence bundle. No flags, no cost.
+  bench::RuntimeSession session;
+  session.set_phase("scenario_build");
+
   const auto scenario = report.timed_section("scenario_build", [&] {
     return make_scale_scenario(shape.num_tasks, shape.num_machines, 20040426);
   });
   // ScenarioCache pins atomics for the lazy-build path, so it is neither
   // movable nor copyable: construct it in place inside the timed section.
+  session.set_phase("cache_build");
   std::optional<core::ScenarioCache> cache;
   report.timed_section("cache_build", [&] { cache.emplace(scenario); });
   report.metrics()
@@ -168,7 +175,9 @@ int main(int argc, char** argv) {
     params.weights = core::Weights::make(0.6, 0.3);
     params.cache = &*cache;
     params.sink = &phase_sink;
+    params.heartbeat = session.heartbeat();
     const std::string name = core::to_string(variant);
+    session.set_phase(name + "_run");
     const auto result = report.timed_section(
         name + "_run", [&] { return core::run_slrh(scenario, params); });
     report.metrics().counter("bench." + name + "_assigned").add(result.assigned);
@@ -195,6 +204,7 @@ int main(int argc, char** argv) {
       serial.sink = nullptr;  // time the bare serial loop, no telemetry
       serial.pool_reuse = false;
       serial.sweep_parallel = false;
+      session.set_phase(name + "_serial_run");
       const auto serial_result = report.timed_section(
           name + "_serial_run", [&] { return core::run_slrh(scenario, serial); });
       AHG_EXPECTS_MSG(serial_result.assigned == result.assigned &&
@@ -212,6 +222,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  session.set_phase("done");
   std::cout << "wrote " << report.write_json() << "\n";
   return 0;
 }

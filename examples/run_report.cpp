@@ -22,8 +22,11 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+
 #include "support/args.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/jsonl.hpp"
 #include "support/table.hpp"
 #include "support/task_ledger.hpp"
 
@@ -87,6 +90,170 @@ int report_spans(const std::string& path) {
   return EXIT_SUCCESS;
 }
 
+/// Worker-utilization summary of a --worker-trace Chrome trace: parses the
+/// pid-3 runtime process back out of the JSON — thread_name metadata for the
+/// row labels, the per-slot "worker_counters" instants for whole-run totals,
+/// ph-X slices for the per-region busy attribution (ring-bounded: slices
+/// cover the newest window when a long run wrapped the event rings).
+int report_workers(const std::string& path) {
+  using namespace ahg;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "run_report: cannot open " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  obs::JsonValue root;
+  try {
+    root = obs::parse_json(buffer.str());
+  } catch (const std::exception& e) {
+    std::cerr << "run_report: " << path << ": " << e.what() << "\n";
+    return 2;
+  }
+  const obs::JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::cerr << "run_report: " << path << " has no traceEvents array\n";
+    return 2;
+  }
+
+  constexpr std::int64_t kRuntimePid = 3;
+  struct WorkerStats {
+    std::string label;
+    std::uint64_t tasks = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t steal_attempts = 0;
+    std::uint64_t parks = 0;
+    double busy_seconds = 0.0;
+    double idle_seconds = 0.0;
+  };
+  struct RegionStats {
+    std::uint64_t windows = 0;  ///< tid-0 region slices
+    double wall_seconds = 0.0;  ///< summed window durations
+    std::uint64_t slices = 0;   ///< run slices attributed to the region
+    std::uint64_t stolen = 0;
+    std::map<std::int64_t, double> busy_by_tid;
+  };
+  std::map<std::int64_t, std::string> tid_labels;
+  std::map<std::int64_t, WorkerStats> workers;
+  std::map<std::string, RegionStats> regions;
+
+  for (const obs::JsonValue& event : events->as_array()) {
+    if (event.get_int("pid") != kRuntimePid) continue;
+    const std::string ph = event.get_string("ph");
+    const std::int64_t tid = event.get_int("tid");
+    const obs::JsonValue* event_args = event.find("args");
+    if (ph == "M") {
+      if (event.get_string("name") == "thread_name" && event_args != nullptr) {
+        tid_labels[tid] = event_args->get_string("name");
+      }
+    } else if (ph == "i" && event.get_string("name") == "worker_counters" &&
+               event_args != nullptr) {
+      WorkerStats& w = workers[tid];
+      w.label = event_args->get_string("label");
+      w.tasks = static_cast<std::uint64_t>(event_args->get_int("tasks"));
+      w.steals = static_cast<std::uint64_t>(event_args->get_int("steals"));
+      w.steal_attempts =
+          static_cast<std::uint64_t>(event_args->get_int("steal_attempts"));
+      w.parks = static_cast<std::uint64_t>(event_args->get_int("parks"));
+      w.busy_seconds = event_args->get_double("busy_seconds");
+      w.idle_seconds = event_args->get_double("idle_seconds");
+    } else if (ph == "X") {
+      const double dur_seconds = event.get_double("dur") / 1e6;
+      if (tid == 0) {
+        RegionStats& r = regions[event.get_string("name")];
+        ++r.windows;
+        r.wall_seconds += dur_seconds;
+      } else if (event.get_string("name") != "idle") {
+        std::string region =
+            event_args != nullptr ? event_args->get_string("region") : "";
+        if (region.empty()) region = "(unmarked)";
+        RegionStats& r = regions[region];
+        ++r.slices;
+        if (event_args != nullptr && event_args->get_bool("stolen")) ++r.stolen;
+        r.busy_by_tid[tid] += dur_seconds;
+      }
+    }
+  }
+
+  if (workers.empty() && regions.empty()) {
+    std::cout << "run_report: no runtime (pid 3) events in " << path
+              << " — was the trace written with --worker-trace?\n";
+    return EXIT_SUCCESS;
+  }
+
+  std::size_t num_workers = 0;
+  for (const auto& [tid, label] : tid_labels) {
+    if (tid != 0 && label.rfind("worker", 0) == 0) ++num_workers;
+  }
+
+  std::cout << "=== workers — " << num_workers << " pool worker(s) ===\n";
+  TextTable worker_table(
+      {"worker", "tasks", "stolen", "probes", "parks", "busy s", "idle s",
+       "busy %"},
+      {Align::Left, Align::Right, Align::Right, Align::Right, Align::Right,
+       Align::Right, Align::Right, Align::Right});
+  for (const auto& [tid, w] : workers) {
+    const double span = w.busy_seconds + w.idle_seconds;
+    worker_table.begin_row();
+    worker_table.cell(w.label.empty() ? tid_labels[tid] : w.label);
+    worker_table.cell(w.tasks);
+    worker_table.cell(w.steals);
+    worker_table.cell(w.steal_attempts);
+    worker_table.cell(w.parks);
+    worker_table.cell(w.busy_seconds, 6);
+    worker_table.cell(w.idle_seconds, 6);
+    worker_table.cell(span > 0.0 ? 100.0 * w.busy_seconds / span : 0.0, 1);
+  }
+  worker_table.render(std::cout);
+
+  if (!regions.empty()) {
+    std::cout << "\n=== regions — parallel_for windows (slice-window scope) "
+                 "===\n";
+    TextTable region_table(
+        {"region", "windows", "wall s", "busy s", "util %", "slices", "stolen",
+         "steal %", "imbalance"},
+        {Align::Left, Align::Right, Align::Right, Align::Right, Align::Right,
+         Align::Right, Align::Right, Align::Right, Align::Right});
+    for (const auto& [name, r] : regions) {
+      double busy = 0.0;
+      std::vector<double> per_worker;
+      for (const auto& [tid, seconds] : r.busy_by_tid) {
+        busy += seconds;
+        per_worker.push_back(seconds);
+      }
+      // Utilization: attributed busy time over the window's total worker
+      // capacity. Imbalance: max/median per-worker busy — 1.0 is a perfectly
+      // even fan-out, >> 1 means one worker carried the region.
+      const double capacity =
+          r.wall_seconds * static_cast<double>(std::max<std::size_t>(1, num_workers));
+      std::sort(per_worker.begin(), per_worker.end());
+      double imbalance = 0.0;
+      if (!per_worker.empty()) {
+        const double median = per_worker[per_worker.size() / 2];
+        imbalance = median > 0.0 ? per_worker.back() / median : 0.0;
+      }
+      region_table.begin_row();
+      region_table.cell(name);
+      region_table.cell(r.windows);
+      region_table.cell(r.wall_seconds, 6);
+      region_table.cell(busy, 6);
+      region_table.cell(capacity > 0.0 ? 100.0 * busy / capacity : 0.0, 1);
+      region_table.cell(r.slices);
+      region_table.cell(r.stolen);
+      region_table.cell(
+          r.slices > 0 ? 100.0 * static_cast<double>(r.stolen) /
+                             static_cast<double>(r.slices)
+                       : 0.0,
+          1);
+      region_table.cell(imbalance, 2);
+    }
+    region_table.render(std::cout);
+  }
+  std::cout << "\n";
+  return EXIT_SUCCESS;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,7 +262,10 @@ int main(int argc, char** argv) {
   ArgParser args("run_report",
                  "summarise a .frames.jsonl flight recording as a timeline "
                  "table");
-  args.add_positional("frames", "the .frames.jsonl file to report on");
+  args.add_positional("frames",
+                      "the .frames.jsonl file to report on (optional when "
+                      "only --workers/--spans are requested)",
+                      std::optional<std::string>(""));
   args.add_int("every", 1,
                "print one timeline row per N frames (first and last frames "
                "are always shown)");
@@ -106,10 +276,29 @@ int main(int argc, char** argv) {
                   "also summarise a .spans.jsonl task-ledger export (written "
                   "by slrh_cli / trace_export via --spans-jsonl): span and "
                   "task counts per kind");
+  args.add_string("workers", "",
+                  "summarise the runtime (pid 3) process of a --worker-trace "
+                  "Chrome trace: per-worker utilization and steal counters "
+                  "plus per-region utilization, steal ratio, and imbalance "
+                  "(max/median worker busy)");
   if (!args.parse(argc, argv)) return args.error() ? EXIT_FAILURE : EXIT_SUCCESS;
 
   const std::string spans_path = args.get_string("spans");
+  const std::string workers_path = args.get_string("workers");
   const std::string path = args.get_string("frames");
+  if (path.empty()) {
+    if (workers_path.empty() && spans_path.empty()) {
+      std::cerr << "run_report: nothing to do — give a frames file, "
+                   "--workers, or --spans\n";
+      return 2;
+    }
+    if (!workers_path.empty()) {
+      if (const int rc = report_workers(workers_path); rc != EXIT_SUCCESS)
+        return rc;
+    }
+    if (!spans_path.empty()) return report_spans(spans_path);
+    return EXIT_SUCCESS;
+  }
   std::ifstream in(path);
   if (!in) {
     std::cerr << "run_report: cannot open " << path << "\n";
@@ -127,6 +316,10 @@ int main(int argc, char** argv) {
     std::cout << "run_report: no frames"
               << (filter.empty() ? "" : " matching --heuristic") << " in "
               << path << " — nothing to report\n";
+    if (!workers_path.empty()) {
+      if (const int rc = report_workers(workers_path); rc != EXIT_SUCCESS)
+        return rc;
+    }
     if (!spans_path.empty()) return report_spans(spans_path);
     return EXIT_SUCCESS;
   }
@@ -218,6 +411,10 @@ int main(int argc, char** argv) {
                 << format_fixed(last.energy_forfeited, 3) << "\n";
     }
     std::cout << "\n";
+  }
+  if (!workers_path.empty()) {
+    if (const int rc = report_workers(workers_path); rc != EXIT_SUCCESS)
+      return rc;
   }
   if (!spans_path.empty()) return report_spans(spans_path);
   return EXIT_SUCCESS;

@@ -25,6 +25,7 @@
 #include "support/event_log.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/openmetrics.hpp"
+#include "support/runtime_profiler.hpp"
 #include "support/task_ledger.hpp"
 #include "support/thread_pool.hpp"
 #include "support/version.hpp"
@@ -98,6 +99,15 @@ int main(int argc, char** argv) {
   args.add_flag("critical-path",
                 "attach a task ledger and print the makespan critical path "
                 "with per-category attribution after the run");
+  args.add_string("worker-trace", "",
+                  "attach a runtime profiler to the thread pool and write a "
+                  "wall-clock Chrome trace (one row per worker: run/steal/"
+                  "idle slices, region markers) to this file — analyse with "
+                  "run_report --workers");
+  args.add_string("heartbeat", "",
+                  "periodically rewrite this JSON file with live progress "
+                  "(phase, clock, tasks placed, per-worker busy %, RSS, ETA) "
+                  "while the run is in flight; slrh1-3 publish per tick");
   args.add_int("jobs", 0,
                "worker threads for parallel phases (0 = AHG_JOBS env, then "
                "hardware concurrency)");
@@ -233,6 +243,29 @@ int main(int argc, char** argv) {
     ledger_storage.emplace(scenario->num_tasks());
     ledger = &*ledger_storage;
   }
+  // Runtime profiler + heartbeat: wall-clock observability on the pool
+  // itself, heuristic-agnostic (any pool user is covered). The heartbeat is
+  // declared AFTER the profiler so its background thread stops before the
+  // profiler it samples is destroyed.
+  const std::string worker_trace_path = args.get_string("worker-trace");
+  const std::string heartbeat_path = args.get_string("heartbeat");
+  std::optional<obs::RuntimeProfiler> profiler_storage;
+  obs::RuntimeProfiler* profiler = nullptr;
+  if (!worker_trace_path.empty()) {
+    profiler_storage.emplace(global_pool().size());
+    profiler = &*profiler_storage;
+    global_pool().set_profiler(profiler);
+  }
+  std::optional<obs::Heartbeat> heartbeat_storage;
+  obs::Heartbeat* heartbeat = nullptr;
+  if (!heartbeat_path.empty()) {
+    obs::Heartbeat::Options hb_options;
+    hb_options.path = heartbeat_path;
+    hb_options.interval_seconds = 1.0;
+    heartbeat_storage.emplace(hb_options, profiler);
+    heartbeat = &*heartbeat_storage;
+    heartbeat->set_phase(name);
+  }
   const auto aet_sign = core::AetSign::Reward;
   if ((sink != nullptr || recorder != nullptr || ledger != nullptr) &&
       name != "slrh1" && name != "slrh2" && name != "slrh3" && name != "maxmax") {
@@ -259,6 +292,7 @@ int main(int argc, char** argv) {
     params.sink = sink;
     params.recorder = recorder;
     params.ledger = ledger;
+    params.heartbeat = heartbeat;
     if (!churny) return core::run_slrh(*scenario, params);
     const auto outcome = core::run_slrh_with_churn(*scenario, params, recovery);
     std::cout << "churn recovery (" << core::to_string(recovery) << "): "
@@ -300,10 +334,33 @@ int main(int argc, char** argv) {
     return fail("unknown heuristic '" + name + "'");
   }
 
+  // The run is quiescent now (run_slrh joined every fan-out), so this is a
+  // legal detach point; the profiler object stays alive for the exporters.
+  if (profiler != nullptr) global_pool().set_profiler(nullptr);
+  if (heartbeat != nullptr) heartbeat->set_phase("done");
+
   std::cout << name << ": mapped " << result.assigned << "/" << scenario->num_tasks()
             << ", T100=" << result.t100 << ", AET " << seconds_from_cycles(result.aet)
             << " s (tau " << (result.within_tau ? "met" : "VIOLATED") << "), TEC "
             << result.tec << ", heuristic " << result.wall_seconds * 1e3 << " ms\n";
+
+  // Memory telemetry gauges: per-structure footprints plus process peak RSS,
+  // visible in --metrics / --openmetrics output.
+  if (result.schedule != nullptr) {
+    metrics.gauge("memory.timeline_bytes")
+        .set(static_cast<double>(result.schedule->timeline_memory_bytes()));
+  }
+  if (recorder != nullptr) {
+    metrics.gauge("memory.flight_recorder_bytes")
+        .set(static_cast<double>(
+            recorder->memory_bound_bytes(scenario->num_machines())));
+  }
+  if (ledger != nullptr) {
+    metrics.gauge("memory.task_ledger_bytes")
+        .set(static_cast<double>(ledger->memory_bound_bytes()));
+  }
+  metrics.gauge("runtime.peak_rss_bytes")
+      .set(static_cast<double>(obs::process_peak_rss_bytes()));
 
   if (!trace_path.empty()) {
     const auto* jsonl = static_cast<const obs::JsonlSink*>(sink);
@@ -328,10 +385,19 @@ int main(int argc, char** argv) {
   if (!chrome_path.empty()) {
     std::ofstream chrome_stream(chrome_path);
     if (!chrome_stream) return fail("cannot open trace file " + chrome_path);
-    obs::write_chrome_trace(chrome_stream, recorder, ledger, "slrh_cli");
+    obs::write_chrome_trace(chrome_stream, recorder, ledger, profiler, "slrh_cli");
     std::cout << "chrome trace: " << recorder->spans_recorded() << " span(s), "
               << recorder->frames_recorded() << " frame(s) -> " << chrome_path
               << "\n";
+  }
+  if (!worker_trace_path.empty()) {
+    std::ofstream worker_stream(worker_trace_path);
+    if (!worker_stream) return fail("cannot open trace file " + worker_trace_path);
+    obs::write_chrome_trace(worker_stream, recorder, ledger, profiler, "slrh_cli");
+    const obs::RuntimeProfiler::Totals totals = profiler->totals();
+    std::cout << "worker trace: " << global_pool().size() << " worker(s), "
+              << totals.tasks << " task(s), " << totals.steals << " steal(s) -> "
+              << worker_trace_path << "\n";
   }
   if (!spans_path.empty()) {
     std::ofstream spans_stream(spans_path);
@@ -347,6 +413,7 @@ int main(int argc, char** argv) {
     if (!om_stream) return fail("cannot open openmetrics file " + openmetrics_path);
     obs::write_openmetrics(om_stream, metrics.snapshot());
     if (ledger != nullptr) obs::write_ledger_openmetrics(om_stream, *ledger);
+    if (profiler != nullptr) obs::write_runtime_openmetrics(om_stream, *profiler);
     std::cout << "openmetrics -> " << openmetrics_path << "\n";
   }
   if (want_critical_path && result.schedule != nullptr) {

@@ -6,6 +6,7 @@
 #include "core/scenario_cache.hpp"
 #include "support/contract.hpp"
 #include "support/profile.hpp"
+#include "support/runtime_profiler.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
@@ -143,6 +144,7 @@ std::vector<CaseHeuristicSummary> evaluate_cells(
   };
 
   if (params.parallel_cells && requests.size() > 1) {
+    obs::RuntimeRegion region(global_pool().profiler(), "matrix_cells");
     global_pool().parallel_for(0, requests.size(), run_cell);
   } else {
     for (std::size_t k = 0; k < requests.size(); ++k) run_cell(k);

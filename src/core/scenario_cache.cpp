@@ -5,6 +5,7 @@
 
 #include "core/feasibility.hpp"
 #include "support/checked.hpp"
+#include "support/runtime_profiler.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ahg::core {
@@ -33,7 +34,9 @@ ScenarioCache::ScenarioCache(const workload::Scenario& scenario, CacheBuild mode
   } else if (mode == CacheBuild::Parallel) {
     // Entries are independent per (task, machine, version) and a machine's
     // column is one contiguous range, so columns fan out with no ordering
-    // concerns — bit-identical tables to the serial build.
+    // concerns — bit-identical tables to the serial build. The region marker
+    // labels the fan-out in a worker trace when a profiler is attached.
+    obs::RuntimeRegion region(global_pool().profiler(), "cache_build");
     global_pool().parallel_for(0, num_machines_, [&](std::size_t machine) {
       fill_column(scenario, static_cast<MachineId>(machine));
     });
@@ -75,6 +78,7 @@ ScenarioCache::ScenarioCache(const workload::Scenario& scenario, CacheBuild mode
     }
   };
   if (parallel) {
+    obs::RuntimeRegion region(global_pool().profiler(), "cache_build");
     global_pool().parallel_for(0, num_tasks_, per_task_tables);
   } else {
     for (std::size_t t = 0; t < num_tasks_; ++t) per_task_tables(t);
@@ -101,10 +105,20 @@ void ScenarioCache::fill_column(const workload::Scenario& scenario,
 
 void ScenarioCache::build_column(MachineId machine) const {
   std::call_once(column_once_[static_cast<std::size_t>(machine)], [&] {
+    // Lazy first-touch fills happen on whatever thread probes the column —
+    // often inside an already-marked fan-out region (sweep_fanout), whose
+    // label then covers the fill. Only an unmarked touch (a serial driver's
+    // first probe) opens its own region so the trace still attributes it.
+    obs::RuntimeProfiler* prof = global_pool().profiler();
+    std::uint32_t token = 0;
+    if (prof != nullptr && prof->current_region() == 0) {
+      token = prof->region_begin("cache_lazy_column");
+    }
     fill_column(*scenario_, machine);
     columns_built_.fetch_add(1, std::memory_order_relaxed);
     column_ready_[static_cast<std::size_t>(machine)].store(
         true, std::memory_order_release);
+    if (token != 0) prof->region_end(token);
   });
 }
 

@@ -109,6 +109,22 @@ class ScenarioCache {
                std::memory_order_acquire);
   }
 
+  /// Table storage in bytes (all five tables plus the lazy-mode per-column
+  /// flags). Capacities are fixed at construction — Lazy first-touch fills
+  /// write into pre-sized tables — so this is a constant upper bound, the
+  /// memory-telemetry gauge exported as memory.scenario_cache_bytes.
+  std::size_t memory_bound_bytes() const noexcept {
+    std::size_t bytes = exec_cycles_.capacity() * sizeof(Cycles) +
+                        exec_energy_.capacity() * sizeof(double) +
+                        energy_need_.capacity() * sizeof(double) +
+                        min_exec_cycles_.capacity() * sizeof(Cycles) +
+                        primary_compute_energy_.capacity() * sizeof(double);
+    if (column_ready_ != nullptr) {
+      bytes += num_machines_ * (sizeof(std::once_flag) + sizeof(std::atomic<bool>));
+    }
+    return bytes;
+  }
+
  private:
   /// MACHINE-major: one machine's whole column is contiguous (stride 2
   /// entries per task). The SLRH hot path — the batched pool gather — reads

@@ -13,6 +13,7 @@
 #include "core/sweep.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/profile.hpp"
+#include "support/runtime_profiler.hpp"
 #include "support/stopwatch.hpp"
 #include "support/task_ledger.hpp"
 #include "support/thread_pool.hpp"
@@ -720,6 +721,11 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
                                          : std::chrono::steady_clock::time_point{};
         const std::size_t n = spec_pending.size();
         const std::size_t chunks = std::min(sweep->max_chunks(), n);
+        // Wall-clock region marker for the runtime profiler (no-op when no
+        // profiler is attached to the pool): labels the fan-out's run slices
+        // and the per-tick region window in the worker trace.
+        obs::RuntimeRegion sweep_region(ahg::global_pool().profiler(),
+                                        "sweep_fanout");
         ahg::global_pool().parallel_for(0, chunks, [&](std::size_t c) {
           const std::size_t lo = n * c / chunks;
           const std::size_t hi = n * (c + 1) / chunks;
@@ -846,6 +852,15 @@ void drive_slrh(const workload::Scenario& scenario, const SlrhParams& params,
         record_frame(clock);
         idle_ticks_unsampled = 0;
       }
+    }
+    if (params.heartbeat != nullptr) {
+      // Relaxed atomic stores only — the heartbeat thread reads them. Never
+      // affects a decision (same null contract as the other handles).
+      params.heartbeat->set_clock(
+          clock, std::min<Cycles>(scenario.tau, end_clock > 0 ? end_clock - 1
+                                                              : scenario.tau));
+      params.heartbeat->set_progress(schedule.num_assigned(),
+                                     scenario.num_tasks());
     }
   }
 }

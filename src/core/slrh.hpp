@@ -28,6 +28,7 @@
 
 namespace ahg::obs {
 class FlightRecorder;
+class Heartbeat;
 class TaskLedger;
 }  // namespace ahg::obs
 
@@ -78,6 +79,14 @@ struct SlrhParams {
   /// edges; core/critical_path.hpp consumes the result. Recording only
   /// observes — no decision reads ledger state.
   obs::TaskLedger* ledger = nullptr;
+
+  /// Optional live-run heartbeat tap (not owned; same null contract: one
+  /// branch per timestep, relaxed atomic stores only, bit-identical
+  /// schedules). With a heartbeat attached the driver publishes the current
+  /// clock and assigned-task count at the end of every tick; the heartbeat's
+  /// background thread turns them into heartbeat.json progress/ETA fields
+  /// and feeds the stall watchdog. See support/runtime_profiler.hpp.
+  obs::Heartbeat* heartbeat = nullptr;
 
   /// Optional precomputed pure-scenario tables (not owned). Null — the
   /// default — makes the driver build its own once per run; supply one to

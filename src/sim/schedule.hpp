@@ -110,6 +110,17 @@ class Schedule {
   /// Named worst-case energy reservations (see EnergyLedger).
   EnergyLedger& ledger() noexcept { return ledger_; }
 
+  /// Heap bytes held by the three timeline arrays (compute + tx + rx across
+  /// all machines). Feeds the memory-telemetry gauge memory.timeline_bytes.
+  std::size_t timeline_memory_bytes() const noexcept {
+    std::size_t bytes = 0;
+    for (const auto* lines : {&compute_, &tx_, &rx_}) {
+      bytes += lines->capacity() * sizeof(Timeline);
+      for (const Timeline& line : *lines) bytes += line.memory_bytes();
+    }
+    return bytes;
+  }
+
  private:
   void check_machine(MachineId machine) const;
   void check_task(TaskId task) const;

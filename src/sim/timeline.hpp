@@ -96,6 +96,16 @@ class Timeline {
   /// Total busy cycles.
   Cycles busy_cycles() const noexcept;
 
+  /// Heap bytes held by the chunked storage (interval capacity plus chunk
+  /// directory). Feeds the memory-telemetry gauge memory.timeline_bytes.
+  std::size_t memory_bytes() const noexcept {
+    std::size_t bytes = chunks_.capacity() * sizeof(Chunk);
+    for (const Chunk& chunk : chunks_) {
+      bytes += chunk.ivs.capacity() * sizeof(Interval);
+    }
+    return bytes;
+  }
+
  private:
   /// Split threshold. 256 intervals (4 KiB) keep a chunk's memmove and
   /// max-gap recompute within a few cache lines of work while dividing the

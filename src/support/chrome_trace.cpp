@@ -8,6 +8,7 @@
 
 #include "support/flight_recorder.hpp"
 #include "support/jsonl.hpp"
+#include "support/runtime_profiler.hpp"
 #include "support/task_ledger.hpp"
 
 namespace ahg::obs {
@@ -15,10 +16,14 @@ namespace ahg::obs {
 namespace {
 
 /// pid 1: the heuristic process (wall-clock micros). pid 2: the simulated
-/// schedule (1 cycle == 1 trace microsecond).
+/// schedule (1 cycle == 1 trace microsecond). pid 3: the thread pool's
+/// wall-clock worker timeline (RuntimeProfiler).
 constexpr int kHeuristicPid = 1;
 constexpr int kHeuristicTid = 1;
 constexpr int kSchedulePid = 2;
+constexpr int kRuntimePid = 3;
+/// pid-3 rows: tid 0 is the region track, worker/helper slot i sits at i+1.
+constexpr int kRuntimeRegionTid = 0;
 
 double to_micros(double seconds) { return seconds * 1e6; }
 
@@ -250,6 +255,91 @@ void write_ledger_events(std::ostream& os, bool& first, const TaskLedger& ledger
   }
 }
 
+void write_runtime_events(std::ostream& os, bool& first,
+                          const RuntimeProfiler& profiler) {
+  write_name_event(os, first, "process_name", "runtime (workers)", kRuntimePid,
+                   kRuntimeRegionTid);
+  write_name_event(os, first, "thread_name", "regions", kRuntimePid,
+                   kRuntimeRegionTid);
+
+  const std::vector<std::string> names = profiler.region_names();
+  const double now = profiler.now_seconds();
+
+  // Region windows: one slice per recorded parallel_for window on the shared
+  // region row. Still-open regions (snapshot taken mid-run) extend to "now".
+  for (const RuntimeProfiler::RegionRecord& region : profiler.snapshot_regions()) {
+    const double dur = region.duration_seconds >= 0.0
+                           ? region.duration_seconds
+                           : now - region.start_seconds;
+    JsonWriter json;
+    json.begin_object();
+    json.field("name", region.name).field("ph", "X").field("pid", kRuntimePid);
+    json.field("tid", kRuntimeRegionTid);
+    json.field("ts", to_micros(region.start_seconds));
+    json.field("dur", to_micros(dur));
+    json.end_object();
+    if (!first) os << ",\n";
+    first = false;
+    os << json.str();
+  }
+
+  const std::vector<RuntimeProfiler::WorkerSnapshot> workers =
+      profiler.snapshot_workers();
+  for (std::size_t slot = 0; slot < workers.size(); ++slot) {
+    const RuntimeProfiler::WorkerSnapshot& worker = workers[slot];
+    const int tid = static_cast<int>(slot) + 1;
+    write_name_event(os, first, "thread_name", worker.label, kRuntimePid, tid);
+
+    for (const RuntimeProfiler::WorkerEvent& event : worker.events) {
+      const bool idle = event.kind == RuntimeProfiler::EventKind::Idle;
+      // Run slices carry the region that was open when the task started, as
+      // both the slice name (visual grouping) and an arg (machine parsing).
+      const std::string_view region =
+          event.region > 0 && event.region <= names.size()
+              ? std::string_view(names[event.region - 1])
+              : std::string_view();
+      JsonWriter json;
+      json.begin_object();
+      json.field("name", idle ? std::string_view("idle")
+                              : (region.empty() ? std::string_view("task") : region));
+      json.field("ph", "X").field("pid", kRuntimePid).field("tid", tid);
+      json.field("ts", to_micros(event.start_seconds));
+      json.field("dur", to_micros(event.duration_seconds));
+      if (!idle) {
+        json.key("args").begin_object();
+        if (!region.empty()) json.field("region", region);
+        json.field("stolen", event.stolen);
+        json.end_object();
+      }
+      json.end_object();
+      if (!first) os << ",\n";
+      first = false;
+      os << json.str();
+    }
+
+    // Accumulated counters as one instant event per slot — the machine-
+    // readable summary run_report --workers consumes (ring slices only cover
+    // the newest window; these cover the whole run).
+    JsonWriter json;
+    json.begin_object();
+    json.field("name", "worker_counters").field("ph", "i").field("s", "t");
+    json.field("pid", kRuntimePid).field("tid", tid);
+    json.field("ts", to_micros(now));
+    json.key("args").begin_object();
+    json.field("label", worker.label);
+    json.field("tasks", worker.counters.tasks);
+    json.field("steals", worker.counters.steals);
+    json.field("steal_attempts", worker.counters.steal_attempts);
+    json.field("parks", worker.counters.parks);
+    json.field("busy_seconds", worker.counters.busy_seconds);
+    json.field("idle_seconds", worker.counters.idle_seconds);
+    json.end_object().end_object();
+    if (!first) os << ",\n";
+    first = false;
+    os << json.str();
+  }
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const FlightRecorder& recorder,
@@ -259,6 +349,12 @@ void write_chrome_trace(std::ostream& os, const FlightRecorder& recorder,
 
 void write_chrome_trace(std::ostream& os, const FlightRecorder* recorder,
                         const TaskLedger* ledger, std::string_view process_name) {
+  write_chrome_trace(os, recorder, ledger, nullptr, process_name);
+}
+
+void write_chrome_trace(std::ostream& os, const FlightRecorder* recorder,
+                        const TaskLedger* ledger, const RuntimeProfiler* profiler,
+                        std::string_view process_name) {
   os << "{\"traceEvents\":[\n";
   bool first = true;
   if (recorder != nullptr) {
@@ -268,6 +364,7 @@ void write_chrome_trace(std::ostream& os, const FlightRecorder* recorder,
                      kHeuristicTid);
   }
   if (ledger != nullptr) write_ledger_events(os, first, *ledger);
+  if (profiler != nullptr) write_runtime_events(os, first, *profiler);
   os << "\n]}\n";
 }
 

@@ -22,6 +22,16 @@
 // plus flow events (ph "s"/"t"/"f", cat "dataflow") drawing the parent→child
 // causal arrows from the producer's exec slice through the transfer slice to
 // the consumer's exec slice across rows.
+//
+// With a RuntimeProfiler attached, a third process (pid 3, "runtime
+// (workers)", wall-clock micros) renders what the thread pool actually did:
+// a "regions" row (tid 0) with one slice per named parallel_for window
+// (sweep_fanout, cache_build, matrix_cells, ...), one row per worker/helper
+// slot carrying its run slices (named by the region that was open, args
+// {region, stolen}) and coalesced "idle" intervals, and one ph-"i" instant
+// ("worker_counters") per slot whose args carry the accumulated counters —
+// tasks, steals, steal_attempts, parks, busy/idle seconds — which
+// `run_report --workers` parses back for the utilization summary.
 
 #include <iosfwd>
 #include <string_view>
@@ -29,6 +39,7 @@
 namespace ahg::obs {
 
 class FlightRecorder;
+class RuntimeProfiler;
 class TaskLedger;
 
 /// Write the complete trace document. `process_name` labels the process
@@ -36,11 +47,18 @@ class TaskLedger;
 void write_chrome_trace(std::ostream& os, const FlightRecorder& recorder,
                         std::string_view process_name = "ahg");
 
-/// Pointer overload combining both sources; either may be null (a document
-/// with only the available tracks is written). Equivalent to the reference
-/// overload when `ledger` is null.
+/// Pointer overload combining recorder + ledger; either may be null (a
+/// document with only the available tracks is written). Equivalent to the
+/// reference overload when `ledger` is null.
 void write_chrome_trace(std::ostream& os, const FlightRecorder* recorder,
                         const TaskLedger* ledger,
+                        std::string_view process_name = "ahg");
+
+/// All-sources overload: recorder + ledger + runtime profiler; any may be
+/// null. The profiler contributes the pid-3 wall-clock worker process.
+void write_chrome_trace(std::ostream& os, const FlightRecorder* recorder,
+                        const TaskLedger* ledger,
+                        const RuntimeProfiler* profiler,
                         std::string_view process_name = "ahg");
 
 }  // namespace ahg::obs

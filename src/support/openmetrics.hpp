@@ -47,4 +47,20 @@ MetricsSnapshot ledger_metrics_snapshot(const TaskLedger& ledger);
 void write_ledger_openmetrics(std::ostream& os, const TaskLedger& ledger,
                               std::string_view prefix = "ahg");
 
+class RuntimeProfiler;
+
+/// Distill a RuntimeProfiler into a metrics snapshot: wall-clock work-
+/// stealing counters (`runtime.tasks/_steals/_steal_attempts/_parks/
+/// _events_dropped`), pool-shape gauges (`runtime.workers`,
+/// `runtime.busy_seconds`, `runtime.idle_seconds`, `runtime.rss_bytes`,
+/// `runtime.peak_rss_bytes`, `runtime.profiler_bound_bytes`), and one
+/// wall-seconds duration histogram per named parallel_for region
+/// (`runtime.region_<name>_seconds` over the recorded ring — newest windows
+/// when the ring wrapped; still-open regions are skipped).
+MetricsSnapshot runtime_metrics_snapshot(const RuntimeProfiler& profiler);
+
+/// write_openmetrics(os, runtime_metrics_snapshot(profiler), prefix).
+void write_runtime_openmetrics(std::ostream& os, const RuntimeProfiler& profiler,
+                               std::string_view prefix = "ahg");
+
 }  // namespace ahg::obs

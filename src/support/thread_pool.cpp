@@ -5,6 +5,8 @@
 #include <chrono>
 #include <exception>
 
+#include "support/runtime_profiler.hpp"
+
 namespace ahg {
 
 namespace {
@@ -51,6 +53,37 @@ void ThreadPool::shutdown() {
   }
 }
 
+void ThreadPool::set_profiler(obs::RuntimeProfiler* profiler) noexcept {
+  obs::RuntimeProfiler* prev =
+      profiler_.exchange(profiler, std::memory_order_seq_cst);
+  if (prev == nullptr || prev == profiler) return;
+  // Quiesce before returning: a worker that loaded `prev` just before the
+  // exchange holds a pin until its call into it returns, so once the count
+  // reads zero no thread can touch the old profiler again and the caller is
+  // free to destroy it. Sequential consistency makes the pin visible: a
+  // pinned use increments BEFORE its load of profiler_, so any use that saw
+  // `prev` is counted here.
+  while (profiler_users_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+obs::RuntimeProfiler* ThreadPool::acquire_profiler() noexcept {
+  // Cheap null path first — the detached pool pays one relaxed load.
+  if (profiler_.load(std::memory_order_relaxed) == nullptr) return nullptr;
+  profiler_users_.fetch_add(1, std::memory_order_seq_cst);
+  obs::RuntimeProfiler* prof = profiler_.load(std::memory_order_seq_cst);
+  if (prof == nullptr) {
+    // Lost the race with a detach: drop the pin, report nothing attached.
+    profiler_users_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  return prof;
+}
+
+void ThreadPool::release_profiler() noexcept {
+  profiler_users_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
 bool ThreadPool::on_worker_thread() const noexcept {
   return tls_identity.pool == this;
 }
@@ -82,11 +115,12 @@ void ThreadPool::push_task(Task task) {
   cv_.notify_one();
 }
 
-bool ThreadPool::try_pop(std::size_t self, Task& out) {
+bool ThreadPool::try_pop(std::size_t self, Task& out, bool& stolen) {
   // Workers: own back (LIFO — the deepest nested work, cache-warm), then
   // steal siblings' fronts (FIFO — the oldest fan-out, typically a nested
   // sweep's chunks), then the external queue. Non-worker helpers start at
   // the external queue (their own submissions) and then steal.
+  stolen = false;
   if (self != npos) {
     WorkerQueue& own = *queues_[self];
     std::lock_guard lock(own.mutex);
@@ -115,6 +149,7 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
       out = std::move(queue.tasks.front());
       queue.tasks.pop_front();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      stolen = true;
       return true;
     }
   }
@@ -127,13 +162,29 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
       return true;
     }
   }
+  if (obs::RuntimeProfiler* prof = acquire_profiler()) {
+    // Came up empty after probing every victim queue: a failed steal.
+    prof->on_steal_attempt(self);
+    release_profiler();
+  }
   return false;
 }
 
 bool ThreadPool::try_run_one(std::size_t self) {
   Task task;
-  if (!try_pop(self, task)) return false;
-  task();
+  bool stolen = false;
+  if (!try_pop(self, task, stolen)) return false;
+  obs::RuntimeProfiler* prof = acquire_profiler();
+  if (prof != nullptr) {
+    // Pinned across the task so the end stamp lands in the same profiler:
+    // a detach issued mid-task blocks until the slice is recorded.
+    const double start = prof->now_seconds();
+    task();
+    prof->on_task(self, start, prof->now_seconds(), stolen);
+    release_profiler();
+  } else {
+    task();
+  }
   return true;
 }
 
@@ -141,11 +192,34 @@ void ThreadPool::worker_loop(std::size_t index) {
   tls_identity = WorkerIdentity{this, index};
   for (;;) {
     if (try_run_one(index)) continue;
-    std::unique_lock lock(sleep_mutex_);
-    cv_.wait(lock, [this] {
-      return stopping_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
+    // Work appeared between the failed pop and here (or we lost a claiming
+    // race): retry the pop directly instead of taking the sleep lock — and,
+    // when a profiler is attached, instead of stamping a zero-length idle.
+    if (pending_.load(std::memory_order_acquire) > 0) continue;
+    // Stamp the park start under a pin, then DROP the pin for the wait —
+    // holding it would make a concurrent detach spin for the whole park.
+    obs::RuntimeProfiler* prof = acquire_profiler();
+    double park_start = 0.0;
+    if (prof != nullptr) {
+      park_start = prof->now_seconds();
+      release_profiler();
+    }
+    {
+      std::unique_lock lock(sleep_mutex_);
+      cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               pending_.load(std::memory_order_acquire) > 0;
+      });
+    }
+    // Re-pin after the park: the profiler may have been detached (and
+    // destroyed) while we slept — record the interval only if the SAME one
+    // is still attached, dereferencing only the freshly pinned pointer.
+    if (prof != nullptr) {
+      if (obs::RuntimeProfiler* cur = acquire_profiler()) {
+        if (cur == prof) cur->on_idle(index, park_start, cur->now_seconds());
+        release_profiler();
+      }
+    }
     if (stopping_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0) {
       return;
@@ -214,13 +288,35 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // re-check covers the window where our chunks run on other workers while
   // new helpable tasks appear elsewhere.
   const std::size_t self = self_index();
+  // Pinned for the whole fan-out (released after the region closes below):
+  // a detach issued mid-fan-out spins until the group completes, which is
+  // finite — the chunks drain regardless of the detaching thread.
+  obs::RuntimeProfiler* prof = acquire_profiler();
+  // Instrumented call sites open a named region around their fan-out; when
+  // none is open (a bare parallel_for, e.g. the tuner's sweep), mark the
+  // region boundary generically so the trace still shows the fan-out window.
+  std::uint32_t region_token = 0;
+  if (prof != nullptr && prof->current_region() == 0) {
+    region_token = prof->region_begin("parallel_for");
+  }
   while (group->remaining.load(std::memory_order_acquire) > 0) {
     if (try_run_one(self)) continue;
-    std::unique_lock lock(group->done_mutex);
-    group->done_cv.wait_for(lock, std::chrono::microseconds(200), [&] {
-      return group->remaining.load(std::memory_order_acquire) == 0;
-    });
+    // The last chunk finished on another worker between the loop check and
+    // the failed pop: exit without timing a zero-length wait.
+    if (group->remaining.load(std::memory_order_acquire) == 0) break;
+    const double wait_start = prof != nullptr ? prof->now_seconds() : 0.0;
+    {
+      std::unique_lock lock(group->done_mutex);
+      group->done_cv.wait_for(lock, std::chrono::microseconds(200), [&] {
+        return group->remaining.load(std::memory_order_acquire) == 0;
+      });
+    }
+    if (prof != nullptr) {
+      prof->on_idle(self, wait_start, prof->now_seconds());
+    }
   }
+  if (region_token != 0) prof->region_end(region_token);
+  if (prof != nullptr) release_profiler();
   if (group->error) std::rethrow_exception(group->error);
 }
 

@@ -23,6 +23,7 @@
 // LOWEST iteration index (iterations above the lowest failure are skipped,
 // iterations below it still run — exactly the serial-semantics winner).
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -36,6 +37,10 @@
 #include "support/contract.hpp"
 
 namespace ahg {
+
+namespace obs {
+class RuntimeProfiler;
+}  // namespace obs
 
 class ThreadPool {
  public:
@@ -61,6 +66,24 @@ class ThreadPool {
   /// other threads keep mutating the queues — but good enough for the
   /// utilization gauge.
   std::size_t approx_queued() const;
+
+  /// Attach a wall-clock runtime profiler (not owned; nullptr detaches —
+  /// the default). Null costs one relaxed load and branch per pop/park and
+  /// changes no schedule (the usual observability contract, asserted by
+  /// tests/test_determinism.cpp). Attached, every executed task becomes a
+  /// timed run slice with steal provenance, parks and parallel_for waits
+  /// become idle intervals, and empty-handed steal probes are counted.
+  /// Replacing a non-null profiler QUIESCES: the call returns only once no
+  /// worker is still inside a call into the old profiler, so the caller may
+  /// destroy it immediately afterwards. (Workers pin the handle around each
+  /// use; an idle worker that loaded it just before the swap can otherwise
+  /// be preempted and dereference a destroyed profiler minutes later.)
+  /// Never call from inside a pool task — the quiesce spin would wait on
+  /// the calling task's own pin.
+  void set_profiler(obs::RuntimeProfiler* profiler) noexcept;
+  obs::RuntimeProfiler* profiler() const noexcept {
+    return profiler_.load(std::memory_order_acquire);
+  }
 
   /// Enqueue a task; returns a future for its result. Note that waiting on
   /// the future from inside a pool task can idle a worker — prefer
@@ -100,7 +123,18 @@ class ThreadPool {
   /// Pop one task (own back, external front, steal others' fronts) and run
   /// it. `self` is the calling worker's index, or npos for non-workers.
   bool try_run_one(std::size_t self);
-  bool try_pop(std::size_t self, Task& out);
+  /// `stolen` reports provenance: true when the task came off ANOTHER
+  /// worker's deque (telemetry only — external-queue pops are submissions,
+  /// not steals).
+  bool try_pop(std::size_t self, Task& out, bool& stolen);
+
+  /// Pin the attached profiler for use on this thread: returns nullptr (no
+  /// pin taken) when none is attached, else a pointer that stays valid until
+  /// the matching release_profiler(). set_profiler spins on the pin count,
+  /// which is what makes destroy-after-detach safe. The null path is a
+  /// single relaxed load + branch.
+  obs::RuntimeProfiler* acquire_profiler() noexcept;
+  void release_profiler() noexcept;
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   /// This thread's worker index in this pool, or npos.
@@ -118,6 +152,11 @@ class ThreadPool {
   std::atomic<bool> stopping_{false};
   bool joined_ = false;
   std::mutex shutdown_mutex_;
+
+  /// Nullable observability handle (see set_profiler) plus the count of
+  /// threads currently inside a call into it (the detach-quiesce pin).
+  std::atomic<obs::RuntimeProfiler*> profiler_{nullptr};
+  std::atomic<std::size_t> profiler_users_{0};
 };
 
 /// Set the worker count the process-wide pool is built with. Must be called

@@ -17,6 +17,7 @@
 #include "core/tuner.hpp"
 #include "core/upper_bound.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/runtime_profiler.hpp"
 #include "support/task_ledger.hpp"
 #include "support/thread_pool.hpp"
 #include "tests/scenario_fixtures.hpp"
@@ -427,6 +428,142 @@ TEST(Determinism, ChurnLedgerOnMatchesLedgerOff) {
     EXPECT_EQ(orphans, static_cast<std::uint64_t>(off.orphaned));
     EXPECT_EQ(invalidated, static_cast<std::uint64_t>(off.invalidated));
     EXPECT_TRUE(saw_remap);
+  }
+}
+
+// The runtime profiler's side of the null-handle contract. Unlike the
+// recorder/ledger — which thread through params — the profiler attaches to
+// the process-wide pool, so the hooks sit inside the workers themselves.
+// Attaching one must still leave every schedule bit-identical: the profiler
+// only reads clocks and counters, never influences task order or placement.
+TEST(Determinism, SlrhProfilerOnMatchesProfilerOff) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    for (const auto variant :
+         {core::SlrhVariant::V1, core::SlrhVariant::V2, core::SlrhVariant::V3}) {
+      core::SlrhParams params;
+      params.variant = variant;
+      params.weights = core::Weights::make(0.6, 0.3);
+      const auto off = core::run_slrh(scenario, params);
+
+      obs::RuntimeProfiler profiler(global_pool().size());
+      global_pool().set_profiler(&profiler);
+      const auto on = core::run_slrh(scenario, params);
+      global_pool().set_profiler(nullptr);
+
+      expect_identical(off, on, scenario, to_string(variant).c_str());
+      // The speculative sweep fans out on the pinned 4-worker pool, so the
+      // profiler must have seen pool tasks and the fan-out region.
+      EXPECT_GT(profiler.totals().tasks, 0u);
+      bool saw_fanout = false;
+      for (const auto& region : profiler.snapshot_regions()) {
+        if (region.name == "sweep_fanout") saw_fanout = true;
+      }
+      EXPECT_TRUE(saw_fanout);
+    }
+  }
+}
+
+TEST(Determinism, MaxMaxProfilerOnMatchesProfilerOff) {
+  for (const auto& scenario : paper_shape_fixtures()) {
+    core::MaxMaxParams params;
+    params.weights = core::Weights::make(0.6, 0.3);
+    const auto off = core::run_maxmax(scenario, params);
+
+    obs::RuntimeProfiler profiler(global_pool().size());
+    global_pool().set_profiler(&profiler);
+    const auto on = core::run_maxmax(scenario, params);
+    global_pool().set_profiler(nullptr);
+
+    // Max-Max is a serial heuristic — no pool tasks is fine; the contract is
+    // only that an attached profiler perturbs nothing.
+    expect_identical(off, on, scenario, "Max-Max profiler on");
+  }
+}
+
+TEST(Determinism, ChurnProfilerOnMatchesProfilerOff) {
+  auto scenario = test::small_suite_scenario(sim::GridCase::A, 64, 4242);
+  scenario.machine_windows.assign(scenario.num_machines(),
+                                  workload::Scenario::MachineWindow{});
+  scenario.machine_windows[1].depart = scenario.tau / 8;
+  for (const auto variant : {core::SlrhVariant::V1, core::SlrhVariant::V3}) {
+    core::SlrhParams params;
+    params.variant = variant;
+    params.weights = core::Weights::make(0.6, 0.3);
+    const auto off = core::run_slrh_with_churn(scenario, params);
+
+    obs::RuntimeProfiler profiler(global_pool().size());
+    global_pool().set_profiler(&profiler);
+    const auto on = core::run_slrh_with_churn(scenario, params);
+    global_pool().set_profiler(nullptr);
+
+    EXPECT_GT(off.departures_processed, 0u);
+    EXPECT_EQ(on.departures_processed, off.departures_processed);
+    EXPECT_EQ(on.orphaned, off.orphaned);
+    EXPECT_EQ(on.invalidated, off.invalidated);
+    EXPECT_EQ(on.energy_forfeited, off.energy_forfeited);  // exact
+    expect_identical(off.result, on.result, scenario, to_string(variant).c_str());
+    EXPECT_GT(profiler.totals().tasks, 0u);
+  }
+}
+
+TEST(Determinism, ParallelMatrixProfilerOnMatchesProfilerOff) {
+  // The profiler hooks also wrap the matrix-cell fan-out and the parallel /
+  // lazy cache builds underneath evaluate_matrix; the whole nested stack must
+  // stay bit-identical with a profiler attached.
+  workload::SuiteParams suite_params;
+  suite_params.num_tasks = 48;
+  suite_params.num_etc = 2;
+  suite_params.num_dag = 2;
+  suite_params.master_seed = 777;
+  const workload::ScenarioSuite suite(suite_params);
+  const auto cases = {sim::GridCase::A, sim::GridCase::B};
+  const std::vector<core::HeuristicKind> heuristics = {
+      core::HeuristicKind::Slrh1, core::HeuristicKind::MaxMax};
+
+  core::EvaluationParams params;
+  params.tuner.coarse_step = 0.25;
+  params.tuner.fine_step = 0.0;
+  params.tuner.parallel = true;
+  params.parallel_cells = true;
+
+  const auto off = core::evaluate_matrix(suite, cases, heuristics, params);
+
+  obs::RuntimeProfiler profiler(global_pool().size());
+  global_pool().set_profiler(&profiler);
+  const auto on = core::evaluate_matrix(suite, cases, heuristics, params);
+  global_pool().set_profiler(nullptr);
+
+  EXPECT_GT(profiler.totals().tasks, 0u);
+  bool saw_cells = false;
+  for (const auto& region : profiler.snapshot_regions()) {
+    if (region.name == "matrix_cells") saw_cells = true;
+  }
+  EXPECT_TRUE(saw_cells);
+
+  ASSERT_EQ(off.cells.size(), on.cells.size());
+  for (std::size_t c = 0; c < off.cells.size(); ++c) {
+    const auto& a = off.cells[c];
+    const auto& b = on.cells[c];
+    SCOPED_TRACE("cell " + sim::to_string(a.grid_case) + "/" +
+                 core::to_string(a.heuristic));
+    EXPECT_EQ(a.feasible_count, b.feasible_count);
+    ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+    for (std::size_t s = 0; s < a.scenarios.size(); ++s) {
+      const auto& x = a.scenarios[s];
+      const auto& y = b.scenarios[s];
+      SCOPED_TRACE("scenario " + std::to_string(s));
+      EXPECT_EQ(x.upper_bound, y.upper_bound);
+      EXPECT_EQ(x.tune.found, y.tune.found);
+      EXPECT_EQ(x.tune.alpha, y.tune.alpha);  // exact
+      EXPECT_EQ(x.tune.beta, y.tune.beta);    // exact
+      expect_identical(x.tune.best, y.tune.best,
+                       suite.make(a.grid_case, x.etc_index, x.dag_index),
+                       "tuned best");
+    }
+    EXPECT_EQ(a.t100.mean(), b.t100.mean());
+    EXPECT_EQ(a.vs_bound.mean(), b.vs_bound.mean());
+    EXPECT_EQ(a.alpha.mean(), b.alpha.mean());
+    EXPECT_EQ(a.beta.mean(), b.beta.mean());
   }
 }
 
